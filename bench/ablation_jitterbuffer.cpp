@@ -1,0 +1,134 @@
+// ablation_jitterbuffer — §3.2's first example, end to end: "the jitter
+// buffer size for audio-video streaming could be initialized and updated
+// over time based on the shared information."
+//
+// A fleet of VoIP-like CBR streams crosses a bottleneck shared with
+// bursty TCP traffic. Cold-start streams must guess an initial buffer
+// (industry default: a fixed small depth — low latency but glitchy, or a
+// fixed large depth — safe but laggy). Phi streams initialize from the
+// shared jitter distribution of earlier streams on the same path:
+// p98 x 1.25, clamped (the quantile is operator-tunable).
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "phi/adaptation.hpp"
+#include "sim/cbr.hpp"
+#include "sim/topology.hpp"
+#include "tcp/app.hpp"
+#include "tcp/sender.hpp"
+#include "tcp/sink.hpp"
+#include "util/table.hpp"
+
+using namespace phi;
+
+namespace {
+
+constexpr core::PathKey kPath = 9;
+
+struct StreamOutcome {
+  std::vector<double> jitter_ms;  ///< per-frame jitter of the probe stream
+};
+
+/// One 40-second "call" across a congested dumbbell; returns the call's
+/// frame jitter series.
+StreamOutcome run_call(std::uint64_t seed) {
+  sim::DumbbellConfig net;
+  net.pairs = 6;
+  net.bottleneck_rate = 20.0 * util::kMbps;
+  net.rtt = util::milliseconds(80);
+  sim::Dumbbell d(net);
+
+  // Competing bursty TCP traffic on pairs 1..5 produces queue churn.
+  std::vector<std::unique_ptr<tcp::TcpSender>> senders;
+  std::vector<std::unique_ptr<tcp::TcpSink>> sinks;
+  std::vector<std::unique_ptr<tcp::OnOffApp>> apps;
+  util::Rng seeder(seed);
+  for (std::size_t i = 1; i < net.pairs; ++i) {
+    const sim::FlowId flow = 50 + i;
+    senders.push_back(std::make_unique<tcp::TcpSender>(
+        d.scheduler(), d.sender(i), d.receiver(i).id(), flow,
+        std::make_unique<tcp::Cubic>(tcp::CubicParams{64, 8, 0.2})));
+    sinks.push_back(std::make_unique<tcp::TcpSink>(d.scheduler(),
+                                                   d.receiver(i), flow));
+    tcp::OnOffConfig oc;
+    oc.mean_on_bytes = 300e3;
+    oc.mean_off_s = 0.8;
+    apps.push_back(std::make_unique<tcp::OnOffApp>(
+        d.scheduler(), *senders.back(), oc, seeder()));
+    apps.back()->start();
+  }
+
+  // The call: CBR frames every 20 ms on pair 0.
+  sim::CbrSource call(d.scheduler(), d.sender(0), d.receiver(0).id(), 7);
+  sim::CbrReceiver rx(d.scheduler(), d.receiver(0), 7);
+  call.start();
+  d.net().run_until(util::seconds(40));
+  call.stop();
+
+  StreamOutcome out;
+  out.jitter_ms = rx.jitter_ms();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation (3.2): jitter-buffer initialization from shared state");
+  const int calls = bench::scale_from_env() == bench::Scale::kFull ? 10 : 5;
+
+  // Phase 1: earlier calls contribute their jitter samples to the shared
+  // advisor (in deployment: via Phi reports).
+  core::JitterBufferAdvisor advisor;
+  bench::WallTimer timer;
+  for (int c = 0; c < calls; ++c) {
+    const auto outcome = run_call(2000 + static_cast<std::uint64_t>(c));
+    for (const double j : outcome.jitter_ms)
+      advisor.record_jitter_ms(kPath, j);
+  }
+  const double advised_ms = advisor.recommend_ms(kPath);
+  std::printf("\nshared history: %zu frame samples -> advised initial "
+              "buffer %.0f ms\n",
+              advisor.support(kPath), advised_ms);
+
+  // Phase 2: fresh calls, three initialization policies.
+  const double kLowDefault = 20.0;   // latency-optimized cold start
+  const double kHighDefault = 200.0; // safety-first cold start
+  util::RunningStats late_low, late_high, late_adv;
+  for (int c = 0; c < calls; ++c) {
+    const auto outcome = run_call(2500 + static_cast<std::uint64_t>(c));
+    late_low.add(sim::late_fraction(outcome.jitter_ms, kLowDefault));
+    late_high.add(sim::late_fraction(outcome.jitter_ms, kHighDefault));
+    late_adv.add(sim::late_fraction(outcome.jitter_ms, advised_ms));
+  }
+
+  util::TextTable t;
+  t.header({"Initialization", "Buffer (ms)", "Late frames",
+            "Mouth-to-ear penalty"});
+  t.row({"cold start, low", util::TextTable::num(kLowDefault, 0),
+         util::TextTable::pct(late_low.mean(), 2), "minimal"});
+  t.row({"cold start, high", util::TextTable::num(kHighDefault, 0),
+         util::TextTable::pct(late_high.mean(), 2),
+         "+" + util::TextTable::num(kHighDefault - advised_ms, 0) +
+             " ms vs advised"});
+  t.row({"Phi-advised (shared p98)", util::TextTable::num(advised_ms, 0),
+         util::TextTable::pct(late_adv.mean(), 2), "baseline"});
+  std::printf("\n%s", t.str().c_str());
+  std::printf(
+      "\nreading: the advised buffer matches the high cold start's glitch\n"
+      "protection at a fraction of its added latency — informed adaptation\n"
+      "without any cooperation from the majority (FIFO network unchanged).\n"
+      "(%.1f s)\n",
+      timer.seconds());
+
+  bench::write_csv(
+      "ablation_jitterbuffer.csv",
+      {"policy", "buffer_ms", "late_fraction"},
+      {{"low", util::TextTable::num(kLowDefault, 0),
+        util::TextTable::num(late_low.mean(), 4)},
+       {"high", util::TextTable::num(kHighDefault, 0),
+        util::TextTable::num(late_high.mean(), 4)},
+       {"advised", util::TextTable::num(advised_ms, 0),
+        util::TextTable::num(late_adv.mean(), 4)}});
+  return 0;
+}

@@ -1,0 +1,72 @@
+// bench_common.hpp — shared plumbing for the paper-reproduction benches:
+// quick/full scaling via PHI_BENCH_SCALE, CSV dumps via PHI_BENCH_OUT,
+// and wall-clock reporting.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace phi::bench {
+
+enum class Scale { kQuick, kFull };
+
+/// PHI_BENCH_SCALE=full selects the paper-sized grids/run counts;
+/// the default "quick" keeps every bench in tens of seconds on one core.
+inline Scale scale_from_env() {
+  const char* s = std::getenv("PHI_BENCH_SCALE");
+  return (s != nullptr && std::string(s) == "full") ? Scale::kFull
+                                                    : Scale::kQuick;
+}
+
+inline const char* scale_name(Scale s) {
+  return s == Scale::kFull ? "full" : "quick";
+}
+
+/// Directory for CSV artifacts; PHI_BENCH_OUT overrides, empty disables.
+inline std::string out_dir() {
+  const char* o = std::getenv("PHI_BENCH_OUT");
+  std::string dir = o != nullptr ? o : "bench_results";
+  if (dir.empty()) return dir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return ec ? std::string{} : dir;
+}
+
+inline void write_csv(const std::string& name,
+                      const std::vector<std::string>& header,
+                      const std::vector<std::vector<std::string>>& rows) {
+  const std::string dir = out_dir();
+  if (dir.empty()) return;
+  const std::string path = dir + "/" + name;
+  if (util::write_csv(path, header, rows)) {
+    std::printf("  [csv] %s (%zu rows)\n", path.c_str(), rows.size());
+  }
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void banner(const char* title) {
+  std::printf("\n================================================================\n"
+              "%s   [scale=%s]\n"
+              "================================================================\n",
+              title, scale_name(scale_from_env()));
+}
+
+}  // namespace phi::bench

@@ -1,0 +1,136 @@
+// fig2_cubic_sweep — reproduces Tables 1-2 and Figures 2a/2b/2c of the
+// paper: sweep TCP Cubic's (initial_ssthresh, windowInit_, beta) over the
+// Figure-1 dumbbell at low utilization (2a), high utilization (2b), and
+// with 100 long-running connections (2c, beta-only), reporting throughput,
+// bottleneck queueing delay and loss for the default vs. optimal settings.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "phi/sweep.hpp"
+#include "util/table.hpp"
+
+using namespace phi;
+
+namespace {
+
+core::ScenarioConfig fig2_base(std::size_t pairs, double on_bytes,
+                               double off_s) {
+  core::ScenarioConfig cfg;
+  cfg.net.pairs = pairs;
+  cfg.net.bottleneck_rate = 15.0 * util::kMbps;
+  cfg.net.rtt = util::milliseconds(150);
+  cfg.workload.mean_on_bytes = on_bytes;
+  cfg.workload.mean_off_s = off_s;
+  cfg.duration = util::seconds(60);
+  cfg.seed = 11;
+  return cfg;
+}
+
+void print_tables_1_and_2() {
+  util::TextTable t1;
+  t1.header({"Parameter", "Default Value"});
+  t1.row({"initial_ssthresh", "65536 segments (arbitrarily large)"});
+  t1.row({"windowInit_", "2 segments"});
+  t1.row({"beta", "0.2"});
+  std::printf("\nTable 1: Default settings of the TCP Cubic parameters\n%s",
+              t1.str().c_str());
+
+  util::TextTable t2;
+  t2.header({"Parameter", "Range", "Increment"});
+  t2.row({"initial_ssthresh", "2 - 256 segments", "x 2"});
+  t2.row({"windowInit_", "2 - 256 segments", "x 2"});
+  t2.row({"beta", "0.1 - 0.9", "+ 0.1"});
+  std::printf("\nTable 2: Range of parameter sweep in TCP Cubic-Phi\n%s",
+              t2.str().c_str());
+}
+
+std::vector<std::string> point_row(const char* label,
+                                   const core::SweepPoint& p) {
+  return {label,
+          p.params.str(),
+          util::TextTable::num(p.mean.throughput_bps / 1e6, 2),
+          util::TextTable::num(p.mean.mean_queue_delay_s * 1e3, 1),
+          util::TextTable::pct(p.mean.loss_rate, 2),
+          util::TextTable::num(p.mean.utilization, 2),
+          util::TextTable::num(p.score / 1e6, 2)};
+}
+
+void run_figure(const char* fig, const char* title,
+                const core::ScenarioConfig& cfg, const core::SweepSpec& spec,
+                int runs) {
+  std::printf("\n--- Figure %s: %s ---\n", fig, title);
+  bench::WallTimer timer;
+  const core::SweepResult sweep = core::run_cubic_sweep(cfg, spec, runs);
+
+  util::TextTable t;
+  t.header({"Setting", "Parameters", "Tput (Mbps)", "Qdelay (ms)", "Loss",
+            "Util", "P_l (M)"});
+  t.row(point_row("default", sweep.default_point()));
+  t.row(point_row("optimal", sweep.best()));
+
+  // A few representative non-optimal settings, for the scatter's shape.
+  std::size_t shown = 0;
+  for (std::size_t i = 0; i < sweep.points.size() && shown < 4; ++i) {
+    if (i == sweep.best_index || i == sweep.default_index) continue;
+    if (i % (sweep.points.size() / 4 + 1) != 0) continue;
+    t.row(point_row("other", sweep.points[i]));
+    ++shown;
+  }
+  std::printf("%s", t.str().c_str());
+
+  const auto& d = sweep.default_point().mean;
+  const auto& b = sweep.best().mean;
+  std::printf(
+      "  optimal vs default: throughput x%.2f, qdelay x%.2f, loss %s -> %s\n",
+      b.throughput_bps / (d.throughput_bps > 0 ? d.throughput_bps : 1),
+      d.mean_queue_delay_s > 0 ? b.mean_queue_delay_s / d.mean_queue_delay_s
+                               : 0.0,
+      util::TextTable::pct(d.loss_rate, 2).c_str(),
+      util::TextTable::pct(b.loss_rate, 2).c_str());
+  std::printf("  (%zu settings x %d runs in %.1f s)\n", sweep.points.size(),
+              runs, timer.seconds());
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& p : sweep.points) {
+    rows.push_back({std::to_string(p.params.initial_ssthresh),
+                    std::to_string(p.params.window_init),
+                    util::TextTable::num(p.params.beta, 1),
+                    util::TextTable::num(p.mean.throughput_bps, 0),
+                    util::TextTable::num(p.mean.mean_queue_delay_s * 1e3, 2),
+                    util::TextTable::num(p.mean.loss_rate, 5),
+                    util::TextTable::num(p.mean.utilization, 3),
+                    util::TextTable::num(p.score, 0)});
+  }
+  bench::write_csv(std::string("fig2") + fig + ".csv",
+                   {"ssthresh", "winit", "beta", "tput_bps", "qdelay_ms",
+                    "loss", "util", "power_l"},
+                   rows);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figures 2a/2b/2c + Tables 1-2: Cubic parameter sweeps");
+  const bench::Scale scale = bench::scale_from_env();
+  const int runs = scale == bench::Scale::kFull ? 8 : 4;
+  const core::SweepSpec grid = scale == bench::Scale::kFull
+                                   ? core::SweepSpec::paper()
+                                   : core::SweepSpec::coarse();
+
+  print_tables_1_and_2();
+
+  run_figure("a", "low link utilization (4 on/off senders, 500 KB / 2 s)",
+             fig2_base(4, 500e3, 2.0), grid, runs);
+  run_figure("b", "high link utilization (16 on/off senders, 500 KB / 2 s)",
+             fig2_base(16, 500e3, 2.0), grid, runs);
+
+  // Figure 2c: 100 long-running connections; only beta matters.
+  core::ScenarioConfig longrun = fig2_base(100, 1e13, 1.0);
+  longrun.workload.start_with_off = false;
+  longrun.duration = util::seconds(60);
+  run_figure("c", "100 long-running connections (beta sweep)", longrun,
+             core::SweepSpec::beta_only(),
+             scale == bench::Scale::kFull ? 4 : 2);
+
+  return 0;
+}

@@ -1,0 +1,181 @@
+// micro_components — google-benchmark microbenchmarks of the hot
+// components: event scheduling, queue operations, congestion-control
+// updates, whisker-tree lookups, context-server round trips, IPFIX
+// sampling, and an end-to-end mini scenario.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "flow/bottleneck.hpp"
+#include "flow/heavy_hitters.hpp"
+#include "flow/ipfix.hpp"
+#include "phi/context_server.hpp"
+#include "phi/scenario.hpp"
+#include "phi/secure_agg.hpp"
+#include "remy/remycc.hpp"
+#include "sim/event.hpp"
+#include "sim/queue.hpp"
+#include "sim/queue_disc.hpp"
+#include "tcp/cc.hpp"
+#include "util/rng.hpp"
+
+using namespace phi;
+
+namespace {
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler s;
+    long executed = 0;
+    for (int i = 0; i < state.range(0); ++i)
+      s.schedule_at(i * 100, [&executed] { ++executed; });
+    s.run_until(state.range(0) * 100);
+    benchmark::DoNotOptimize(executed);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_DropTailQueue(benchmark::State& state) {
+  sim::DropTailQueue q(1500 * 64);
+  sim::Packet p;
+  for (auto _ : state) {
+    q.enqueue(p, 0);
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DropTailQueue);
+
+void BM_CubicOnAck(benchmark::State& state) {
+  tcp::Cubic cc;
+  cc.reset(0);
+  util::Time now = 0;
+  for (auto _ : state) {
+    now += 1000000;
+    cc.on_ack(1, 0.15, now);
+    benchmark::DoNotOptimize(cc.window());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CubicOnAck);
+
+void BM_WhiskerLookup(benchmark::State& state) {
+  remy::WhiskerTree tree({}, 0b1111);
+  for (int i = 0; i < 4; ++i) tree.split(tree.size() / 2);  // ~64 whiskers
+  remy::SignalVector v{12.0, 15.0, 1.7, 0.4};
+  util::Rng rng(1);
+  for (auto _ : state) {
+    v[0] = rng.uniform(0, 100);
+    benchmark::DoNotOptimize(tree.find(v));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(tree.size()) + " whiskers");
+}
+BENCHMARK(BM_WhiskerLookup);
+
+void BM_ContextServerRoundTrip(benchmark::State& state) {
+  core::ContextServer server;
+  server.set_path_capacity(1, 15e6);
+  util::Time now = 0;
+  std::uint64_t sender = 0;
+  for (auto _ : state) {
+    now += util::kMillisecond;
+    const auto reply =
+        server.lookup(core::LookupRequest{1, sender, now});
+    benchmark::DoNotOptimize(reply);
+    core::Report r;
+    r.path = 1;
+    r.sender_id = sender;
+    r.started = now;
+    r.ended = now + util::kSecond;
+    r.bytes = 100000;
+    r.min_rtt_s = 0.15;
+    r.mean_rtt_s = 0.18;
+    server.report(r);
+    sender = (sender + 1) % 64;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ContextServerRoundTrip);
+
+void BM_IpfixSampling(benchmark::State& state) {
+  flow::PacketSampler sampler(4096);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sampler.observe(1 + rng.below(100)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IpfixSampling);
+
+void BM_RedQueueEnqueue(benchmark::State& state) {
+  sim::RedQueue::Config cfg;
+  cfg.capacity_bytes = 64 * sim::kSegmentBytes;
+  sim::RedQueue q(cfg);
+  sim::Packet p;
+  p.ect = true;
+  util::Time now = 0;
+  for (auto _ : state) {
+    q.enqueue(p, now += 1000);
+    if (q.packets() > 32) benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RedQueueEnqueue);
+
+void BM_SecureAggShare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto seeds = core::derive_pairwise_seeds(n, 0xABCD);
+  core::SecureParticipant p(0, seeds[0]);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.masked_share(0.5, ++round));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(n) + " participants");
+}
+BENCHMARK(BM_SecureAggShare)->Arg(4)->Arg(64);
+
+void BM_PearsonCorrelation(benchmark::State& state) {
+  util::Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 600; ++i) {
+    a.push_back(rng.uniform());
+    b.push_back(rng.uniform());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::pearson(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 600);
+}
+BENCHMARK(BM_PearsonCorrelation);
+
+void BM_SpaceSavingAdd(benchmark::State& state) {
+  util::Rng rng(5);
+  util::ZipfSampler zipf(100000, 1.1);
+  flow::SpaceSaving<std::size_t> ss(1000);
+  for (auto _ : state) {
+    ss.add(zipf(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingAdd);
+
+void BM_MiniScenario(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ScenarioConfig cfg;
+    cfg.net.pairs = 4;
+    cfg.workload.mean_on_bytes = 100e3;
+    cfg.workload.mean_off_s = 0.5;
+    cfg.duration = util::seconds(10);
+    benchmark::DoNotOptimize(
+        core::run_cubic_scenario(cfg, tcp::CubicParams{}));
+  }
+}
+BENCHMARK(BM_MiniScenario)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

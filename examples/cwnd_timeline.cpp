@@ -1,0 +1,79 @@
+// cwnd_timeline — the Figure-2 mechanism made visible. Runs the same
+// transfer twice over the paper's dumbbell: once with default Cubic
+// parameters (65K-segment ssthresh: slow-start overshoot, mass loss,
+// timeout, slow rediscovery) and once with Phi-tuned parameters (no
+// drama). Prints cwnd/RTT sparklines and writes full CSV traces.
+//
+// Build & run:  ./build/examples/cwnd_timeline
+#include <cstdio>
+#include <memory>
+
+#include "sim/topology.hpp"
+#include "tcp/sender.hpp"
+#include "tcp/sink.hpp"
+#include "tcp/tracer.hpp"
+
+using namespace phi;
+
+namespace {
+
+struct Trace {
+  tcp::ConnStats stats;
+  std::string cwnd_spark;
+  std::string rtt_spark;
+  bool csv_written = false;
+};
+
+Trace run(tcp::CubicParams params, const char* csv) {
+  sim::DumbbellConfig cfg;
+  cfg.pairs = 1;
+  sim::Dumbbell d(cfg);
+  tcp::TcpSender sender(d.scheduler(), d.sender(0), d.receiver(0).id(), 1,
+                        std::make_unique<tcp::Cubic>(params));
+  tcp::TcpSink sink(d.scheduler(), d.receiver(0), 1);
+  tcp::SenderTracer tracer(d.scheduler(), sender, util::milliseconds(50));
+
+  Trace out;
+  bool done = false;
+  sender.start_connection(12000, [&](const tcp::ConnStats& s) {
+    done = true;
+    out.stats = s;
+  });
+  d.net().run_until(util::seconds(60));
+  if (!done) std::fprintf(stderr, "warning: transfer did not finish\n");
+  tracer.stop();
+  out.cwnd_spark = tracer.sparkline(0);
+  out.rtt_spark = tracer.sparkline(1);
+  out.csv_written = tracer.write_csv(csv);
+  return out;
+}
+
+void report(const char* label, const Trace& t, const char* csv) {
+  std::printf("\n%s\n", label);
+  std::printf("  cwnd  |%s|\n", t.cwnd_spark.c_str());
+  std::printf("  srtt  |%s|\n", t.rtt_spark.c_str());
+  std::printf("  throughput %.2f Mbps, retransmits %llu, timeouts %llu, "
+              "duration %.1f s%s%s\n",
+              t.stats.throughput_bps() / 1e6,
+              static_cast<unsigned long long>(t.stats.retransmits),
+              static_cast<unsigned long long>(t.stats.timeouts),
+              t.stats.duration_s(), t.csv_written ? ", trace: " : "",
+              t.csv_written ? csv : "");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("one 12000-segment transfer, 15 Mbps / 150 ms dumbbell\n");
+  const Trace dflt = run(tcp::CubicParams{}, "cwnd_default.csv");
+  report("default Cubic (ssthresh=65536, winit=2):", dflt,
+         "cwnd_default.csv");
+  const Trace tuned = run(tcp::CubicParams{64, 16, 0.2}, "cwnd_tuned.csv");
+  report("Phi-tuned Cubic (ssthresh=64, winit=16):", tuned,
+         "cwnd_tuned.csv");
+  std::printf("\nthe default's opening spike is the slow-start overshoot the\n"
+              "context server exists to prevent: a new connection blasting\n"
+              "past the path's capacity because it starts with zero\n"
+              "knowledge of the network weather.\n");
+  return 0;
+}

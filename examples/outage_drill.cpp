@@ -1,0 +1,77 @@
+// outage_drill — §3.4 in action: the cloud service as its own Down
+// Detector. Synthesizes two weeks of request-volume telemetry sliced by
+// (client AS, metro), trains the seasonal model, then replays a day with
+// two injected incidents — a sharp regional ISP outage and a broader
+// AS-wide brownout — and prints the detection timeline.
+//
+// Build & run:  ./build/examples/outage_drill
+#include <cstdio>
+
+#include "diag/detector.hpp"
+#include "diag/generator.hpp"
+
+using namespace phi;
+
+int main() {
+  diag::RequestGenerator::Config gc;
+  gc.n_as = 6;
+  gc.n_metros = 5;
+  gc.base_rpm = 5000;
+  diag::RequestGenerator gen(gc);
+
+  // Incident 1: ISP 4 loses metro 2 for two hours at 09:30.
+  diag::InjectedEvent regional;
+  regional.as = 4;
+  regional.metro = 2;
+  regional.start_minute = 14 * 1440 + 9 * 60 + 30;
+  regional.duration_minutes = 120;
+  regional.severity = 0.92;
+  gen.add_event(regional);
+
+  // Incident 2: ISP 1 browns out everywhere for 45 min at 18:00.
+  for (int metro = 0; metro < gc.n_metros; ++metro) {
+    diag::InjectedEvent brownout;
+    brownout.as = 1;
+    brownout.metro = metro;
+    brownout.start_minute = 14 * 1440 + 18 * 60;
+    brownout.duration_minutes = 45;
+    brownout.severity = 0.7;
+    gen.add_event(brownout);
+  }
+
+  std::printf("training the seasonal model on 14 clean days...\n");
+  diag::UnreachabilityDetector detector;
+  for (int m = 0; m < 14 * 1440; ++m)
+    detector.train(m, gen.minute_counts(m, /*with_events=*/false));
+
+  std::printf("replaying day 15 (two incidents injected)...\n\n");
+  std::size_t reported = 0;
+  for (int m = 14 * 1440; m < 15 * 1440; ++m) {
+    detector.observe(m, gen.minute_counts(m));
+    // Print events as they open/close, like an ops feed.
+    const auto& events = detector.events();
+    for (std::size_t i = reported; i < events.size(); ++i) {
+      const int hh = (events[i].start_minute % 1440) / 60;
+      const int mm = events[i].start_minute % 60;
+      std::printf("[%02d:%02d] ALERT %s volume anomaly opened\n", hh, mm,
+                  events[i].slice.str().c_str());
+    }
+    reported = events.size();
+  }
+
+  std::printf("\nend-of-day incident report:\n");
+  for (const auto& ev : detector.events()) {
+    const int hh = (ev.start_minute % 1440) / 60;
+    const int mm = ev.start_minute % 60;
+    std::printf("  %s  start %02d:%02d  %s  depth z=%.1f  deficit %.0f "
+                "requests\n",
+                ev.slice.str().c_str(), hh, mm,
+                ev.open ? "STILL OPEN"
+                        : (std::to_string(ev.duration_minutes()) + " min")
+                              .c_str(),
+                ev.min_zscore, ev.deficit);
+  }
+  std::printf("\nground truth: (as4, metro2) 09:30 for 120 min; "
+              "(as1, *) 18:00 for 45 min\n");
+  return 0;
+}

@@ -1,0 +1,194 @@
+#include "diag/detector.hpp"
+
+#include <algorithm>
+
+namespace phi::diag {
+
+namespace {
+
+bool slice_less(const SliceKey& a, const SliceKey& b) {
+  if (a.as != b.as) return a.as < b.as;
+  return a.metro < b.metro;
+}
+
+int specificity(const SliceKey& k) {
+  return (k.as != -1 ? 1 : 0) + (k.metro != -1 ? 1 : 0);
+}
+
+}  // namespace
+
+std::map<SliceKey, double, bool (*)(const SliceKey&, const SliceKey&)>
+UnreachabilityDetector::aggregate(const VolumeSnapshot& counts) {
+  std::map<SliceKey, double, bool (*)(const SliceKey&, const SliceKey&)>
+      out(&slice_less);
+  for (const auto& [key, v] : counts) {
+    const auto [as, metro] = key;
+    out[SliceKey{as, metro}] += v;
+    out[SliceKey{as, -1}] += v;
+    out[SliceKey{-1, metro}] += v;
+    out[SliceKey{-1, -1}] += v;
+  }
+  return out;
+}
+
+void UnreachabilityDetector::train(int minute, const VolumeSnapshot& counts) {
+  for (const auto& [slice, v] : aggregate(counts)) {
+    auto [it, inserted] = slices_.try_emplace(slice);
+    if (inserted) it->second.model = SeasonalModel(cfg_.model);
+    it->second.model.train(minute, v);
+  }
+}
+
+double UnreachabilityDetector::zscore(const SliceKey& slice, int minute,
+                                      double value) const {
+  auto it = slices_.find(slice);
+  return it == slices_.end() ? 0.0 : it->second.model.zscore(minute, value);
+}
+
+double UnreachabilityDetector::expected(const SliceKey& slice,
+                                        int minute) const {
+  auto it = slices_.find(slice);
+  if (it == slices_.end()) return 0.0;
+  double mean = 0, sd = 0;
+  return it->second.model.expectation(minute, mean, sd) ? mean : 0.0;
+}
+
+void UnreachabilityDetector::observe(int minute,
+                                     const VolumeSnapshot& counts) {
+  const auto agg = aggregate(counts);
+
+  for (const auto& [slice, value] : agg) {
+    auto it = slices_.find(slice);
+    if (it == slices_.end()) continue;  // never trained: can't judge
+    SliceState& st = it->second;
+    const double z = st.model.zscore(minute, value);
+    double mean = 0, sd = 0;
+    st.model.expectation(minute, mean, sd);
+
+    if (z <= cfg_.trigger_z) {
+      ++st.below_streak;
+      st.above_streak = 0;
+    } else if (z >= cfg_.release_z) {
+      ++st.above_streak;
+      st.below_streak = 0;
+    } else {
+      // Hysteresis band: hold both streaks.
+    }
+
+    if (!st.in_anomaly && st.below_streak >= cfg_.confirm_intervals) {
+      st.in_anomaly = true;
+      st.anomaly_start = minute - cfg_.confirm_intervals + 1;
+      st.deficit = 0;
+      st.min_z = z;
+    }
+    if (st.in_anomaly) {
+      st.deficit += std::max(mean - value, 0.0);
+      st.min_z = std::min(st.min_z, z);
+      if (st.above_streak >= cfg_.release_intervals) st.in_anomaly = false;
+    }
+  }
+
+  if (!open_event_) {
+    // Any slice in anomaly? Open an event localized as specifically as
+    // the deficits allow.
+    bool any = false;
+    for (const auto& [slice, value] : agg) {
+      auto it = slices_.find(slice);
+      if (it != slices_.end() && it->second.in_anomaly) {
+        any = true;
+        break;
+      }
+    }
+    if (any) {
+      DetectedEvent ev;
+      ev.slice = localize(minute, counts);
+      auto it = slices_.find(ev.slice);
+      ev.start_minute =
+          it != slices_.end() ? it->second.anomaly_start : minute;
+      ev.open = true;
+      events_.push_back(ev);
+      open_event_ = events_.size() - 1;
+    }
+  } else {
+    DetectedEvent& ev = events_[*open_event_];
+    auto it = slices_.find(ev.slice);
+    if (it != slices_.end()) {
+      ev.deficit = it->second.deficit;
+      ev.min_zscore = it->second.min_z;
+      if (!it->second.in_anomaly) {
+        ev.open = false;
+        ev.end_minute = minute - cfg_.release_intervals + 1;
+        open_event_.reset();
+      }
+    } else {
+      ev.open = false;
+      ev.end_minute = minute;
+      open_event_.reset();
+    }
+  }
+}
+
+void UnreachabilityDetector::observe_and_learn(int minute,
+                                               const VolumeSnapshot& counts) {
+  observe(minute, counts);
+  for (const auto& [slice, value] : aggregate(counts)) {
+    auto it = slices_.find(slice);
+    if (it == slices_.end()) {
+      // A slice never seen during training: start learning it now.
+      auto [nit, inserted] = slices_.try_emplace(slice);
+      if (inserted) nit->second.model = SeasonalModel(cfg_.model);
+      nit->second.model.train(minute, value);
+      continue;
+    }
+    // Robust (winsorized) update: confirmed anomalies are fully excluded
+    // via in_anomaly; otherwise the sample is clamped to mean +- |trigger|
+    // standard deviations before entering the baseline. Outage onsets can
+    // therefore only drag the mean by a bounded amount before the event
+    // confirms, while sustained drift keeps being absorbed step by step
+    // (a hard z-gate would freeze a bucket the first time drift+noise
+    // crossed it, and never learn again).
+    if (it->second.in_anomaly) continue;
+    double mean = 0, sd = 0;
+    double sample = value;
+    if (it->second.model.expectation(minute, mean, sd)) {
+      const double k = std::abs(cfg_.trigger_z);
+      sample = std::clamp(value, mean - k * sd, mean + k * sd);
+    }
+    it->second.model.train(minute, sample);
+  }
+}
+
+SliceKey UnreachabilityDetector::localize(int, const VolumeSnapshot&) const {
+  // Drill down the dimension lattice: at each specificity level keep the
+  // anomalous slice with the largest accumulated deficit, and accept a
+  // deeper localization only when it explains enough of the level above
+  // (otherwise the outage is genuinely broader than one slice).
+  SliceKey best_at[3] = {SliceKey{-1, -1}, SliceKey{-1, -1},
+                         SliceKey{-1, -1}};
+  double deficit_at[3] = {-1, -1, -1};
+  bool have_at[3] = {false, false, false};
+  for (const auto& [slice, st] : slices_) {
+    if (!st.in_anomaly) continue;
+    const int spec = specificity(slice);
+    if (st.deficit > deficit_at[spec]) {
+      deficit_at[spec] = st.deficit;
+      best_at[spec] = slice;
+      have_at[spec] = true;
+    }
+  }
+  SliceKey chosen{-1, -1};
+  double parent_deficit = -1;
+  for (int level = 0; level <= 2; ++level) {
+    if (!have_at[level]) continue;
+    const bool explains_parent =
+        parent_deficit <= 0 ||
+        deficit_at[level] >= cfg_.localize_share * parent_deficit;
+    if (explains_parent) {
+      chosen = best_at[level];
+      parent_deficit = deficit_at[level];
+    }
+  }
+  return chosen;
+}
+
+}  // namespace phi::diag

@@ -1,0 +1,97 @@
+// detector.hpp — unreachability detection and localization (§3.4, Fig. 5).
+//
+// The cloud service aggregates request counts from all clients — affected
+// and unaffected — so it can both *detect* (sustained negative departure
+// from the seasonal baseline) and *localize* (drill down the dimension
+// lattice: global -> per-AS / per-metro -> per-(AS, metro), attributing
+// the deficit to the most specific slice that explains most of it).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "diag/model.hpp"
+
+namespace phi::diag {
+
+/// Per-interval request counts at full resolution.
+using VolumeSnapshot = std::map<std::pair<int, int>, double>;  // (as,metro)
+
+struct DetectedEvent {
+  SliceKey slice;          ///< localized scope
+  int start_minute = 0;
+  int end_minute = 0;      ///< inclusive; valid once closed
+  bool open = true;
+  double deficit = 0;      ///< requests lost vs. baseline over the event
+  double min_zscore = 0;   ///< depth of the dip
+
+  int duration_minutes() const noexcept {
+    return end_minute - start_minute + 1;
+  }
+};
+
+class UnreachabilityDetector {
+ public:
+  struct Config {
+    double trigger_z = -3.5;   ///< departure that arms an event
+    double release_z = -1.5;   ///< recovery level that closes it
+    int confirm_intervals = 3; ///< consecutive hits before an event opens
+    int release_intervals = 3; ///< consecutive recoveries before close
+    /// Fraction of the parent slice's deficit a child must explain to
+    /// localize the event one level deeper.
+    double localize_share = 0.7;
+    SeasonalModel::Config model{};
+  };
+
+  UnreachabilityDetector() = default;
+  explicit UnreachabilityDetector(Config cfg) : cfg_(cfg) {}
+
+  /// Learn baselines (run over event-free history).
+  void train(int minute, const VolumeSnapshot& counts);
+
+  /// Serving phase: score one interval, update event state.
+  void observe(int minute, const VolumeSnapshot& counts);
+
+  /// Serving phase with continuous learning: after scoring, absorb the
+  /// interval into the baselines of every slice that is *not* currently
+  /// anomalous (anomaly gating keeps outages from poisoning the model).
+  /// This is how a deployed detector tracks slow traffic drift.
+  void observe_and_learn(int minute, const VolumeSnapshot& counts);
+
+  /// Events that have opened (some may still be open).
+  const std::vector<DetectedEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Current z-score of a slice (for plotting Fig. 5-style series).
+  double zscore(const SliceKey& slice, int minute, double value) const;
+
+  /// Expected volume for a slice at a minute (0 when untrained).
+  double expected(const SliceKey& slice, int minute) const;
+
+ private:
+  /// All aggregation slices a snapshot expands into.
+  static std::map<SliceKey, double, bool (*)(const SliceKey&,
+                                             const SliceKey&)>
+  aggregate(const VolumeSnapshot& counts);
+
+  struct SliceState {
+    SeasonalModel model;
+    int below_streak = 0;
+    int above_streak = 0;
+    bool in_anomaly = false;
+    int anomaly_start = 0;
+    double deficit = 0;
+    double min_z = 0;
+  };
+
+  SliceKey localize(int minute, const VolumeSnapshot& counts) const;
+
+  Config cfg_{};
+  std::unordered_map<SliceKey, SliceState, SliceKeyHash> slices_;
+  std::vector<DetectedEvent> events_;
+  std::optional<std::size_t> open_event_;
+};
+
+}  // namespace phi::diag

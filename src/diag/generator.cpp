@@ -1,0 +1,62 @@
+#include "diag/generator.hpp"
+
+#include <cmath>
+
+namespace phi::diag {
+
+double RequestGenerator::cell_base(int as, int metro) const noexcept {
+  // Stable per-cell size factor in [0.25, 4): some ISPs/metros are much
+  // bigger than others. Derived from the seed so the population is fixed.
+  std::uint64_t h = cfg_.seed;
+  h ^= static_cast<std::uint64_t>(as) * 0x9E3779B97F4A7C15ULL;
+  h ^= static_cast<std::uint64_t>(metro) * 0xC2B2AE3D27D4EB4FULL;
+  const double u = static_cast<double>(util::splitmix64(h) >> 11) * 0x1.0p-53;
+  return cfg_.base_rpm * std::exp((u - 0.5) * 2.0);  // e^-1 .. e^1
+}
+
+double RequestGenerator::season(int minute) const noexcept {
+  const int minute_of_day = ((minute % 1440) + 1440) % 1440;
+  const int day = (minute / 1440) % 7;
+  // Diurnal: trough ~4am, peak ~4pm.
+  const double phase =
+      2.0 * M_PI * (static_cast<double>(minute_of_day) - 240.0) / 1440.0;
+  double s = 1.0 + cfg_.daily_amplitude * 0.5 * (1.0 - std::cos(phase));
+  if (day >= 5) s *= cfg_.weekend_factor;
+  return s;
+}
+
+double RequestGenerator::expected_cell(int as, int metro, int minute) const {
+  double v = cell_base(as, metro) * season(minute);
+  if (cfg_.daily_drift != 0.0) {
+    v *= std::pow(1.0 + cfg_.daily_drift,
+                  static_cast<double>(minute) / 1440.0);
+  }
+  return v;
+}
+
+VolumeSnapshot RequestGenerator::minute_counts(int minute,
+                                               bool with_events) const {
+  VolumeSnapshot out;
+  for (int as = 0; as < cfg_.n_as; ++as) {
+    for (int metro = 0; metro < cfg_.n_metros; ++metro) {
+      // Deterministic per-(cell, minute) noise stream.
+      std::uint64_t h = cfg_.seed ^ 0xABCDEF1234567890ULL;
+      h ^= static_cast<std::uint64_t>(minute) * 0x9E3779B97F4A7C15ULL;
+      h ^= (static_cast<std::uint64_t>(as) << 32) ^
+           static_cast<std::uint64_t>(metro);
+      util::Rng rng(util::splitmix64(h));
+      double v = expected_cell(as, metro, minute) *
+                 rng.lognormal(0.0, cfg_.noise_sigma);
+      if (with_events) {
+        for (const auto& ev : events_) {
+          if (ev.as == as && ev.metro == metro && ev.active(minute))
+            v *= (1.0 - ev.severity);
+        }
+      }
+      out[{as, metro}] = v;
+    }
+  }
+  return out;
+}
+
+}  // namespace phi::diag

@@ -1,0 +1,73 @@
+// generator.hpp — synthetic request-volume telemetry (substitute for the
+// paper's production data; DESIGN.md §5). Each (client AS, metro) cell
+// carries a base rate shaped by daily and weekly seasonality plus
+// multiplicative lognormal noise. Unreachability events suppress a
+// configurable fraction of a cell's traffic for their duration — the
+// Figure-5 scenario is one event localized to an ISP x metro for ~2 hours.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "diag/detector.hpp"
+#include "util/rng.hpp"
+
+namespace phi::diag {
+
+struct InjectedEvent {
+  int as = 0;
+  int metro = 0;
+  int start_minute = 0;
+  int duration_minutes = 120;
+  double severity = 0.9;  ///< fraction of the cell's traffic lost
+
+  bool active(int minute) const noexcept {
+    return minute >= start_minute &&
+           minute < start_minute + duration_minutes;
+  }
+  int end_minute() const noexcept {
+    return start_minute + duration_minutes - 1;
+  }
+};
+
+class RequestGenerator {
+ public:
+  struct Config {
+    int n_as = 8;
+    int n_metros = 6;
+    double base_rpm = 3000;      ///< requests/min for an average cell
+    double noise_sigma = 0.04;   ///< lognormal sigma of benign noise
+    double daily_amplitude = 0.5;///< peak-to-mean diurnal swing
+    double weekend_factor = 0.7; ///< weekend traffic multiplier
+    /// Slow multiplicative trend per day (e.g. -0.015 = traffic shrinks
+    /// 1.5%/day) — the drift that forces detectors to keep learning.
+    double daily_drift = 0.0;
+    std::uint64_t seed = 99;
+  };
+
+  RequestGenerator() = default;
+  explicit RequestGenerator(Config cfg) : cfg_(cfg) {}
+
+  void add_event(const InjectedEvent& ev) { events_.push_back(ev); }
+  const std::vector<InjectedEvent>& injected() const noexcept {
+    return events_;
+  }
+
+  /// Deterministic counts for one minute. `with_events` disables
+  /// injection (for training on clean history).
+  VolumeSnapshot minute_counts(int minute, bool with_events = true) const;
+
+  /// Noise-free expected volume of one cell (for assertions).
+  double expected_cell(int as, int metro, int minute) const;
+
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  double cell_base(int as, int metro) const noexcept;
+  double season(int minute) const noexcept;
+
+  Config cfg_{};
+  std::vector<InjectedEvent> events_;
+};
+
+}  // namespace phi::diag

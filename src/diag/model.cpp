@@ -1,0 +1,54 @@
+#include "diag/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace phi::diag {
+
+std::string SliceKey::str() const {
+  char buf[64];
+  if (is_global()) return "(global)";
+  if (metro == -1) {
+    std::snprintf(buf, sizeof buf, "(as%d, *)", as);
+  } else if (as == -1) {
+    std::snprintf(buf, sizeof buf, "(*, metro%d)", metro);
+  } else {
+    std::snprintf(buf, sizeof buf, "(as%d, metro%d)", as, metro);
+  }
+  return buf;
+}
+
+int SeasonalModel::bucket_of(int minute) const noexcept {
+  const int minutes_per_week = 1440 * cfg_.days_per_week;
+  const int m = ((minute % minutes_per_week) + minutes_per_week) %
+                minutes_per_week;
+  return m / cfg_.minutes_per_bucket;
+}
+
+void SeasonalModel::train(int minute, double value) {
+  auto [it, inserted] =
+      buckets_.try_emplace(bucket_of(minute), util::DecayingStats(cfg_.decay));
+  it->second.add(value);
+}
+
+bool SeasonalModel::expectation(int minute, double& mean,
+                                double& stddev) const {
+  auto it = buckets_.find(bucket_of(minute));
+  if (it == buckets_.end() || it->second.weight() < 3) return false;
+  mean = it->second.mean();
+  // Floor the deviation so that near-constant training data doesn't make
+  // the z-score explode on benign noise.
+  stddev = std::max(it->second.stddev(), std::max(1.0, 0.02 * mean));
+  return true;
+}
+
+double SeasonalModel::zscore(int minute, double value) const {
+  double mean = 0, sd = 0;
+  if (!expectation(minute, mean, sd)) return 0.0;
+  return (value - mean) / sd;
+}
+
+std::size_t SeasonalModel::trained_buckets() const { return buckets_.size(); }
+
+}  // namespace phi::diag

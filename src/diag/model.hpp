@@ -1,0 +1,72 @@
+// model.hpp — §3.4: a time-series model of the volume of requests a cloud
+// service receives, sliced along client dimensions. Each slice learns a
+// seasonal baseline (time-of-day x day-of-week buckets); at serving time a
+// z-score against the baseline flags anomalous departures, and sustained
+// negative departures indicate unreachability.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace phi::diag {
+
+/// A slice of the request volume: (client AS, metro). -1 is a wildcard,
+/// so {as, -1} aggregates the AS across metros, {-1, -1} is global.
+struct SliceKey {
+  int as = -1;
+  int metro = -1;
+
+  bool operator==(const SliceKey&) const = default;
+  bool is_global() const noexcept { return as == -1 && metro == -1; }
+  std::string str() const;
+};
+
+struct SliceKeyHash {
+  std::size_t operator()(const SliceKey& k) const noexcept {
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.as + 1))
+         << 32) ^
+        static_cast<std::uint32_t>(k.metro + 1) * 0x9E3779B9u);
+  }
+};
+
+/// Seasonal baseline for one slice: per (bucket-of-day, day-of-week)
+/// statistics of observed request counts.
+class SeasonalModel {
+ public:
+  struct Config {
+    int minutes_per_bucket = 10;
+    int buckets_per_day = 144;  ///< 1440 / minutes_per_bucket
+    int days_per_week = 7;
+    /// Per-sample forgetting factor of each bucket's statistics. 1.0 =
+    /// static model (train once); ~0.8 with continuous learning tracks a
+    /// few-percent-per-day drift while keeping weeks of memory.
+    double decay = 1.0;
+  };
+
+  SeasonalModel() = default;
+  explicit SeasonalModel(Config cfg) : cfg_(cfg) {}
+
+  void train(int minute, double value);
+
+  /// Expected value and standard deviation for this minute-of-week.
+  /// Returns false when the bucket has too little history.
+  bool expectation(int minute, double& mean, double& stddev) const;
+
+  /// Robust z-score of an observation; 0 when the bucket is untrained.
+  double zscore(int minute, double value) const;
+
+  std::size_t trained_buckets() const;
+
+ private:
+  int bucket_of(int minute) const noexcept;
+  Config cfg_{};
+  std::unordered_map<int, util::DecayingStats> buckets_;
+};
+
+}  // namespace phi::diag

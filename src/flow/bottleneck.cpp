@@ -1,0 +1,135 @@
+#include "flow/bottleneck.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+namespace phi::flow {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}
+
+void DelaySeries::add(util::Time t, double delay_s) {
+  points_.emplace_back(t, delay_s);
+  if (!has_min_ || delay_s < min_delay_) {
+    min_delay_ = delay_s;
+    has_min_ = true;
+  }
+}
+
+util::Time DelaySeries::first_time() const {
+  util::Time t = std::numeric_limits<util::Time>::max();
+  for (const auto& [time, d] : points_) t = std::min(t, time);
+  return points_.empty() ? 0 : t;
+}
+
+util::Time DelaySeries::last_time() const {
+  util::Time t = std::numeric_limits<util::Time>::min();
+  for (const auto& [time, d] : points_) t = std::max(t, time);
+  return points_.empty() ? 0 : t;
+}
+
+std::vector<double> DelaySeries::binned(util::Duration bin,
+                                        util::Time start,
+                                        util::Time end) const {
+  const auto n = static_cast<std::size_t>(
+      std::max<util::Time>((end - start + bin - 1) / bin, 0));
+  std::vector<double> sums(n, 0.0);
+  std::vector<std::uint32_t> counts(n, 0);
+  for (const auto& [t, d] : points_) {
+    if (t < start || t >= end) continue;
+    const auto idx = static_cast<std::size_t>((t - start) / bin);
+    sums[idx] += d;
+    ++counts[idx];
+  }
+  std::vector<double> out(n, kNan);
+  for (std::size_t i = 0; i < n; ++i)
+    if (counts[i] > 0) out[i] = sums[i] / counts[i];
+  return out;
+}
+
+std::optional<double> pearson(const std::vector<double>& a,
+                              const std::vector<double>& b,
+                              std::size_t min_overlap) {
+  const std::size_t n = std::min(a.size(), b.size());
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isnan(a[i]) || std::isnan(b[i])) continue;
+    ++m;
+    sx += a[i];
+    sy += b[i];
+    sxx += a[i] * a[i];
+    syy += b[i] * b[i];
+    sxy += a[i] * b[i];
+  }
+  if (m < min_overlap) return std::nullopt;
+  const double dm = static_cast<double>(m);
+  const double cov = sxy - sx * sy / dm;
+  const double vx = sxx - sx * sx / dm;
+  const double vy = syy - sy * sy / dm;
+  if (vx <= 1e-12 || vy <= 1e-12) return std::nullopt;  // constant series
+  return cov / std::sqrt(vx * vy);
+}
+
+void SharedBottleneckDetector::record(std::uint64_t flow, util::Time t,
+                                      double delay_s) {
+  series_[flow].add(t, delay_s);
+}
+
+std::size_t SharedBottleneckDetector::samples(std::uint64_t flow) const {
+  auto it = series_.find(flow);
+  return it == series_.end() ? 0 : it->second.samples();
+}
+
+std::optional<double> SharedBottleneckDetector::correlation(
+    std::uint64_t a, std::uint64_t b) const {
+  auto ia = series_.find(a);
+  auto ib = series_.find(b);
+  if (ia == series_.end() || ib == series_.end()) return std::nullopt;
+  if (ia->second.empty() || ib->second.empty()) return std::nullopt;
+  const util::Time start =
+      std::max(ia->second.first_time(), ib->second.first_time());
+  const util::Time end =
+      std::min(ia->second.last_time(), ib->second.last_time());
+  if (end <= start) return std::nullopt;
+  return pearson(ia->second.binned(cfg_.bin, start, end),
+                 ib->second.binned(cfg_.bin, start, end),
+                 cfg_.min_overlap_bins);
+}
+
+std::vector<std::vector<std::uint64_t>> SharedBottleneckDetector::cluster()
+    const {
+  std::vector<std::uint64_t> flows;
+  flows.reserve(series_.size());
+  for (const auto& [id, s] : series_) flows.push_back(id);
+
+  // Union-find over the correlation graph.
+  std::vector<std::size_t> parent(flows.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  std::function<std::size_t(std::size_t)> find =
+      [&](std::size_t x) -> std::size_t {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    for (std::size_t j = i + 1; j < flows.size(); ++j) {
+      const auto r = correlation(flows[i], flows[j]);
+      if (r && *r >= cfg_.threshold) parent[find(i)] = find(j);
+    }
+  }
+  std::map<std::size_t, std::vector<std::uint64_t>> groups;
+  for (std::size_t i = 0; i < flows.size(); ++i)
+    groups[find(i)].push_back(flows[i]);
+  std::vector<std::vector<std::uint64_t>> out;
+  out.reserve(groups.size());
+  for (auto& [root, members] : groups) out.push_back(std::move(members));
+  return out;
+}
+
+}  // namespace phi::flow

@@ -1,0 +1,83 @@
+// bottleneck.hpp — passive shared-bottleneck detection (§2.1: "a
+// measurement study with techniques such as [Katabi et al. 2001] would be
+// needed to establish whether a set of flows share a bottleneck link").
+//
+// Idea: flows queuing at the same bottleneck see *correlated* queueing
+// delay. Each flow contributes a time series of delay samples (RTT minus
+// its propagation floor); the detector bins the series onto a common
+// clock, computes pairwise Pearson correlations over co-occupied bins,
+// and clusters flows whose correlation clears a threshold.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace phi::flow {
+
+/// A flow's irregularly-sampled delay observations.
+class DelaySeries {
+ public:
+  void add(util::Time t, double delay_s);
+
+  std::size_t samples() const noexcept { return points_.size(); }
+  bool empty() const noexcept { return points_.empty(); }
+  util::Time first_time() const;
+  util::Time last_time() const;
+
+  /// Average the samples into fixed `bin` buckets covering [start, end).
+  /// Bins with no samples are NaN.
+  std::vector<double> binned(util::Duration bin, util::Time start,
+                             util::Time end) const;
+
+  /// Minimum observed delay (the flow's propagation floor estimate).
+  double min_delay_s() const noexcept { return min_delay_; }
+
+ private:
+  std::vector<std::pair<util::Time, double>> points_;  // insertion order
+  double min_delay_ = 0;
+  bool has_min_ = false;
+};
+
+/// Pearson correlation over positions where both series are finite;
+/// nullopt when fewer than `min_overlap` such positions exist or either
+/// side is constant.
+std::optional<double> pearson(const std::vector<double>& a,
+                              const std::vector<double>& b,
+                              std::size_t min_overlap = 8);
+
+class SharedBottleneckDetector {
+ public:
+  struct Config {
+    util::Duration bin = util::milliseconds(200);
+    std::size_t min_overlap_bins = 15;
+    /// Pairwise correlation at or above this clusters two flows together.
+    double threshold = 0.4;
+  };
+
+  SharedBottleneckDetector() = default;
+  explicit SharedBottleneckDetector(Config cfg) : cfg_(cfg) {}
+
+  /// Record one delay sample (e.g. RTT - min-RTT) for `flow` at time `t`.
+  void record(std::uint64_t flow, util::Time t, double delay_s);
+
+  std::size_t flows() const noexcept { return series_.size(); }
+  std::size_t samples(std::uint64_t flow) const;
+
+  /// Pairwise delay correlation; nullopt when overlap is insufficient.
+  std::optional<double> correlation(std::uint64_t a, std::uint64_t b) const;
+
+  /// Partition all recorded flows into shared-bottleneck groups
+  /// (single-linkage over the correlation graph). Flows with no
+  /// sufficiently-correlated peer form singleton groups.
+  std::vector<std::vector<std::uint64_t>> cluster() const;
+
+ private:
+  Config cfg_;
+  std::map<std::uint64_t, DelaySeries> series_;  // ordered for determinism
+};
+
+}  // namespace phi::flow

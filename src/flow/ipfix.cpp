@@ -1,0 +1,34 @@
+#include "flow/ipfix.hpp"
+
+namespace phi::flow {
+
+void FlowCollector::ingest(const IpfixRecord& rec) {
+  ++records_;
+  auto& flows = slices_[slice_id(rec.flow.dst_subnet(), rec.minute)];
+  if (flows.insert(rec.flow).second) ++distinct_;
+}
+
+std::size_t FlowCollector::slice_flows(std::uint32_t subnet,
+                                       int minute) const {
+  auto it = slices_.find(slice_id(subnet, minute));
+  return it == slices_.end() ? 0 : it->second.size();
+}
+
+util::EmpiricalCdf FlowCollector::sharing_cdf() const {
+  util::EmpiricalCdf cdf;
+  for (const auto& [id, flows] : slices_) {
+    const auto n = static_cast<std::int64_t>(flows.size());
+    if (n > 0) cdf.add(n - 1, static_cast<std::uint64_t>(n));
+  }
+  return cdf;
+}
+
+void FlowCollector::for_each_slice(
+    const std::function<void(std::uint32_t, int, std::size_t)>& fn) const {
+  for (const auto& [id, flows] : slices_) {
+    fn(static_cast<std::uint32_t>(id >> 20),
+       static_cast<int>(id & 0xFFFFF), flows.size());
+  }
+}
+
+}  // namespace phi::flow

@@ -1,0 +1,110 @@
+// ipfix.hpp — the measurement pipeline of §2.1. Routers sample one in N
+// packets (IPFIX, N = 4096 in the paper) and export the sampled headers to
+// a centralized collector, which counts distinct TCP flows per
+// (/24 destination subnet, 1-minute) slice. Flows in the same slice can
+// reasonably be assumed to share the WAN path — the sharing opportunity
+// Phi exploits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace phi::flow {
+
+/// The TCP 4-tuple identifying a flow.
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t dst_port = 0;
+
+  bool operator==(const FlowKey&) const = default;
+
+  /// Destination /24 prefix — the spatial granularity of the analysis.
+  std::uint32_t dst_subnet() const noexcept { return dst_ip >> 8; }
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const noexcept {
+    std::uint64_t h = (static_cast<std::uint64_t>(k.src_ip) << 32) |
+                      k.dst_ip;
+    h ^= (static_cast<std::uint64_t>(k.src_port) << 48) |
+         (static_cast<std::uint64_t>(k.dst_port) << 16);
+    h *= 0x9E3779B97F4A7C15ULL;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+/// One exported record: a sampled packet's header + when it was seen.
+struct IpfixRecord {
+  FlowKey flow;
+  int minute = 0;
+};
+
+/// Deterministic 1-in-N packet sampling, as routers do it: a shared packet
+/// counter; every time it crosses a multiple of N, the current packet is
+/// sampled. observe() processes a burst of packets from one flow in O(1).
+class PacketSampler {
+ public:
+  explicit PacketSampler(std::uint64_t one_in_n) : n_(one_in_n) {}
+
+  /// Advance the counter by `packets` from a single flow; returns how
+  /// many of them were sampled.
+  std::uint64_t observe(std::uint64_t packets) noexcept {
+    if (n_ <= 1) {
+      counter_ += packets;
+      return packets;
+    }
+    const std::uint64_t before = counter_ / n_;
+    counter_ += packets;
+    return counter_ / n_ - before;
+  }
+
+  std::uint64_t packets_seen() const noexcept { return counter_; }
+  std::uint64_t rate() const noexcept { return n_; }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t counter_ = 0;
+};
+
+/// The centralized collector: distinct observed flows per
+/// (/24 subnet, minute) slice.
+class FlowCollector {
+ public:
+  void ingest(const IpfixRecord& rec);
+
+  /// Number of distinct flows observed in a slice.
+  std::size_t slice_flows(std::uint32_t subnet, int minute) const;
+
+  std::uint64_t records() const noexcept { return records_; }
+  std::uint64_t distinct_flows() const noexcept { return distinct_; }
+
+  /// Per observed flow, the number of *other* observed flows in its
+  /// slice — the paper's sharing statistic ("X% of flows share the WAN
+  /// path with at least k other flows").
+  util::EmpiricalCdf sharing_cdf() const;
+
+  /// Visit every slice (subnet, minute, distinct-flow count).
+  void for_each_slice(
+      const std::function<void(std::uint32_t, int, std::size_t)>& fn) const;
+
+ private:
+  using SliceId = std::uint64_t;
+  static SliceId slice_id(std::uint32_t subnet, int minute) noexcept {
+    return (static_cast<std::uint64_t>(subnet) << 20) |
+           static_cast<std::uint32_t>(minute);
+  }
+  std::unordered_map<SliceId, std::unordered_set<FlowKey, FlowKeyHash>>
+      slices_;
+  std::uint64_t records_ = 0;
+  std::uint64_t distinct_ = 0;
+};
+
+}  // namespace phi::flow

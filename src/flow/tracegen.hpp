@@ -1,0 +1,45 @@
+// tracegen.hpp — synthetic cloud-egress traffic (substitute for the
+// paper's proprietary IPFIX telemetry; see DESIGN.md §5). Flow arrivals
+// are Poisson per minute, spread across /24 destination subnets by a Zipf
+// popularity law, with bounded-Pareto flow sizes in packets — the standard
+// heavy-tailed shape of WAN traffic. The same sampling + collection
+// pipeline the paper ran then produces the sharing CDF.
+#pragma once
+
+#include <cstdint>
+
+#include "flow/ipfix.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace phi::flow {
+
+struct TraceConfig {
+  std::size_t subnets = 20000;       ///< distinct /24 destinations
+  double zipf_s = 1.05;              ///< subnet popularity skew
+  int minutes = 60;                  ///< trace duration
+  double flows_per_minute = 120000;  ///< Poisson mean, whole egress
+  double pareto_alpha = 1.15;        ///< flow size tail index
+  double min_packets = 2;
+  double max_packets = 1e6;
+  std::uint64_t sampling = 4096;     ///< IPFIX 1-in-N
+  std::uint64_t seed = 42;
+};
+
+struct SharingAnalysis {
+  /// Per *observed* flow: how many other observed flows share its
+  /// (/24, minute) slice. This is what the paper reports.
+  util::EmpiricalCdf sampled_sharing;
+  /// Ground truth (no sampling): the "actual sharing is likely much
+  /// higher" claim.
+  util::EmpiricalCdf true_sharing;
+  std::uint64_t total_flows = 0;
+  std::uint64_t observed_flows = 0;
+  std::uint64_t total_packets = 0;
+  std::uint64_t sampled_packets = 0;
+};
+
+/// Generate the trace and push it through the IPFIX pipeline.
+SharingAnalysis analyze_trace(const TraceConfig& cfg);
+
+}  // namespace phi::flow

@@ -1,0 +1,33 @@
+#include "phi/congestion_manager.hpp"
+
+namespace phi::core {
+
+void SharedCongestionState::flow_started(std::uint64_t id) {
+  if (flows_.insert(id).second) ++active_;
+}
+
+void SharedCongestionState::flow_finished(std::uint64_t id) {
+  if (flows_.erase(id) != 0 && active_ > 0) --active_;
+}
+
+void SharedCongestionState::on_loss_event(util::Time now,
+                                          std::int64_t flight) {
+  // One multiplicative cut per round trip across the whole ensemble:
+  // several flows losing packets from the same queue overflow is one
+  // congestion event, not N.
+  if (last_cut_ >= 0 && now - last_cut_ < util::from_seconds(min_rtt_s_))
+    return;
+  last_cut_ = now;
+  ++loss_events_;
+  cc_.on_loss_event(now, flight);
+}
+
+void SharedCongestionState::on_timeout(util::Time now, std::int64_t flight) {
+  if (last_cut_ >= 0 && now - last_cut_ < util::from_seconds(min_rtt_s_))
+    return;
+  last_cut_ = now;
+  ++loss_events_;
+  cc_.on_timeout(now, flight);
+}
+
+}  // namespace phi::core

@@ -1,0 +1,109 @@
+// congestion_manager.hpp — the intra-host prior art the paper builds on
+// (§3.3 cites Balakrishnan et al.'s Congestion Manager and TCP Session):
+// flows from one host to one destination aggregate their congestion
+// state, so a new connection inherits the ensemble's learned window
+// instead of slow-starting from scratch, and one flow's loss tempers all.
+//
+// Phi generalizes this across hosts via the context server; this module
+// provides the single-host baseline so the generalization can be compared
+// against its ancestor (bench/ablation_congestion_manager).
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "tcp/cc.hpp"
+
+namespace phi::core {
+
+/// The shared per-(host, destination) congestion state: one Cubic-like
+/// window governing the ensemble. Flow controllers register on connection
+/// start and the aggregate window is split evenly among active flows.
+class SharedCongestionState {
+ public:
+  explicit SharedCongestionState(tcp::CubicParams params = {})
+      : cc_(params) {
+    cc_.reset(0);
+  }
+
+  /// Aggregate window in segments.
+  double total_window() const noexcept { return cc_.window(); }
+  /// Window share of one active flow.
+  double per_flow_window() const noexcept {
+    const auto n = static_cast<double>(std::max<std::size_t>(active_, 1));
+    return std::max(cc_.window() / n, 1.0);
+  }
+
+  std::size_t active_flows() const noexcept { return active_; }
+
+  // Flow lifecycle (called by CmFlowController).
+  void flow_started(std::uint64_t id);
+  void flow_finished(std::uint64_t id);
+
+  // Congestion events, aggregated across the ensemble.
+  void on_ack(std::int64_t newly, double rtt_s, util::Time now) {
+    cc_.on_ack(newly, rtt_s, now);
+  }
+  void on_loss_event(util::Time now, std::int64_t flight);
+  void on_timeout(util::Time now, std::int64_t flight);
+
+  std::uint64_t loss_events() const noexcept { return loss_events_; }
+
+ private:
+  tcp::Cubic cc_;
+  std::unordered_set<std::uint64_t> flows_;
+  std::size_t active_ = 0;
+  std::uint64_t loss_events_ = 0;
+  util::Time last_cut_ = -1;
+  double min_rtt_s_ = 0.15;  ///< refreshed from ACK samples
+};
+
+/// Per-flow adapter: a CongestionControl whose window is its share of the
+/// host aggregate. Plug one into each TcpSender of the ensemble.
+class CmFlowController final : public tcp::CongestionControl {
+ public:
+  CmFlowController(std::shared_ptr<SharedCongestionState> shared,
+                   std::uint64_t flow_id)
+      : shared_(std::move(shared)), id_(flow_id) {
+    if (!shared_) throw std::invalid_argument("null shared state");
+  }
+  ~CmFlowController() override {
+    if (active_) shared_->flow_finished(id_);
+  }
+
+  void reset(util::Time) override {
+    // Connection start: join the ensemble; the inherited share IS the
+    // point — no per-connection slow start from 2 segments.
+    if (!active_) {
+      shared_->flow_started(id_);
+      active_ = true;
+    }
+  }
+  void on_ack(std::int64_t newly, double rtt_s, util::Time now) override {
+    shared_->on_ack(newly, rtt_s, now);
+  }
+  void on_loss_event(util::Time now, std::int64_t flight) override {
+    shared_->on_loss_event(now, flight);
+  }
+  void on_timeout(util::Time now, std::int64_t flight) override {
+    shared_->on_timeout(now, flight);
+  }
+  double window() const override { return shared_->per_flow_window(); }
+  double ssthresh() const override { return 0; }
+  std::string name() const override { return "congestion-manager"; }
+
+  /// Signal that this flow's connection completed (its share releases).
+  void release() {
+    if (active_) {
+      shared_->flow_finished(id_);
+      active_ = false;
+    }
+  }
+
+ private:
+  std::shared_ptr<SharedCongestionState> shared_;
+  std::uint64_t id_;
+  bool active_ = false;
+};
+
+}  // namespace phi::core

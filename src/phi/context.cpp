@@ -1,0 +1,33 @@
+#include "phi/context.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace phi::core {
+
+std::string CongestionContext::str() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "u=%.2f q=%.1fms n=%.1f loss=%.4f",
+                utilization, queue_delay_s * 1e3, competing_senders,
+                loss_rate);
+  return buf;
+}
+
+std::string ContextBucket::str() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "(u%d,n%d)", u, n);
+  return buf;
+}
+
+ContextBucket ContextBucketer::bucket(const CongestionContext& ctx) const
+    noexcept {
+  ContextBucket b;
+  const double u = std::clamp(ctx.utilization, 0.0, 1.0);
+  b.u = std::min(static_cast<int>(u * u_buckets), u_buckets - 1);
+  const double n = std::max(ctx.competing_senders, 1.0);
+  b.n = static_cast<int>(std::floor(std::log2(n) + 1e-9));
+  return b;
+}
+
+}  // namespace phi::core

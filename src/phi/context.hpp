@@ -1,0 +1,58 @@
+// context.hpp — the congestion context of §2.2.2: Phi characterizes the
+// state of a network path by (i) bottleneck utilization u, (ii) queue
+// occupancy q, and (iii) the number of competing senders n. The context
+// server aggregates these; the optimizer keys parameter recommendations on
+// a bucketed version of them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace phi::core {
+
+/// Identifies the network path a piece of shared state describes. In the
+/// paper this is a (/24 destination subnet, egress) pair; here any stable
+/// 64-bit key works (the experiments use the bottleneck link id).
+using PathKey = std::uint64_t;
+
+struct CongestionContext {
+  double utilization = 0.0;      ///< u: bottleneck utilization in [0, 1]
+  double queue_delay_s = 0.0;    ///< q: RTT - min-RTT estimate, seconds
+  double competing_senders = 0;  ///< n: concurrently active senders
+  double loss_rate = 0.0;        ///< auxiliary: observed loss proxy
+
+  std::string str() const;
+};
+
+/// Discretized congestion context, the key of the recommendation table.
+/// Utilization is bucketed in steps of 1/u_buckets; sender counts in
+/// powers of two (1, 2, 4, 8, ...).
+struct ContextBucket {
+  int u = 0;  ///< utilization bucket index
+  int n = 0;  ///< log2 bucket of competing sender count
+
+  bool operator==(const ContextBucket&) const = default;
+  /// Manhattan distance used for nearest-neighbour lookups.
+  int distance(const ContextBucket& o) const noexcept {
+    return std::abs(u - o.u) + std::abs(n - o.n);
+  }
+  std::string str() const;
+};
+
+/// Bucketing policy. u in [0,1] -> {0..u_buckets-1}; n -> floor(log2(n)).
+struct ContextBucketer {
+  int u_buckets = 5;
+
+  ContextBucket bucket(const CongestionContext& ctx) const noexcept;
+};
+
+/// Source of congestion context: either the report-driven ContextServer
+/// (the deployable design) or an oracle wired to a link monitor (the
+/// "up-to-the-minute" ideal used by Remy-Phi-ideal and for validation).
+class ContextSource {
+ public:
+  virtual ~ContextSource() = default;
+  virtual CongestionContext context(PathKey path) const = 0;
+};
+
+}  // namespace phi::core

@@ -1,0 +1,191 @@
+#include "phi/context_server.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace phi::core {
+
+ContextServer::ContextServer(ContextServerConfig cfg,
+                             std::function<util::Time()> clock)
+    : cfg_(cfg), clock_(std::move(clock)) {}
+
+void ContextServer::set_path_capacity(PathKey path, util::Rate bps) {
+  paths_[path].capacity = bps;
+}
+
+void ContextServer::set_external_utilization(PathKey path, double u,
+                                             util::Time at,
+                                             util::Duration ttl) {
+  PathState& st = paths_[path];
+  st.external_u = std::clamp(u, 0.0, 1.0);
+  st.external_at = at;
+  st.external_ttl = ttl;
+}
+
+void ContextServer::expire(PathState& st, util::Time now) const {
+  const util::Time cutoff = now - cfg_.window;
+  while (!st.window.empty() && st.window.front().end < cutoff)
+    st.window.pop_front();
+}
+
+double ContextServer::utilization_of(const PathState& st,
+                                     util::Time now) const {
+  if (st.capacity <= 0.0 || st.window.empty()) return 0.0;
+  // Count only the part of each transfer that overlaps the window; a
+  // transfer is assumed to deliver at a uniform rate over its lifetime.
+  const util::Time cutoff = now - cfg_.window;
+  double bits = 0.0;
+  for (const auto& d : st.window) {
+    const util::Time span = std::max<util::Time>(d.end - d.start, 1);
+    const util::Time from = std::max(d.start, cutoff);
+    const double frac =
+        static_cast<double>(d.end - from) / static_cast<double>(span);
+    bits += static_cast<double>(d.bytes) * 8.0 * std::clamp(frac, 0.0, 1.0);
+  }
+  const double u = bits / (st.capacity * util::to_seconds(cfg_.window));
+  return std::clamp(u, 0.0, 1.0);
+}
+
+LookupReply ContextServer::lookup(const LookupRequest& req) {
+  ++lookups_;
+  last_message_at_ = std::max(last_message_at_, req.at);
+  PathState& st = paths_[req.path];
+  st.active.insert(req.sender_id);
+  st.senders.add(static_cast<double>(st.active.size()));
+
+  LookupReply reply;
+  reply.context = context(req.path);
+  reply.state_version = version_;
+  if (auto rec = recommendations_.lookup(
+          cfg_.bucketer.bucket(reply.context))) {
+    reply.recommended = *rec;
+    reply.has_recommendation = true;
+  }
+  return reply;
+}
+
+void ContextServer::report(const Report& r) {
+  ++reports_;
+  ++version_;
+  last_message_at_ = std::max(last_message_at_, r.ended);
+  PathState& st = paths_[r.path];
+  st.active.erase(r.sender_id);
+
+  st.window.push_back(Delivery{r.started, r.ended, r.bytes});
+  expire(st, now_or(r.ended));
+
+  if (r.min_rtt_s > 0.0) {
+    if (!st.has_min_rtt || r.min_rtt_s < st.min_rtt_s) {
+      st.min_rtt_s = r.min_rtt_s;
+      st.has_min_rtt = true;
+    }
+  }
+  if (st.has_min_rtt && r.mean_rtt_s > 0.0) {
+    st.queue_delay.add(std::max(r.mean_rtt_s - st.min_rtt_s, 0.0));
+  }
+  st.loss.add(r.retransmit_rate);
+
+  // Capacity fallback: remember the fastest delivery rate ever seen.
+  if (st.capacity <= 0.0 && r.duration_s() > 0.0) {
+    st.capacity = std::max(
+        st.capacity, static_cast<double>(r.bytes) * 8.0 / r.duration_s());
+  }
+}
+
+std::string ContextServer::serialize_state() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "phi-context-server-state v1\n";
+  out << last_message_at_ << ' ' << version_ << '\n';
+  for (const auto& [key, st] : paths_) {
+    out << "path " << key << ' ' << st.capacity << ' '
+        << (st.has_min_rtt ? 1 : 0) << ' ' << st.min_rtt_s << ' '
+        << (st.queue_delay.initialized() ? 1 : 0) << ' '
+        << st.queue_delay.value() << ' ' << (st.loss.initialized() ? 1 : 0)
+        << ' ' << st.loss.value() << ' '
+        << (st.senders.initialized() ? 1 : 0) << ' ' << st.senders.value()
+        << ' ' << st.active.size() << ' ' << st.window.size() << '\n';
+    out << "active";
+    for (const auto id : st.active) out << ' ' << id;
+    out << '\n';
+    for (const auto& d : st.window)
+      out << "delivery " << d.start << ' ' << d.end << ' ' << d.bytes
+          << '\n';
+  }
+  return out.str();
+}
+
+bool ContextServer::restore_state(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  if (!std::getline(in, header) ||
+      header != "phi-context-server-state v1")
+    return false;
+
+  decltype(paths_) restored;
+  util::Time last_at = 0;
+  std::uint64_t version = 0;
+  if (!(in >> last_at >> version)) return false;
+
+  std::string tag;
+  while (in >> tag) {
+    if (tag != "path") return false;
+    PathKey key = 0;
+    int has_min = 0, qd_init = 0, loss_init = 0, senders_init = 0;
+    double min_rtt = 0, qd = 0, loss = 0, senders = 0;
+    std::size_t n_active = 0, n_window = 0;
+    PathState st;
+    if (!(in >> key >> st.capacity >> has_min >> min_rtt >> qd_init >>
+          qd >> loss_init >> loss >> senders_init >> senders >> n_active >>
+          n_window))
+      return false;
+    st.has_min_rtt = has_min != 0;
+    st.min_rtt_s = min_rtt;
+    if (qd_init != 0) st.queue_delay.force(qd);
+    if (loss_init != 0) st.loss.force(loss);
+    if (senders_init != 0) st.senders.force(senders);
+    if (!(in >> tag) || tag != "active") return false;
+    for (std::size_t i = 0; i < n_active; ++i) {
+      std::uint64_t id = 0;
+      if (!(in >> id)) return false;
+      st.active.insert(id);
+    }
+    for (std::size_t i = 0; i < n_window; ++i) {
+      Delivery d{};
+      if (!(in >> tag) || tag != "delivery" ||
+          !(in >> d.start >> d.end >> d.bytes))
+        return false;
+      st.window.push_back(d);
+    }
+    restored.emplace(key, std::move(st));
+  }
+  paths_ = std::move(restored);
+  last_message_at_ = last_at;
+  version_ = version;
+  return true;
+}
+
+CongestionContext ContextServer::context(PathKey path) const {
+  auto it = paths_.find(path);
+  CongestionContext ctx;
+  if (it == paths_.end()) return ctx;
+  PathState& st = it->second;
+  const util::Time now = now_or(last_message_at_);
+  expire(st, now);
+  ctx.utilization = utilization_of(st, now);
+  if (st.external_u >= 0.0 && now - st.external_at <= st.external_ttl) {
+    // A shared bottleneck carries everyone's traffic: the federated view
+    // can only reveal load the local estimate missed.
+    ctx.utilization = std::max(ctx.utilization, st.external_u);
+  }
+  ctx.queue_delay_s = st.queue_delay.value();
+  // Blend the open-connection count with its smoothed history: the
+  // instantaneous set is exact for what the server has been told.
+  ctx.competing_senders =
+      std::max<double>(static_cast<double>(st.active.size()),
+                       st.senders.value());
+  ctx.loss_rate = st.loss.value();
+  return ctx;
+}
+
+}  // namespace phi::core

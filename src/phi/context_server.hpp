@@ -1,0 +1,129 @@
+// context_server.hpp — the repository of shared state at the heart of Phi
+// (§2.2.2). Senders look it up once when a connection starts and report
+// back once when it ends; from those minimal signals the server estimates
+// the congestion context:
+//
+//   u — bottleneck utilization, from "when and how much data" reports
+//       (bytes delivered within a sliding window vs. path capacity),
+//   n — competing senders, from the set of currently-open connections,
+//   q — queue occupancy, from the spread between reported RTTs and the
+//       path's minimum RTT (as in Remy),
+//
+// plus a loss proxy from reported retransmit rates. When a recommendation
+// table is installed, lookups also return tuned Cubic parameters for the
+// current context bucket.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "phi/context.hpp"
+#include "phi/protocol.hpp"
+#include "phi/recommendation.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace phi::core {
+
+struct ContextServerConfig {
+  /// Sliding window over which delivered bytes are turned into a
+  /// utilization estimate. The "network weather" horizon.
+  util::Duration window = util::seconds(10);
+  /// Smoothing for the queue-delay and loss estimates.
+  double ewma_alpha = 0.3;
+  /// Bucketing used when consulting the recommendation table.
+  ContextBucketer bucketer{};
+};
+
+class ContextServer : public ContextSource {
+ public:
+  /// `clock` supplies "now" for window expiry; defaults to the timestamp
+  /// of the last message processed (fine for simulation use — wire it to
+  /// the scheduler for exactness).
+  explicit ContextServer(ContextServerConfig cfg = {},
+                         std::function<util::Time()> clock = nullptr);
+
+  /// The provider knows its egress capacities; utilization estimates are
+  /// meaningless until the path's capacity is configured (before that, the
+  /// server falls back to the fastest rate it has ever observed).
+  void set_path_capacity(PathKey path, util::Rate bps);
+
+  void set_recommendations(RecommendationTable table) {
+    recommendations_ = std::move(table);
+  }
+  const RecommendationTable& recommendations() const noexcept {
+    return recommendations_;
+  }
+
+  /// Federation (§3.1): install an externally-agreed utilization for a
+  /// path (e.g. the fleet-wide mean computed by secure aggregation across
+  /// providers). While fresh (within `ttl` of `at`), context() reports
+  /// the larger of the local estimate and this value — one provider's own
+  /// traffic can only under-estimate a shared bottleneck's load.
+  void set_external_utilization(PathKey path, double u, util::Time at,
+                                util::Duration ttl = util::seconds(10));
+
+  /// Connection start: registers the sender as active and returns the
+  /// current context (+ tuned parameters when available).
+  LookupReply lookup(const LookupRequest& req);
+
+  /// Connection end: absorb the connection's experience into shared state.
+  void report(const Report& r);
+
+  /// Current aggregated view of a path (ContextSource interface).
+  CongestionContext context(PathKey path) const override;
+
+  std::uint64_t lookups() const noexcept { return lookups_; }
+  std::uint64_t reports() const noexcept { return reports_; }
+  std::uint64_t state_version() const noexcept { return version_; }
+
+  /// Persist the aggregated path state (capacities, delivery windows,
+  /// smoothed estimates, open-connection sets) so a restarted server
+  /// resumes with warm weather instead of a cold start. Recommendations
+  /// are installed separately and are not included.
+  std::string serialize_state() const;
+  /// Replace this server's path state from serialize_state() output.
+  /// Returns false (leaving the server untouched) on malformed input.
+  bool restore_state(const std::string& text);
+
+ private:
+  struct Delivery {
+    util::Time start;
+    util::Time end;
+    std::int64_t bytes;
+  };
+
+  struct PathState {
+    util::Rate capacity = 0;        ///< configured or observed max
+    std::deque<Delivery> window;    ///< recent completed transfers
+    std::unordered_set<std::uint64_t> active;  ///< open connections
+    util::Ewma queue_delay{0.3};
+    util::Ewma loss{0.3};
+    util::Ewma senders{0.3};
+    double min_rtt_s = 0.0;         ///< smallest RTT ever reported
+    bool has_min_rtt = false;
+    double external_u = -1.0;       ///< federated utilization, if any
+    util::Time external_at = 0;
+    util::Duration external_ttl = 0;
+  };
+
+  util::Time now_or(util::Time fallback) const {
+    return clock_ ? clock_() : fallback;
+  }
+  void expire(PathState& st, util::Time now) const;
+  double utilization_of(const PathState& st, util::Time now) const;
+
+  ContextServerConfig cfg_;
+  std::function<util::Time()> clock_;
+  mutable std::unordered_map<PathKey, PathState> paths_;
+  RecommendationTable recommendations_;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t reports_ = 0;
+  std::uint64_t version_ = 0;
+  util::Time last_message_at_ = 0;
+};
+
+}  // namespace phi::core

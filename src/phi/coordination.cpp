@@ -1,0 +1,98 @@
+#include "phi/coordination.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace phi::core {
+
+namespace {
+
+/// Throughput factor of AIMD(a, b) relative to AIMD(1, 0.5) under the
+/// sqrt(a (2-b) / (2b)) model.
+double aimd_factor(double a, double b) {
+  return std::sqrt(a * (2.0 - b) / (2.0 * b)) /
+         std::sqrt(1.0 * (2.0 - 0.5) / (2.0 * 0.5));
+}
+
+}  // namespace
+
+std::vector<FlowAllocation> allocate_priorities(
+    const std::vector<FlowSpec>& flows, double decrease_factor) {
+  if (decrease_factor <= 0.0 || decrease_factor >= 1.0)
+    throw std::invalid_argument("decrease_factor must be in (0, 1)");
+  double weight_sum = 0.0;
+  for (const auto& f : flows) {
+    if (f.weight <= 0.0)
+      throw std::invalid_argument("flow weights must be > 0");
+    weight_sum += f.weight;
+  }
+  std::vector<FlowAllocation> out;
+  out.reserve(flows.size());
+  if (flows.empty()) return out;
+
+  // With uniform b, flow i's rate is proportional to sqrt(a_i). We want
+  // rates proportional to weights and the ensemble equal to N standard
+  // flows: sum_i aimd_factor(a_i, b) == N.
+  // Let sqrt(a_i) = w_i * s. Then s = N * g / sum(w) where g corrects for
+  // the b-dependent factor so each unit is a true standard-flow
+  // equivalent.
+  const double n = static_cast<double>(flows.size());
+  const double b_corr = aimd_factor(1.0, decrease_factor);
+  const double s = n / (weight_sum * b_corr);
+  for (const auto& f : flows) {
+    FlowAllocation a;
+    a.id = f.id;
+    a.weight = f.weight;
+    const double sqrt_gain = f.weight * s;
+    a.increase_gain = sqrt_gain * sqrt_gain;
+    a.decrease_factor = decrease_factor;
+    a.expected_share = f.weight / weight_sum;
+    out.push_back(a);
+  }
+  return out;
+}
+
+double ensemble_equivalents(const std::vector<FlowAllocation>& alloc) {
+  double total = 0.0;
+  for (const auto& a : alloc)
+    total += aimd_factor(a.increase_gain, a.decrease_factor);
+  return total;
+}
+
+WeightedAimd::WeightedAimd(double increase_gain, double decrease_factor,
+                           std::int64_t window_init,
+                           std::int64_t initial_ssthresh)
+    : gain_(increase_gain), decrease_(decrease_factor),
+      window_init_(window_init), initial_ssthresh_(initial_ssthresh) {
+  if (gain_ <= 0.0) throw std::invalid_argument("gain must be > 0");
+  if (decrease_ <= 0.0 || decrease_ >= 1.0)
+    throw std::invalid_argument("decrease factor must be in (0, 1)");
+  reset(0);
+}
+
+void WeightedAimd::reset(util::Time) {
+  cwnd_ = static_cast<double>(window_init_);
+  ssthresh_ = static_cast<double>(initial_ssthresh_);
+}
+
+void WeightedAimd::on_ack(std::int64_t newly_acked, double, util::Time) {
+  if (newly_acked <= 0) return;
+  if (cwnd_ < ssthresh_) {
+    cwnd_ = std::min(cwnd_ + static_cast<double>(newly_acked), ssthresh_);
+  } else {
+    cwnd_ += gain_ * static_cast<double>(newly_acked) / cwnd_;
+  }
+}
+
+void WeightedAimd::on_loss_event(util::Time, std::int64_t) {
+  ssthresh_ = std::max(cwnd_ * (1.0 - decrease_), 2.0);
+  cwnd_ = ssthresh_;
+}
+
+void WeightedAimd::on_timeout(util::Time, std::int64_t) {
+  ssthresh_ = std::max(cwnd_ * (1.0 - decrease_), 2.0);
+  cwnd_ = 1.0;
+}
+
+}  // namespace phi::core

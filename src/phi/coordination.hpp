@@ -1,0 +1,74 @@
+// coordination.hpp — §3.3: prioritization across flows. A single "five
+// computers" entity with many flows over a shared bottleneck can make some
+// flows more aggressive and others less, as long as the *ensemble* stays
+// TCP-friendly. We realize this with weighted AIMD: per-flow additive-
+// increase gains scaled so that the ensemble's aggregate aggressiveness
+// equals that of the same number of standard flows.
+//
+// Model: an AIMD(a, b) flow's long-run throughput under random loss is
+// proportional to sqrt(a * (2 - b) / (2 * b)) / RTT (the TCP friendly rate
+// equation shape). Holding b fixed, throughput scales with sqrt(a), so a
+// flow with weight w gets a = w^2 * s where the normalizer s keeps
+// sum(sqrt(a_i)) equal to the flow count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tcp/cc.hpp"
+
+namespace phi::core {
+
+struct FlowSpec {
+  std::uint64_t id = 0;
+  double weight = 1.0;  ///< relative importance; must be > 0
+};
+
+struct FlowAllocation {
+  std::uint64_t id = 0;
+  double weight = 1.0;
+  double increase_gain = 1.0;   ///< AIMD additive increase per RTT
+  double decrease_factor = 0.5; ///< multiplicative decrease on loss
+  double expected_share = 0.0;  ///< weight / sum(weights)
+};
+
+/// Compute ensemble-TCP-friendly AIMD parameters for a weighted flow set.
+/// `decrease_factor` applies uniformly (differentiation happens via the
+/// increase gain, which composes cleanly with the friendliness model).
+std::vector<FlowAllocation> allocate_priorities(
+    const std::vector<FlowSpec>& flows, double decrease_factor = 0.5);
+
+/// Theoretical aggregate aggressiveness of an allocation in units of
+/// "standard AIMD(1, 0.5) flows" — should equal flows.size().
+double ensemble_equivalents(const std::vector<FlowAllocation>& alloc);
+
+/// AIMD congestion control with a weighted additive-increase gain — the
+/// runtime counterpart of a FlowAllocation. With gain 1 and decrease 0.5
+/// this is plain NewReno-style AIMD.
+class WeightedAimd final : public tcp::CongestionControl {
+ public:
+  WeightedAimd(double increase_gain, double decrease_factor,
+               std::int64_t window_init = 2,
+               std::int64_t initial_ssthresh = 65536);
+
+  void reset(util::Time now) override;
+  void on_ack(std::int64_t newly_acked, double rtt_s, util::Time now) override;
+  void on_loss_event(util::Time now, std::int64_t flight) override;
+  void on_timeout(util::Time now, std::int64_t flight) override;
+  double window() const override { return cwnd_; }
+  double ssthresh() const override { return ssthresh_; }
+  std::string name() const override { return "weighted-aimd"; }
+
+  double increase_gain() const noexcept { return gain_; }
+  double decrease_factor() const noexcept { return decrease_; }
+
+ private:
+  double gain_;
+  double decrease_;
+  std::int64_t window_init_;
+  std::int64_t initial_ssthresh_;
+  double cwnd_ = 2;
+  double ssthresh_ = 65536;
+};
+
+}  // namespace phi::core

@@ -1,0 +1,34 @@
+// metrics.hpp — the objective functions of §2.2.1.
+//
+// The paper starts from Giessler et al.'s network power P = r/d (throughput
+// over delay), extends it with the packet loss rate l (inspired by
+// Kleinrock) to P_l = r(1-l)/d, and uses log(P) for Remy in line with the
+// original Remy paper.
+#pragma once
+
+#include <cmath>
+
+namespace phi::core {
+
+/// Network power P = r / d. `throughput_bps` in bits/sec, `delay_s` in
+/// seconds. Returns 0 when delay is non-positive (no traffic).
+inline double power(double throughput_bps, double delay_s) noexcept {
+  return delay_s > 0.0 ? throughput_bps / delay_s : 0.0;
+}
+
+/// Loss-extended power P_l = r (1 - l) / d with loss rate l in [0, 1].
+/// This is the metric the Cubic sweeps optimize.
+inline double lossy_power(double throughput_bps, double delay_s,
+                          double loss_rate) noexcept {
+  if (loss_rate < 0.0) loss_rate = 0.0;
+  if (loss_rate > 1.0) loss_rate = 1.0;
+  return power(throughput_bps * (1.0 - loss_rate), delay_s);
+}
+
+/// Remy's objective log(P) = log(r / d); the paper's Table 3 reports the
+/// median of this. Returns -inf for zero power (never-transmitting flow).
+inline double log_power(double throughput_bps, double delay_s) noexcept {
+  return std::log(power(throughput_bps, delay_s));
+}
+
+}  // namespace phi::core

@@ -1,0 +1,42 @@
+// oracle.hpp — the idealized context source: "up-to-the-minute" bottleneck
+// telemetry straight from a link monitor, with no report-granularity
+// staleness. Remy-Phi-ideal trains and runs against this; the gap between
+// it and the ContextServer is exactly the practical-vs-ideal delta the
+// paper quantifies in Table 3.
+#pragma once
+
+#include <functional>
+
+#include "phi/context.hpp"
+#include "sim/monitor.hpp"
+
+namespace phi::core {
+
+class OracleContextSource : public ContextSource {
+ public:
+  /// `active_senders` optionally supplies the live competing-sender count
+  /// (e.g. from the experiment harness); without it n is reported as 0.
+  explicit OracleContextSource(const sim::LinkMonitor& monitor,
+                               std::function<double()> active_senders = {})
+      : monitor_(monitor), active_senders_(std::move(active_senders)) {}
+
+  CongestionContext context(PathKey) const override {
+    CongestionContext ctx;
+    ctx.utilization = monitor_.recent_utilization();
+    // Occupancy fraction -> queue delay: bytes in buffer drain at the
+    // link rate.
+    const auto& q = monitor_.link_queue();
+    ctx.queue_delay_s = static_cast<double>(q.bytes()) * 8.0 / link_rate();
+    ctx.loss_rate = monitor_.loss_rate();
+    if (active_senders_) ctx.competing_senders = active_senders_();
+    return ctx;
+  }
+
+ private:
+  double link_rate() const noexcept { return monitor_.link_rate(); }
+
+  const sim::LinkMonitor& monitor_;
+  std::function<double()> active_senders_;
+};
+
+}  // namespace phi::core

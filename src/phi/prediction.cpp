@@ -1,0 +1,84 @@
+#include "phi/prediction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace phi::core {
+
+void PerformancePredictor::record(PathKey path, const PerfObservation& obs) {
+  auto& h = history_[path];
+  h.push_back(obs);
+  while (h.size() > cfg_.window) h.pop_front();
+}
+
+PerfPrediction PerformancePredictor::predict(PathKey path) const {
+  PerfPrediction p;
+  auto it = history_.find(path);
+  if (it == history_.end()) return p;
+  const auto& h = it->second;
+  p.support = h.size();
+  if (h.empty()) return p;
+
+  util::Samples tput, rtt, loss, jitter;
+  tput.reserve(h.size());
+  for (const auto& o : h) {
+    tput.add(o.throughput_bps);
+    rtt.add(o.rtt_s);
+    loss.add(o.loss_rate);
+    jitter.add(o.jitter_ms);
+  }
+  p.reliable = h.size() >= cfg_.min_support;
+  p.expected_throughput_bps = tput.median();
+  p.p10_throughput_bps = tput.quantile(0.10);
+  p.p90_throughput_bps = tput.quantile(0.90);
+  p.expected_rtt_s = rtt.median();
+  p.expected_loss_rate = loss.median();
+  p.expected_jitter_ms = jitter.median();
+  return p;
+}
+
+double PerformancePredictor::predicted_download_time_s(
+    PathKey path, std::int64_t bytes) const {
+  const PerfPrediction p = predict(path);
+  if (!p.reliable || p.expected_throughput_bps <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  return static_cast<double>(bytes) * 8.0 / p.expected_throughput_bps;
+}
+
+double PerformancePredictor::emodel_r_factor(double one_way_delay_ms,
+                                             double loss_rate) {
+  // Simplified E-model (ITU-T G.107): R = R0 - Id - Ie_eff with R0 = 93.2.
+  const double d = one_way_delay_ms;
+  double id = 0.024 * d;
+  if (d > 177.3) id += 0.11 * (d - 177.3);
+  // Effective equipment impairment for a G.711-like codec with packet
+  // loss concealment: Ie-eff = Ie + (95 - Ie) * Ppl / (Ppl + Bpl), with
+  // Ie = 0, Bpl = 4.3 (robustness factor), Ppl in percent.
+  const double ppl = std::clamp(loss_rate, 0.0, 1.0) * 100.0;
+  const double ie_eff = 95.0 * ppl / (ppl + 4.3);
+  return 93.2 - id - ie_eff;
+}
+
+double PerformancePredictor::mos_from_r(double r) {
+  if (r <= 0.0) return 1.0;
+  if (r >= 100.0) return 4.5;
+  return 1.0 + 0.035 * r + 7e-6 * r * (r - 60.0) * (100.0 - r);
+}
+
+double PerformancePredictor::predicted_voip_mos(PathKey path) const {
+  const PerfPrediction p = predict(path);
+  if (!p.reliable) return 1.0;  // unknown network: don't promise quality
+  // One-way mouth-to-ear delay: half the RTT plus a jitter buffer sized
+  // to absorb the expected variation.
+  const double jitter_buffer_ms = std::max(p.expected_jitter_ms * 2.0, 20.0);
+  const double one_way_ms = p.expected_rtt_s * 1e3 / 2.0 + jitter_buffer_ms;
+  return mos_from_r(emodel_r_factor(one_way_ms, p.expected_loss_rate));
+}
+
+std::size_t PerformancePredictor::support(PathKey path) const {
+  auto it = history_.find(path);
+  return it == history_.end() ? 0 : it->second.size();
+}
+
+}  // namespace phi::core

@@ -1,0 +1,78 @@
+// prediction.hpp — §3.5: performance prediction. The aggregate history a
+// large provider holds per path lets a new flow know, before it starts,
+// roughly what throughput / delay / loss to expect — surfaced here as
+// quantile predictions, expected download times, and a simplified
+// E-model MOS estimate for VoIP ("if the call will be bad, warn the
+// user before they dial").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "phi/context.hpp"
+#include "util/stats.hpp"
+
+namespace phi::core {
+
+/// One completed transfer's summary, typically derived from a Phi Report.
+struct PerfObservation {
+  double throughput_bps = 0;
+  double rtt_s = 0;
+  double loss_rate = 0;
+  double jitter_ms = 0;
+};
+
+struct PerfPrediction {
+  bool reliable = false;  ///< enough history to trust the numbers
+  std::size_t support = 0;
+  double expected_throughput_bps = 0;  ///< median
+  double p10_throughput_bps = 0;       ///< pessimistic
+  double p90_throughput_bps = 0;       ///< optimistic
+  double expected_rtt_s = 0;
+  double expected_loss_rate = 0;
+  double expected_jitter_ms = 0;
+};
+
+class PerformancePredictor {
+ public:
+  struct Config {
+    std::size_t window = 512;      ///< observations retained per path
+    std::size_t min_support = 10;  ///< below this, predictions unreliable
+  };
+
+  PerformancePredictor() = default;
+  explicit PerformancePredictor(Config cfg) : cfg_(cfg) {}
+
+  void record(PathKey path, const PerfObservation& obs);
+
+  PerfPrediction predict(PathKey path) const;
+
+  /// Expected seconds to download `bytes` on `path` at the median
+  /// predicted throughput; +inf when no reliable prediction exists.
+  double predicted_download_time_s(PathKey path, std::int64_t bytes) const;
+
+  /// Simplified ITU-T E-model mean opinion score (1..4.5) for a VoIP call
+  /// on `path`, from predicted RTT, loss and jitter. Approximations:
+  /// one-way delay = RTT/2 + jitter-buffer depth, equipment factor for a
+  /// G.711-like codec with PLC.
+  double predicted_voip_mos(PathKey path) const;
+
+  /// A human decision aid: true when a VoIP call is predicted to be of
+  /// acceptable quality (MOS >= 3.5).
+  bool voip_call_advisable(PathKey path) const {
+    return predicted_voip_mos(path) >= 3.5;
+  }
+
+  std::size_t support(PathKey path) const;
+
+  /// E-model building blocks, exposed for tests and reuse.
+  static double emodel_r_factor(double one_way_delay_ms, double loss_rate);
+  static double mos_from_r(double r);
+
+ private:
+  Config cfg_;
+  std::unordered_map<PathKey, std::deque<PerfObservation>> history_;
+};
+
+}  // namespace phi::core

@@ -1,0 +1,50 @@
+// protocol.hpp — the Phi control-plane messages (§2.2.2). Communication
+// with the context server is deliberately minimal: one lookup when a
+// connection starts, one report when it ends. These structs are the wire
+// format of that exchange; making them explicit keeps the control plane a
+// real protocol rather than a function call.
+#pragma once
+
+#include <cstdint>
+
+#include "phi/context.hpp"
+#include "tcp/cc.hpp"
+#include "util/units.hpp"
+
+namespace phi::core {
+
+/// Sender -> server, at connection start.
+struct LookupRequest {
+  PathKey path = 0;
+  std::uint64_t sender_id = 0;
+  util::Time at = 0;
+};
+
+/// Server -> sender. Carries the current congestion context and, when the
+/// server has a recommendation table, tuned Cubic parameters for it.
+struct LookupReply {
+  CongestionContext context;
+  tcp::CubicParams recommended;    ///< valid iff has_recommendation
+  bool has_recommendation = false;
+  std::uint64_t state_version = 0; ///< bumps on every report the server absorbs
+};
+
+/// Sender -> server, at connection end: "when and how much data was
+/// transferred" plus the delay/loss the connection experienced — exactly
+/// the inputs §2.2.2 says enable estimating u, n and q.
+struct Report {
+  PathKey path = 0;
+  std::uint64_t sender_id = 0;
+  util::Time started = 0;
+  util::Time ended = 0;
+  std::int64_t bytes = 0;
+  double min_rtt_s = 0.0;
+  double mean_rtt_s = 0.0;
+  double retransmit_rate = 0.0;  ///< loss proxy
+
+  double duration_s() const noexcept {
+    return util::to_seconds(ended - started);
+  }
+};
+
+}  // namespace phi::core

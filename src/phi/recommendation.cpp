@@ -1,0 +1,52 @@
+#include "phi/recommendation.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace phi::core {
+
+std::optional<tcp::CubicParams> RecommendationTable::lookup(
+    ContextBucket bucket, int max_distance) const {
+  if (table_.empty()) return std::nullopt;
+  int best_dist = max_distance + 1;
+  std::optional<tcp::CubicParams> best;
+  for (const auto& [key, params] : table_) {
+    const ContextBucket candidate{key.first, key.second};
+    const int d = candidate.distance(bucket);
+    if (d < best_dist) {
+      best_dist = d;
+      best = params;
+      if (d == 0) break;
+    }
+  }
+  return best;
+}
+
+std::string RecommendationTable::serialize() const {
+  std::ostringstream out;
+  out.precision(17);  // round-trip exact doubles
+  for (const auto& [key, p] : table_) {
+    out << key.first << ' ' << key.second << ' ' << p.initial_ssthresh << ' '
+        << p.window_init << ' ' << p.beta << '\n';
+  }
+  return out.str();
+}
+
+std::optional<RecommendationTable> RecommendationTable::parse(
+    const std::string& text) {
+  RecommendationTable t;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    int u = 0, n = 0;
+    tcp::CubicParams p;
+    if (!(row >> u >> n >> p.initial_ssthresh >> p.window_init >> p.beta))
+      return std::nullopt;
+    t.set(ContextBucket{u, n}, p);
+  }
+  return t;
+}
+
+}  // namespace phi::core

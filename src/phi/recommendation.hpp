@@ -1,0 +1,46 @@
+// recommendation.hpp — the table mapping bucketed congestion context to
+// tuned Cubic parameters. Built offline by the optimizer's sweeps
+// (§2.2.1), installed in the context server, consulted at every lookup.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "phi/context.hpp"
+#include "tcp/cc.hpp"
+
+namespace phi::core {
+
+class RecommendationTable {
+ public:
+  void set(ContextBucket bucket, tcp::CubicParams params) {
+    table_[{bucket.u, bucket.n}] = params;
+  }
+
+  /// Exact-bucket hit or the nearest populated bucket within
+  /// `max_distance` (Manhattan); nullopt when the table is empty or
+  /// everything is too far.
+  std::optional<tcp::CubicParams> lookup(ContextBucket bucket,
+                                         int max_distance = 8) const;
+
+  bool empty() const noexcept { return table_.empty(); }
+  std::size_t size() const noexcept { return table_.size(); }
+
+  /// Line-oriented text form: "u n ssthresh winit beta" per row. Used to
+  /// cache sweep results between bench runs.
+  std::string serialize() const;
+  static std::optional<RecommendationTable> parse(const std::string& text);
+
+  /// For iteration / printing.
+  const std::map<std::pair<int, int>, tcp::CubicParams>& entries() const
+      noexcept {
+    return table_;
+  }
+
+ private:
+  std::map<std::pair<int, int>, tcp::CubicParams> table_;
+};
+
+}  // namespace phi::core

@@ -1,0 +1,180 @@
+#include "phi/scenario.hpp"
+
+#include <map>
+
+#include "tcp/sender.hpp"
+#include "tcp/sink.hpp"
+#include "util/rng.hpp"
+
+namespace phi::core {
+
+namespace {
+
+struct GroupAccum {
+  double bits = 0;
+  double on_time_s = 0;
+  double rtt_weighted = 0;
+  std::uint64_t rtx = 0;
+  std::uint64_t pkts = 0;
+  std::int64_t conns = 0;
+  double live_bits = 0;   ///< ACKed bytes of still-running connections
+  util::RunningStats srtt;
+};
+
+}  // namespace
+
+ScenarioMetrics run_scenario_with_setup(const ScenarioConfig& cfg,
+                                        PolicyFactory policy,
+                                        const SetupHook& setup,
+                                        GroupFn groups) {
+  sim::Dumbbell d(cfg.net);
+  const std::size_t n = cfg.net.pairs;
+
+  std::vector<std::unique_ptr<tcp::TcpSender>> senders;
+  std::vector<std::unique_ptr<tcp::TcpSink>> sinks;
+  std::vector<std::unique_ptr<tcp::OnOffApp>> apps;
+  std::vector<std::unique_ptr<tcp::ConnectionAdvisor>> advisors;
+  senders.reserve(n);
+  sinks.reserve(n);
+  apps.reserve(n);
+
+  util::Rng seeder(cfg.seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const sim::FlowId flow = 1000 + i;
+    senders.push_back(std::make_unique<tcp::TcpSender>(
+        d.scheduler(), d.sender(i), d.receiver(i).id(), flow, policy(i)));
+    if (cfg.ecn) senders.back()->set_ecn(true);
+    sinks.push_back(
+        std::make_unique<tcp::TcpSink>(d.scheduler(), d.receiver(i), flow));
+    apps.push_back(std::make_unique<tcp::OnOffApp>(
+        d.scheduler(), *senders.back(), cfg.workload, seeder()));
+  }
+
+  LiveScenario live;
+  live.dumbbell = &d;
+  for (auto& s : senders) live.senders.push_back(s.get());
+  for (auto& s : sinks) live.sinks.push_back(s.get());
+  live.active_count = [&senders] {
+    double c = 0;
+    for (const auto& s : senders)
+      if (s->busy()) ++c;
+    return c;
+  };
+
+  if (setup) {
+    AdvisorFactory af = setup(live);
+    if (af) {
+      for (std::size_t i = 0; i < n; ++i) {
+        advisors.push_back(af(i));
+        if (advisors.back()) apps[i]->set_advisor(advisors.back().get());
+      }
+    }
+  }
+
+  for (auto& a : apps) a->start();
+
+  std::vector<std::int64_t> acked_at_warmup(n, 0);
+  if (cfg.warmup > 0) {
+    d.net().run_until(cfg.warmup);
+    d.bottleneck().reset_stats();
+    d.monitor().reset_series();
+    for (auto& a : apps) a->reset_aggregates();
+    for (std::size_t i = 0; i < n; ++i)
+      acked_at_warmup[i] = senders[i]->lifetime_acked_segments();
+  }
+  d.net().run_until(cfg.warmup + cfg.duration);
+
+  ScenarioMetrics m;
+  double bits = 0, on_time = 0;
+  util::RunningStats rtt;
+  double min_rtt = 0;
+  bool have_min = false;
+  std::map<int, GroupAccum> gacc;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& a = *apps[i];
+    bits += a.total_bits();
+    on_time += a.total_on_time_s();
+    m.connections += a.connections_completed();
+    m.timeouts += a.total_timeouts();
+    rtt.merge(a.rtt_stats());
+    if (a.rtt_stats().count() > 0) {
+      const double mn = a.rtt_stats().min();
+      if (!have_min || mn < min_rtt) {
+        min_rtt = mn;
+        have_min = true;
+      }
+    }
+    if (groups) {
+      GroupAccum& g = gacc[groups(i)];
+      g.bits += a.total_bits();
+      g.on_time_s += a.total_on_time_s();
+      g.rtt_weighted += a.rtt_stats().mean() *
+                        static_cast<double>(a.rtt_stats().count());
+      g.conns += a.connections_completed();
+      g.rtx += a.total_retransmits();
+      g.pkts += a.total_packets_sent();
+      g.live_bits += static_cast<double>(
+                         senders[i]->lifetime_acked_segments() -
+                         acked_at_warmup[i]) *
+                     sim::kDefaultMss * 8.0;
+      if (senders[i]->rtt().has_sample())
+        g.srtt.add(util::to_seconds(senders[i]->rtt().srtt()));
+    }
+  }
+  m.throughput_bps = on_time > 0 ? bits / on_time : 0.0;
+  m.mean_queue_delay_s = d.bottleneck().queueing_delay().mean();
+  m.loss_rate = d.monitor().loss_rate();
+  m.utilization = d.monitor().utilization_series().mean();
+  m.mean_rtt_s = rtt.mean();
+  m.min_rtt_s = have_min ? min_rtt : 0.0;
+  if (m.connections == 0) {
+    // Long-running flows never complete (Fig. 2c): fall back to link
+    // counters for goodput and to the live RTT estimators for delay.
+    m.throughput_bps = static_cast<double>(d.bottleneck().bytes_transmitted()) *
+                       8.0 / util::to_seconds(cfg.duration);
+    util::RunningStats srtt;
+    for (const auto& s : senders)
+      if (s->rtt().has_sample())
+        srtt.add(util::to_seconds(s->rtt().srtt()));
+    m.mean_rtt_s = srtt.mean();
+  }
+  for (const auto& [gid, g] : gacc) {
+    GroupMetrics gm;
+    gm.group = gid;
+    gm.throughput_bps = g.on_time_s > 0 ? g.bits / g.on_time_s : 0.0;
+    gm.mean_rtt_s = g.conns > 0
+                        ? g.rtt_weighted / static_cast<double>(g.conns)
+                        : 0.0;
+    if (g.conns == 0) {
+      // Long-running flows: goodput from live ACK progress, delay from
+      // the live RTT estimators.
+      gm.throughput_bps = g.live_bits / util::to_seconds(cfg.duration);
+      gm.mean_rtt_s = g.srtt.mean();
+    }
+    gm.retransmit_rate =
+        g.pkts > 0 ? static_cast<double>(g.rtx) / static_cast<double>(g.pkts)
+                   : 0.0;
+    gm.connections = g.conns;
+    m.groups.push_back(gm);
+  }
+  return m;
+}
+
+ScenarioMetrics run_scenario(const ScenarioConfig& cfg, PolicyFactory policy,
+                             AdvisorFactory advisor, GroupFn groups) {
+  SetupHook hook;
+  if (advisor) {
+    hook = [&advisor](LiveScenario&) { return advisor; };
+  }
+  return run_scenario_with_setup(cfg, std::move(policy), hook,
+                                 std::move(groups));
+}
+
+ScenarioMetrics run_cubic_scenario(const ScenarioConfig& cfg,
+                                   tcp::CubicParams params) {
+  return run_scenario(cfg, [params](std::size_t) {
+    return std::make_unique<tcp::Cubic>(params);
+  });
+}
+
+}  // namespace phi::core

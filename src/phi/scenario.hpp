@@ -1,0 +1,105 @@
+// scenario.hpp — the experiment engine: builds the Figure-1 dumbbell,
+// attaches N on/off Cubic senders (with per-sender policies and optional
+// Phi advisors), runs for a configured duration, and extracts the metrics
+// the paper plots: aggregate throughput during on-times, bottleneck
+// queueing delay, loss rate, utilization, and the P_l power objective.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "phi/metrics.hpp"
+#include "sim/topology.hpp"
+#include "tcp/app.hpp"
+#include "tcp/cc.hpp"
+#include "tcp/sink.hpp"
+
+namespace phi::core {
+
+struct ScenarioConfig {
+  sim::DumbbellConfig net{};
+  tcp::OnOffConfig workload{};
+  util::Duration duration = util::seconds(120);
+  /// Statistics are reset after this much simulated time, excluding the
+  /// cold-start transient. 0 = measure everything (the paper's on/off
+  /// experiments include slow starts by design).
+  util::Duration warmup = 0;
+  std::uint64_t seed = 1;
+  /// Senders negotiate ECN (pair with DumbbellConfig::Queue::kRedEcn).
+  bool ecn = false;
+};
+
+/// Creates the congestion-control policy for sender `i`. The incremental-
+/// deployment experiment (Fig. 4) returns different parameters per sender.
+using PolicyFactory =
+    std::function<std::unique_ptr<tcp::CongestionControl>(std::size_t i)>;
+
+/// Optionally creates a Phi advisor for sender `i` (may return nullptr).
+using AdvisorFactory =
+    std::function<std::unique_ptr<tcp::ConnectionAdvisor>(std::size_t i)>;
+
+/// Maps sender index -> reporting group (Fig. 4 reports modified vs
+/// unmodified separately). Return values must be small non-negative ints.
+using GroupFn = std::function<int(std::size_t i)>;
+
+struct GroupMetrics {
+  int group = 0;
+  double throughput_bps = 0;  ///< group bits / group on-time
+  double mean_rtt_s = 0;      ///< connection-weighted
+  double retransmit_rate = 0;
+  std::int64_t connections = 0;
+};
+
+struct ScenarioMetrics {
+  double throughput_bps = 0;      ///< aggregate bits / aggregate on-time
+  double mean_queue_delay_s = 0;  ///< bottleneck per-packet queueing delay
+  double loss_rate = 0;           ///< bottleneck drops / arrivals
+  double utilization = 0;         ///< mean bottleneck utilization
+  double mean_rtt_s = 0;          ///< across connections
+  double min_rtt_s = 0;
+  std::int64_t connections = 0;
+  std::uint64_t timeouts = 0;
+  std::vector<GroupMetrics> groups;
+
+  /// The sweep objective P_l = r (1-l) / d with d = mean RTT. Using RTT
+  /// (propagation + queueing) keeps the metric finite on empty queues and
+  /// matches "power" as throughput per unit delay experienced.
+  double power_l() const noexcept {
+    return lossy_power(throughput_bps, mean_rtt_s, loss_rate);
+  }
+  double log_power() const noexcept {
+    return core::log_power(throughput_bps, mean_rtt_s);
+  }
+};
+
+/// Run one dumbbell scenario. All senders use `policy(i)`; when `advisor`
+/// is given, each app gets advisor(i) wired in; `groups` splits reporting.
+ScenarioMetrics run_scenario(const ScenarioConfig& cfg, PolicyFactory policy,
+                             AdvisorFactory advisor = nullptr,
+                             GroupFn groups = nullptr);
+
+/// Convenience: every sender runs Cubic with the same parameters.
+ScenarioMetrics run_cubic_scenario(const ScenarioConfig& cfg,
+                                   tcp::CubicParams params);
+
+/// Like run_scenario but gives the caller access to the live dumbbell
+/// (monitor, context sources) during the run via a setup hook that may
+/// also return advisors.
+struct LiveScenario;
+using SetupHook = std::function<AdvisorFactory(LiveScenario&)>;
+
+struct LiveScenario {
+  sim::Dumbbell* dumbbell = nullptr;
+  std::vector<tcp::TcpSender*> senders;
+  std::vector<tcp::TcpSink*> sinks;
+  /// Number of senders whose connection is currently active ("on").
+  std::function<double()> active_count;
+};
+
+ScenarioMetrics run_scenario_with_setup(const ScenarioConfig& cfg,
+                                        PolicyFactory policy,
+                                        const SetupHook& setup,
+                                        GroupFn groups = nullptr);
+
+}  // namespace phi::core

@@ -1,0 +1,84 @@
+#include "phi/secure_agg.hpp"
+
+namespace phi::core {
+
+namespace {
+
+/// Mask stream shared by a pair for a given round: a few splitmix64
+/// iterations over (seed, round) — a stand-in for a keyed PRF.
+std::uint64_t pair_mask(std::uint64_t seed, std::uint64_t round) {
+  std::uint64_t s = seed ^ (round * 0x9E3779B97F4A7C15ULL);
+  (void)util::splitmix64(s);
+  return util::splitmix64(s);
+}
+
+}  // namespace
+
+SecureParticipant::SecureParticipant(std::size_t index,
+                                     std::vector<std::uint64_t> pair_seeds,
+                                     FixedPoint codec)
+    : index_(index), pair_seeds_(std::move(pair_seeds)), codec_(codec) {
+  if (index_ >= pair_seeds_.size())
+    throw std::invalid_argument("index out of range of pair seeds");
+}
+
+std::uint64_t SecureParticipant::masked_share(double value,
+                                              std::uint64_t round) const {
+  std::uint64_t share = codec_.encode(value);
+  for (std::size_t j = 0; j < pair_seeds_.size(); ++j) {
+    if (j == index_) continue;
+    const std::uint64_t mask = pair_mask(pair_seeds_[j], round);
+    // Antisymmetric application: cancels pairwise in the sum.
+    if (index_ < j) {
+      share += mask;
+    } else {
+      share -= mask;
+    }
+  }
+  return share;
+}
+
+void SecureAggregator::begin_round(std::uint64_t round) {
+  round_ = round;
+  acc_ = 0;
+  received_ = 0;
+  seen_.assign(n_, false);
+}
+
+void SecureAggregator::submit(std::size_t index, std::uint64_t share) {
+  if (index >= n_) throw std::invalid_argument("participant out of range");
+  if (seen_.empty()) seen_.assign(n_, false);
+  if (seen_[index]) throw std::logic_error("duplicate share");
+  seen_[index] = true;
+  acc_ += share;
+  ++received_;
+}
+
+std::optional<double> SecureAggregator::sum() const {
+  if (!complete()) return std::nullopt;
+  return codec_.decode(acc_, n_);
+}
+
+std::optional<double> SecureAggregator::mean() const {
+  const auto s = sum();
+  if (!s) return std::nullopt;
+  return *s / static_cast<double>(n_);
+}
+
+std::vector<std::vector<std::uint64_t>> derive_pairwise_seeds(
+    std::size_t n, std::uint64_t session_secret) {
+  std::vector<std::vector<std::uint64_t>> seeds(
+      n, std::vector<std::uint64_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      std::uint64_t s = session_secret ^ (i * 0x1000193ULL) ^
+                        (j * 0x100000001B3ULL);
+      const std::uint64_t k = util::splitmix64(s);
+      seeds[i][j] = k;
+      seeds[j][i] = k;  // shared
+    }
+  }
+  return seeds;
+}
+
+}  // namespace phi::core

@@ -1,0 +1,101 @@
+// secure_agg.hpp — §3.1: "Work on secure multiparty computation and
+// anonymous aggregation could be leveraged to further shield such
+// information sharing." Competing providers want a *common barometer of
+// the network weather* (e.g. mean utilization toward a metro) without
+// revealing their individual numbers.
+//
+// Implemented here: pairwise-additive masking (the core of practical
+// secure aggregation, cf. SEPIA / Bonawitz et al.). Every pair of
+// participants derives a shared mask stream from a common seed; each
+// participant adds the masks of higher-numbered peers and subtracts those
+// of lower-numbered ones. Individual submissions are uniformly random
+// mod 2^64, but the masks cancel in the sum, so the coordinator learns
+// exactly (and only) the total. Values are fixed-point encoded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace phi::core {
+
+/// Fixed-point codec: doubles in [-max_abs, max_abs] with `scale`
+/// fractional resolution, wrapped into uint64 ring arithmetic.
+struct FixedPoint {
+  double scale = 1e6;
+
+  std::uint64_t encode(double v) const {
+    return static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(v * scale));
+  }
+  double decode(std::uint64_t raw, std::size_t n_participants) const {
+    // The sum of n bounded values still fits in int64 comfortably for
+    // realistic n; reinterpret the ring element as signed.
+    (void)n_participants;
+    return static_cast<double>(static_cast<std::int64_t>(raw)) / scale;
+  }
+};
+
+/// One provider's side of a secure-aggregation round.
+class SecureParticipant {
+ public:
+  /// `index` is this participant's position; `pair_seeds[j]` is the seed
+  /// shared with participant j (pair_seeds[index] is ignored). Seeds must
+  /// be agreed pairwise (e.g. via DH); here they are supplied directly.
+  SecureParticipant(std::size_t index, std::vector<std::uint64_t> pair_seeds,
+                    FixedPoint codec = {});
+
+  /// Produce the masked share for `value` in the given round. The same
+  /// (participant set, round) must be used exactly once.
+  std::uint64_t masked_share(double value, std::uint64_t round) const;
+
+  std::size_t index() const noexcept { return index_; }
+
+ private:
+  std::size_t index_;
+  std::vector<std::uint64_t> pair_seeds_;
+  FixedPoint codec_;
+};
+
+/// The coordinator: collects one share per participant, outputs the sum.
+/// Learns nothing about individual values (they are one-time-pad masked).
+class SecureAggregator {
+ public:
+  explicit SecureAggregator(std::size_t n_participants,
+                            FixedPoint codec = {})
+      : n_(n_participants), codec_(codec) {
+    if (n_ == 0) throw std::invalid_argument("need participants");
+  }
+
+  /// Begin a round; discards any partial state.
+  void begin_round(std::uint64_t round);
+
+  /// Submit participant `index`'s share. Throws on duplicates.
+  void submit(std::size_t index, std::uint64_t share);
+
+  bool complete() const noexcept { return received_ == n_; }
+
+  /// Total of the submitted values; nullopt until all shares arrived.
+  std::optional<double> sum() const;
+  std::optional<double> mean() const;
+
+  std::uint64_t round() const noexcept { return round_; }
+
+ private:
+  std::size_t n_;
+  FixedPoint codec_;
+  std::uint64_t round_ = 0;
+  std::uint64_t acc_ = 0;
+  std::size_t received_ = 0;
+  std::vector<bool> seen_;
+};
+
+/// Helper: derive consistent pairwise seeds for a fleet from per-pair
+/// key agreement (simulated by hashing a session secret with the pair).
+std::vector<std::vector<std::uint64_t>> derive_pairwise_seeds(
+    std::size_t n, std::uint64_t session_secret);
+
+}  // namespace phi::core

@@ -1,0 +1,176 @@
+#include "phi/sweep.hpp"
+
+#include <algorithm>
+
+namespace phi::core {
+
+SweepSpec SweepSpec::paper() {
+  SweepSpec s;
+  for (std::int64_t v = 2; v <= 256; v *= 2) {
+    s.ssthresh.push_back(v);
+    s.winit.push_back(v);
+  }
+  for (int i = 1; i <= 9; ++i) s.betas.push_back(0.1 * i);
+  return s;
+}
+
+SweepSpec SweepSpec::coarse() {
+  SweepSpec s;
+  s.ssthresh = {2, 8, 32, 64, 256};
+  s.winit = {2, 8, 32, 64, 256};
+  s.betas = {0.2, 0.5, 0.8};
+  return s;
+}
+
+SweepSpec SweepSpec::beta_only() {
+  SweepSpec s;
+  s.ssthresh = {tcp::CubicParams{}.initial_ssthresh};
+  s.winit = {tcp::CubicParams{}.window_init};
+  for (int i = 1; i <= 9; ++i) s.betas.push_back(0.1 * i);
+  return s;
+}
+
+std::vector<tcp::CubicParams> SweepSpec::combos() const {
+  std::vector<tcp::CubicParams> out;
+  out.reserve(ssthresh.size() * winit.size() * betas.size());
+  for (const auto st : ssthresh)
+    for (const auto wi : winit)
+      for (const auto b : betas) out.push_back(tcp::CubicParams{st, wi, b});
+  return out;
+}
+
+ScenarioMetrics average_metrics(const std::vector<ScenarioMetrics>& runs) {
+  ScenarioMetrics avg;
+  if (runs.empty()) return avg;
+  const auto n = static_cast<double>(runs.size());
+  for (const auto& r : runs) {
+    avg.throughput_bps += r.throughput_bps / n;
+    avg.mean_queue_delay_s += r.mean_queue_delay_s / n;
+    avg.loss_rate += r.loss_rate / n;
+    avg.utilization += r.utilization / n;
+    avg.mean_rtt_s += r.mean_rtt_s / n;
+    avg.min_rtt_s += r.min_rtt_s / n;
+    avg.connections += r.connections;
+    avg.timeouts += r.timeouts;
+  }
+  return avg;
+}
+
+namespace {
+
+double mean_score(const SweepPoint& p) {
+  double s = 0;
+  for (const auto& r : p.runs) s += r.power_l();
+  return p.runs.empty() ? 0.0 : s / static_cast<double>(p.runs.size());
+}
+
+}  // namespace
+
+SweepResult run_cubic_sweep(const ScenarioConfig& base, const SweepSpec& spec,
+                            int n_runs, const ProgressFn& progress) {
+  auto combos = spec.combos();
+  const tcp::CubicParams defaults{};
+  if (std::find(combos.begin(), combos.end(), defaults) == combos.end())
+    combos.push_back(defaults);
+
+  SweepResult result;
+  result.n_runs = n_runs;
+  result.points.reserve(combos.size());
+  const std::size_t total = combos.size() * static_cast<std::size_t>(n_runs);
+  std::size_t done = 0;
+  for (const auto& params : combos) {
+    SweepPoint pt;
+    pt.params = params;
+    pt.runs.reserve(static_cast<std::size_t>(n_runs));
+    for (int r = 0; r < n_runs; ++r) {
+      ScenarioConfig cfg = base;
+      cfg.seed = base.seed + static_cast<std::uint64_t>(r);
+      pt.runs.push_back(run_cubic_scenario(cfg, params));
+      if (progress) progress(++done, total);
+    }
+    pt.mean = average_metrics(pt.runs);
+    pt.score = mean_score(pt);
+    if (params == defaults) result.default_index = result.points.size();
+    result.points.push_back(std::move(pt));
+  }
+  result.best_index = 0;
+  for (std::size_t i = 1; i < result.points.size(); ++i)
+    if (result.points[i].score > result.points[result.best_index].score)
+      result.best_index = i;
+  return result;
+}
+
+StabilityResult leave_one_out(const SweepResult& sweep) {
+  StabilityResult out;
+  const int n = sweep.n_runs;
+  if (n <= 1 || sweep.points.empty()) return out;
+
+  if (sweep.has_default()) {
+    const auto& d = sweep.default_point();
+    out.default_score = d.score;
+    out.default_throughput_bps = d.mean.throughput_bps;
+    out.default_qdelay_s = d.mean.mean_queue_delay_s;
+  }
+
+  double oracle = 0, common = 0;
+  double oracle_tput = 0, common_tput = 0;
+  double oracle_qd = 0, common_qd = 0;
+  for (int r = 0; r < n; ++r) {
+    // Best setting judged on run r alone.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < sweep.points.size(); ++i)
+      if (sweep.points[i].run_score(static_cast<std::size_t>(r)) >
+          sweep.points[best].run_score(static_cast<std::size_t>(r)))
+        best = i;
+    const SweepPoint& bp = sweep.points[best];
+    out.chosen.push_back(bp.params);
+
+    oracle += bp.run_score(static_cast<std::size_t>(r)) / n;
+    oracle_tput +=
+        bp.runs[static_cast<std::size_t>(r)].throughput_bps / n;
+    oracle_qd +=
+        bp.runs[static_cast<std::size_t>(r)].mean_queue_delay_s / n;
+
+    // ... evaluated on the held-out runs.
+    double held = 0, held_tput = 0, held_qd = 0;
+    for (int o = 0; o < n; ++o) {
+      if (o == r) continue;
+      held += bp.run_score(static_cast<std::size_t>(o));
+      held_tput += bp.runs[static_cast<std::size_t>(o)].throughput_bps;
+      held_qd += bp.runs[static_cast<std::size_t>(o)].mean_queue_delay_s;
+    }
+    common += held / (n - 1) / n;
+    common_tput += held_tput / (n - 1) / n;
+    common_qd += held_qd / (n - 1) / n;
+  }
+  out.oracle_score = oracle;
+  out.common_score = common;
+  out.oracle_throughput_bps = oracle_tput;
+  out.common_throughput_bps = common_tput;
+  out.oracle_qdelay_s = oracle_qd;
+  out.common_qdelay_s = common_qd;
+  return out;
+}
+
+RecommendationTable build_recommendation_table(
+    const std::vector<ScenarioConfig>& workloads, const SweepSpec& spec,
+    int n_runs, const ContextBucketer& bucketer, const ProgressFn& progress) {
+  RecommendationTable table;
+  std::size_t done = 0;
+  for (const auto& w : workloads) {
+    // Measure the pre-Phi weather: context under default parameters.
+    const ScenarioMetrics base = run_cubic_scenario(w, tcp::CubicParams{});
+    CongestionContext ctx;
+    ctx.utilization = base.utilization;
+    ctx.queue_delay_s = base.mean_queue_delay_s;
+    ctx.competing_senders = static_cast<double>(w.net.pairs);
+    ctx.loss_rate = base.loss_rate;
+
+    const SweepResult sweep = run_cubic_sweep(w, spec, n_runs);
+    table.set(bucketer.bucket(ctx), sweep.best().params);
+    if (progress) progress(++done, workloads.size());
+  }
+  return table;
+}
+
+}  // namespace phi::core

@@ -1,0 +1,50 @@
+#include "remy/memory.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace phi::remy {
+
+SignalVector signal_domain_lo() noexcept { return {0.0, 0.0, 1.0, 0.0}; }
+SignalVector signal_domain_hi() noexcept {
+  return {1000.0, 1000.0, 5.0, 1.0};
+}
+
+void Memory::reset() noexcept {
+  signals_ = {0.0, 0.0, 1.0, 0.0};
+  last_sent_at_ = -1;
+  last_received_at_ = -1;
+  min_rtt_s_ = 0.0;
+  acks_ = 0;
+}
+
+void Memory::on_ack(util::Time sent_at, util::Time received_at, double rtt_s,
+                    double utilization) noexcept {
+  ++acks_;
+  if (rtt_s > 0.0) {
+    if (min_rtt_s_ <= 0.0 || rtt_s < min_rtt_s_) min_rtt_s_ = rtt_s;
+    signals_[kRttRatio] = min_rtt_s_ > 0.0 ? rtt_s / min_rtt_s_ : 1.0;
+  }
+  if (last_sent_at_ >= 0 && sent_at >= last_sent_at_) {
+    const double gap_ms = util::to_millis(sent_at - last_sent_at_);
+    signals_[kSendEwmaMs] += alpha_ * (gap_ms - signals_[kSendEwmaMs]);
+  }
+  if (last_received_at_ >= 0 && received_at >= last_received_at_) {
+    const double gap_ms = util::to_millis(received_at - last_received_at_);
+    signals_[kRecEwmaMs] += alpha_ * (gap_ms - signals_[kRecEwmaMs]);
+  }
+  last_sent_at_ = sent_at;
+  last_received_at_ = received_at;
+  signals_[kUtilization] = std::clamp(utilization, 0.0, 1.0);
+}
+
+std::string Memory::str() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "send=%.2fms rec=%.2fms rttr=%.2f u=%.2f",
+                signals_[kSendEwmaMs], signals_[kRecEwmaMs],
+                signals_[kRttRatio], signals_[kUtilization]);
+  return buf;
+}
+
+}  // namespace phi::remy

@@ -1,0 +1,68 @@
+// memory.hpp — RemyCC's congestion signals ("memory" in Remy parlance).
+// The three classic signals from Winstein & Balakrishnan's TCP ex Machina:
+//
+//   send_ewma — EWMA of the spacing between the *send* times of
+//               successively ACKed packets (from echoed timestamps),
+//   rec_ewma  — EWMA of the spacing between ACK arrivals,
+//   rtt_ratio — latest RTT over the connection's minimum RTT,
+//
+// plus the paper's §2.2.4 extension: a fourth dimension carrying the
+// shared bottleneck-link utilization u (zero for unmodified Remy).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace phi::remy {
+
+inline constexpr std::size_t kNumSignals = 4;
+
+enum Signal : std::size_t {
+  kSendEwmaMs = 0,
+  kRecEwmaMs = 1,
+  kRttRatio = 2,
+  kUtilization = 3,
+};
+
+/// A point in signal space.
+using SignalVector = std::array<double, kNumSignals>;
+
+/// Default upper bounds of the signal domain (lower bounds are 0 except
+/// rtt_ratio's 1). Values are clamped into the domain before tree lookup.
+SignalVector signal_domain_lo() noexcept;
+SignalVector signal_domain_hi() noexcept;
+
+/// Running memory state updated on every ACK.
+class Memory {
+ public:
+  /// `alpha` is the EWMA weight of a new sample (Remy uses 1/8).
+  explicit Memory(double alpha = 0.125) noexcept : alpha_(alpha) { reset(); }
+
+  /// Fresh connection: Remy zeroes its memory at connection start.
+  void reset() noexcept;
+
+  /// Update from one ACK. `sent_at` is the echoed send timestamp of the
+  /// ACKed packet, `received_at` the ACK's arrival time, `rtt_s` the RTT
+  /// sample, `utilization` the shared u signal (0 when not available).
+  void on_ack(util::Time sent_at, util::Time received_at, double rtt_s,
+              double utilization) noexcept;
+
+  const SignalVector& signals() const noexcept { return signals_; }
+  bool warm() const noexcept { return acks_ >= 2; }
+  std::uint64_t acks() const noexcept { return acks_; }
+
+  std::string str() const;
+
+ private:
+  double alpha_;
+  SignalVector signals_{};
+  util::Time last_sent_at_ = -1;
+  util::Time last_received_at_ = -1;
+  double min_rtt_s_ = 0.0;
+  std::uint64_t acks_ = 0;
+};
+
+}  // namespace phi::remy

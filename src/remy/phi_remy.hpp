@@ -1,0 +1,62 @@
+// phi_remy.hpp — glue between RemyCC and Phi's shared state (§2.2.4).
+//
+// Remy-Phi-practical: each sender queries the context server at connection
+// start and the cached utilization feeds the CC's fourth memory dimension
+// until the next connection; completion reports flow back to the server.
+// Remy-Phi-ideal bypasses the server and reads the link monitor live.
+#pragma once
+
+#include <memory>
+
+#include "phi/context_server.hpp"
+#include "remy/remycc.hpp"
+#include "tcp/app.hpp"
+
+namespace phi::remy {
+
+/// Shared cell holding the most recent utilization lookup for one sender.
+struct CachedUtilization {
+  double value = 0.0;
+};
+
+/// Advisor implementing the practical Phi protocol for a Remy sender:
+/// lookup at connection start (refreshing the cached u the RemyCC probe
+/// reads), report at connection end.
+class PhiRemyAdvisor : public tcp::ConnectionAdvisor {
+ public:
+  PhiRemyAdvisor(core::ContextServer& server, core::PathKey path,
+                 std::uint64_t sender_id,
+                 std::function<util::Time()> clock,
+                 std::shared_ptr<CachedUtilization> cache)
+      : server_(server), path_(path), sender_id_(sender_id),
+        clock_(std::move(clock)), cache_(std::move(cache)) {}
+
+  void before_connection(tcp::TcpSender&) override {
+    const core::LookupReply reply =
+        server_.lookup(core::LookupRequest{path_, sender_id_, clock_()});
+    cache_->value = reply.context.utilization;
+  }
+
+  void after_connection(const tcp::ConnStats& s,
+                        const tcp::TcpSender&) override {
+    core::Report r;
+    r.path = path_;
+    r.sender_id = sender_id_;
+    r.started = s.start;
+    r.ended = s.end;
+    r.bytes = s.segments * sim::kDefaultMss;
+    r.min_rtt_s = s.min_rtt_s;
+    r.mean_rtt_s = s.mean_rtt_s;
+    r.retransmit_rate = s.retransmit_rate();
+    server_.report(r);
+  }
+
+ private:
+  core::ContextServer& server_;
+  core::PathKey path_;
+  std::uint64_t sender_id_;
+  std::function<util::Time()> clock_;
+  std::shared_ptr<CachedUtilization> cache_;
+};
+
+}  // namespace phi::remy

@@ -1,0 +1,46 @@
+#include "remy/remycc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace phi::remy {
+
+RemyCC::RemyCC(std::shared_ptr<WhiskerTree> tree, UtilizationProbe probe)
+    : tree_(std::move(tree)), probe_(std::move(probe)) {
+  if (!tree_) throw std::invalid_argument("RemyCC needs a whisker tree");
+  reset(0);
+}
+
+void RemyCC::reset(util::Time) {
+  memory_.reset();
+  window_ = 2.0;
+  action_ = tree_->whisker(tree_->find(memory_.signals())).action;
+}
+
+void RemyCC::on_ack(std::int64_t newly_acked, double rtt_s, util::Time now) {
+  if (newly_acked <= 0) return;
+  const double u = probe_ ? probe_() : 0.0;
+  const util::Time sent_at = now - util::from_seconds(rtt_s);
+  memory_.on_ack(sent_at, now, rtt_s, u);
+  action_ = tree_->action_for(memory_.signals());
+  window_ = std::clamp(action_.window_multiple * window_ +
+                           action_.window_increment,
+                       kMinWindow, kMaxWindow);
+}
+
+void RemyCC::on_loss_event(util::Time, std::int64_t) {
+  // RemyCC has no explicit loss response: congestion shows up in the
+  // delay-based signals. The transport still retransmits.
+}
+
+void RemyCC::on_timeout(util::Time, std::int64_t) {
+  // Deviation from pure Remy (documented in DESIGN.md): halve on RTO so a
+  // mis-trained tree cannot livelock the retransmission machinery.
+  window_ = std::max(window_ / 2.0, kMinWindow);
+}
+
+util::Duration RemyCC::min_send_gap(util::Time) const {
+  return util::from_seconds(action_.intersend_ms / 1e3);
+}
+
+}  // namespace phi::remy

@@ -1,0 +1,59 @@
+// remycc.hpp — the machine-learned congestion controller (§2.2.4),
+// pluggable into TcpSender like any CongestionControl. On each ACK it
+// updates its memory, consults the whisker tree, and applies the rule's
+// action: window = m*window + b, pacing gap = r.
+//
+// The Phi variants differ only in where the utilization signal comes from:
+//   * Remy            — no u signal (memory dimension pinned at 0),
+//   * Remy-Phi-ideal  — a UtilizationProbe wired to the live link monitor
+//                       ("up-to-the-minute"),
+//   * Remy-Phi-practical — the probe returns a value cached at connection
+//                       start from a context-server lookup (refreshed by
+//                       the advisor between connections).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "remy/memory.hpp"
+#include "remy/whisker.hpp"
+#include "tcp/cc.hpp"
+
+namespace phi::remy {
+
+/// Supplies the shared utilization signal at ACK-processing time.
+using UtilizationProbe = std::function<double()>;
+
+class RemyCC final : public tcp::CongestionControl {
+ public:
+  /// The tree is shared (the whole fleet runs one learned policy; use
+  /// counts feed the trainer). `probe` may be empty (classic Remy).
+  RemyCC(std::shared_ptr<WhiskerTree> tree, UtilizationProbe probe = {});
+
+  void reset(util::Time now) override;
+  void on_ack(std::int64_t newly_acked, double rtt_s, util::Time now) override;
+  void on_loss_event(util::Time now, std::int64_t flight) override;
+  void on_timeout(util::Time now, std::int64_t flight) override;
+  double window() const override { return window_; }
+  double ssthresh() const override { return 0.0; }  // not a concept here
+  util::Duration min_send_gap(util::Time now) const override;
+  std::string name() const override { return "remy"; }
+
+  /// Echoed-send-timestamp plumbing: TcpSender exposes RTT but RemyCC also
+  /// needs the raw timestamps; it reconstructs them from rtt and now
+  /// (sent_at = now - rtt).
+  const Memory& memory() const noexcept { return memory_; }
+  const Action& current_action() const noexcept { return action_; }
+
+  static constexpr double kMinWindow = 1.0;
+  static constexpr double kMaxWindow = 1024.0;
+
+ private:
+  std::shared_ptr<WhiskerTree> tree_;
+  UtilizationProbe probe_;
+  Memory memory_;
+  Action action_{};
+  double window_ = 2.0;
+};
+
+}  // namespace phi::remy

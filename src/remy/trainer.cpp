@@ -1,0 +1,217 @@
+#include "remy/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phi/oracle.hpp"
+#include "remy/phi_remy.hpp"
+#include "util/stats.hpp"
+
+namespace phi::remy {
+
+namespace {
+
+constexpr core::PathKey kPath = 1;
+constexpr double kStarvedPenalty = -5.0;  // log-scale objective floor
+
+std::uint32_t dims_for(SignalMode mode) {
+  return mode == SignalMode::kClassic ? 0b0111u : 0b1111u;
+}
+
+struct ProbeState {
+  const sim::LinkMonitor* monitor = nullptr;
+};
+
+/// One simulation run of `tree` under `mode`; per-sender groups filled.
+core::ScenarioMetrics run_one(WhiskerTree& tree, SignalMode mode,
+                              const core::ScenarioConfig& cfg) {
+  // Non-owning alias: the tree outlives the run and keeps its use counts.
+  auto shared = std::shared_ptr<WhiskerTree>(&tree, [](WhiskerTree*) {});
+  auto probe_state = std::make_shared<ProbeState>();
+  core::ContextServer server;
+  std::vector<std::shared_ptr<CachedUtilization>> caches;
+  caches.reserve(cfg.net.pairs);
+  for (std::size_t i = 0; i < cfg.net.pairs; ++i)
+    caches.push_back(std::make_shared<CachedUtilization>());
+
+  core::PolicyFactory policy =
+      [&](std::size_t i) -> std::unique_ptr<tcp::CongestionControl> {
+    UtilizationProbe probe;
+    switch (mode) {
+      case SignalMode::kClassic:
+        break;
+      case SignalMode::kPhiIdeal:
+        probe = [probe_state] {
+          return probe_state->monitor != nullptr
+                     ? probe_state->monitor->recent_utilization()
+                     : 0.0;
+        };
+        break;
+      case SignalMode::kPhiPractical: {
+        auto cache = caches[i];
+        probe = [cache] { return cache->value; };
+        break;
+      }
+    }
+    return std::make_unique<RemyCC>(shared, std::move(probe));
+  };
+
+  core::SetupHook setup =
+      [&](core::LiveScenario& live) -> core::AdvisorFactory {
+    probe_state->monitor = &live.dumbbell->monitor();
+    if (mode != SignalMode::kPhiPractical) return nullptr;
+    server.set_path_capacity(kPath, live.dumbbell->config().bottleneck_rate);
+    sim::Scheduler* sched = &live.dumbbell->scheduler();
+    return [&server, sched,
+            &caches](std::size_t i) -> std::unique_ptr<tcp::ConnectionAdvisor> {
+      return std::make_unique<PhiRemyAdvisor>(
+          server, kPath, i, [sched] { return sched->now(); }, caches[i]);
+    };
+  };
+
+  return core::run_scenario_with_setup(
+      cfg, policy, setup, [](std::size_t i) { return static_cast<int>(i); });
+}
+
+/// Remy's objective over one run: mean over senders of log(tput/delay).
+double run_objective(const core::ScenarioMetrics& m) {
+  if (m.groups.empty()) return kStarvedPenalty;
+  double total = 0;
+  for (const auto& g : m.groups) {
+    if (g.connections > 0 && g.throughput_bps > 0 && g.mean_rtt_s > 0) {
+      total += core::log_power(g.throughput_bps, g.mean_rtt_s);
+    } else {
+      total += kStarvedPenalty;  // a sender that never got through
+    }
+  }
+  return total / static_cast<double>(m.groups.size());
+}
+
+std::vector<Action> neighbors(const Action& a) {
+  std::vector<Action> out;
+  auto push = [&](double dm, double db, double fr) {
+    Action n = a;
+    n.window_multiple += dm;
+    n.window_increment += db;
+    n.intersend_ms *= fr;
+    out.push_back(n.clamped());
+  };
+  push(+0.06, 0, 1);
+  push(-0.06, 0, 1);
+  push(+0.01, 0, 1);
+  push(-0.01, 0, 1);
+  push(0, +1.0, 1);
+  push(0, -1.0, 1);
+  push(0, 0, 1.5);
+  push(0, 0, 1.0 / 1.5);
+  return out;
+}
+
+}  // namespace
+
+TrainerConfig TrainerConfig::table3(SignalMode mode,
+                                    util::Duration sim_time) {
+  TrainerConfig cfg;
+  cfg.mode = mode;
+  for (const double mbps : {10.0, 20.0}) {
+    core::ScenarioConfig s;
+    s.net.pairs = 8;
+    s.net.bottleneck_rate = mbps * util::kMbps;
+    s.net.rtt = util::milliseconds(150);
+    s.workload.mean_on_bytes = 100e3;
+    s.workload.mean_off_s = 0.5;
+    s.duration = sim_time;
+    s.seed = 7000 + static_cast<std::uint64_t>(mbps);
+    cfg.scenarios.push_back(s);
+  }
+  return cfg;
+}
+
+Trainer::Trainer(TrainerConfig cfg) : cfg_(std::move(cfg)) {}
+
+EvalResult Trainer::evaluate(WhiskerTree& tree) const {
+  EvalResult res;
+  util::Samples tputs, qdelays, logps;
+  double objective = 0;
+  int runs = 0;
+  util::RunningStats loss;
+  for (const auto& base : cfg_.scenarios) {
+    for (int r = 0; r < cfg_.runs_per_scenario; ++r) {
+      core::ScenarioConfig cfg = base;
+      cfg.seed = base.seed + static_cast<std::uint64_t>(r);
+      const core::ScenarioMetrics m = run_one(tree, cfg_.mode, cfg);
+      objective += run_objective(m);
+      ++runs;
+      qdelays.add(m.mean_queue_delay_s);
+      loss.add(m.loss_rate);
+      for (const auto& g : m.groups) {
+        if (g.connections > 0) {
+          tputs.add(g.throughput_bps);
+          if (g.throughput_bps > 0 && g.mean_rtt_s > 0)
+            logps.add(core::log_power(g.throughput_bps, g.mean_rtt_s));
+        }
+      }
+    }
+  }
+  res.objective = runs > 0 ? objective / runs : kStarvedPenalty;
+  res.median_throughput_bps = tputs.median();
+  res.median_queue_delay_s = qdelays.median();
+  res.median_log_power = logps.median();
+  res.loss_rate = loss.mean();
+  return res;
+}
+
+WhiskerTree Trainer::train(
+    const std::function<void(int round, double score)>& progress,
+    const WhiskerTree* seed_tree) const {
+  WhiskerTree tree = seed_tree != nullptr
+                         ? *seed_tree
+                         : WhiskerTree(cfg_.initial_action, dims_for(cfg_.mode));
+  double best = evaluate(tree).objective;
+
+  for (int round = 0; round < cfg_.max_rounds; ++round) {
+    tree.reset_use_counts();
+    best = evaluate(tree).objective;
+    const auto used = tree.most_used();
+    if (!used) break;  // no traffic at all — nothing to learn from
+    const std::size_t idx = *used;
+
+    bool improved_any = false;
+    for (int iter = 0; iter < cfg_.max_hill_climb_iters; ++iter) {
+      bool improved = false;
+      const Action base_action = tree.whisker(idx).action;
+      Action best_action = base_action;
+      for (const Action& cand : neighbors(base_action)) {
+        if (cand == base_action) continue;
+        tree.whisker(idx).action = cand;
+        const double score = evaluate(tree).objective;
+        if (score > best + 1e-9) {
+          best = score;
+          best_action = cand;
+          improved = true;
+        }
+      }
+      tree.whisker(idx).action = best_action;
+      improved_any = improved_any || improved;
+      if (!improved) break;
+    }
+    if (!improved_any && tree.size() < cfg_.max_whiskers) {
+      tree.split(idx);
+    }
+    if (progress) progress(round, best);
+  }
+  return tree;
+}
+
+EvalResult Trainer::score_tree(const WhiskerTree& tree, SignalMode mode,
+                               const core::ScenarioConfig& scenario,
+                               int runs) {
+  TrainerConfig cfg;
+  cfg.mode = mode;
+  cfg.scenarios = {scenario};
+  cfg.runs_per_scenario = runs;
+  WhiskerTree copy = tree;
+  return Trainer(cfg).evaluate(copy);
+}
+
+}  // namespace phi::remy

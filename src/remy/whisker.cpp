@@ -1,0 +1,158 @@
+#include "remy/whisker.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace phi::remy {
+
+Action Action::clamped() const noexcept {
+  Action a = *this;
+  a.window_multiple =
+      std::clamp(a.window_multiple, kMinMultiple, kMaxMultiple);
+  a.window_increment =
+      std::clamp(a.window_increment, kMinIncrement, kMaxIncrement);
+  a.intersend_ms = std::clamp(a.intersend_ms, kMinIntersendMs,
+                              kMaxIntersendMs);
+  return a;
+}
+
+std::string Action::str() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "m=%.3f b=%.2f r=%.2fms", window_multiple,
+                window_increment, intersend_ms);
+  return buf;
+}
+
+bool SignalRange::contains(const SignalVector& v) const noexcept {
+  for (std::size_t i = 0; i < kNumSignals; ++i)
+    if (v[i] < lo[i] || v[i] >= hi[i]) return false;
+  return true;
+}
+
+SignalVector SignalRange::clamp(const SignalVector& v) const noexcept {
+  SignalVector out = v;
+  for (std::size_t i = 0; i < kNumSignals; ++i) {
+    // Clamp to just inside the half-open interval.
+    const double eps = (hi[i] - lo[i]) * 1e-9;
+    out[i] = std::clamp(out[i], lo[i], hi[i] - eps);
+  }
+  return out;
+}
+
+std::string SignalRange::str() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < kNumSignals; ++i) {
+    if (i) out << ", ";
+    out << lo[i] << ".." << hi[i];
+  }
+  out << ")";
+  return out.str();
+}
+
+WhiskerTree::WhiskerTree(Action initial, std::uint32_t active_dims)
+    : active_dims_(active_dims) {
+  Whisker root;
+  root.domain.lo = signal_domain_lo();
+  root.domain.hi = signal_domain_hi();
+  root.action = initial.clamped();
+  whiskers_.push_back(root);
+}
+
+std::size_t WhiskerTree::find(const SignalVector& signals) const noexcept {
+  SignalRange full;
+  full.lo = signal_domain_lo();
+  full.hi = signal_domain_hi();
+  const SignalVector v = full.clamp(signals);
+  for (std::size_t i = 0; i < whiskers_.size(); ++i)
+    if (whiskers_[i].domain.contains(v)) return i;
+  return 0;  // unreachable if the whiskers tile the domain
+}
+
+const Action& WhiskerTree::action_for(const SignalVector& signals) noexcept {
+  const std::size_t i = find(signals);
+  ++whiskers_[i].use_count;
+  return whiskers_[i].action;
+}
+
+std::size_t WhiskerTree::split(std::size_t idx) {
+  const Whisker parent = whiskers_.at(idx);
+  std::vector<std::size_t> dims;
+  for (std::size_t d = 0; d < kNumSignals; ++d)
+    if (active_dims_ & (1u << d)) dims.push_back(d);
+
+  std::vector<Whisker> children;
+  children.reserve(std::size_t{1} << dims.size());
+  const std::size_t combos = std::size_t{1} << dims.size();
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    Whisker child;
+    child.domain = parent.domain;
+    child.action = parent.action;
+    for (std::size_t k = 0; k < dims.size(); ++k) {
+      const std::size_t d = dims[k];
+      const double mid =
+          (parent.domain.lo[d] + parent.domain.hi[d]) / 2.0;
+      if (mask & (std::size_t{1} << k)) {
+        child.domain.lo[d] = mid;
+      } else {
+        child.domain.hi[d] = mid;
+      }
+    }
+    children.push_back(child);
+  }
+  whiskers_.erase(whiskers_.begin() + static_cast<std::ptrdiff_t>(idx));
+  whiskers_.insert(whiskers_.end(), children.begin(), children.end());
+  return children.size();
+}
+
+std::optional<std::size_t> WhiskerTree::most_used() const noexcept {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < whiskers_.size(); ++i) {
+    if (whiskers_[i].use_count == 0) continue;
+    if (!best || whiskers_[i].use_count > whiskers_[*best].use_count)
+      best = i;
+  }
+  return best;
+}
+
+void WhiskerTree::reset_use_counts() noexcept {
+  for (auto& w : whiskers_) w.use_count = 0;
+}
+
+std::string WhiskerTree::serialize() const {
+  std::ostringstream out;
+  out.precision(17);  // round-trip exact doubles
+  out << active_dims_ << '\n';
+  for (const auto& w : whiskers_) {
+    for (std::size_t i = 0; i < kNumSignals; ++i)
+      out << w.domain.lo[i] << ' ' << w.domain.hi[i] << ' ';
+    out << w.action.window_multiple << ' ' << w.action.window_increment
+        << ' ' << w.action.intersend_ms << '\n';
+  }
+  return out.str();
+}
+
+std::optional<WhiskerTree> WhiskerTree::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::uint32_t dims = 0;
+  if (!(in >> dims)) return std::nullopt;
+  WhiskerTree tree({}, dims);
+  tree.whiskers_.clear();
+  while (true) {
+    Whisker w;
+    bool ok = true;
+    for (std::size_t i = 0; i < kNumSignals && ok; ++i)
+      ok = static_cast<bool>(in >> w.domain.lo[i] >> w.domain.hi[i]);
+    if (!ok) break;
+    if (!(in >> w.action.window_multiple >> w.action.window_increment >>
+          w.action.intersend_ms))
+      return std::nullopt;
+    tree.whiskers_.push_back(w);
+  }
+  if (tree.whiskers_.empty()) return std::nullopt;
+  return tree;
+}
+
+}  // namespace phi::remy

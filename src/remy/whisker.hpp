@@ -1,0 +1,94 @@
+// whisker.hpp — the RemyCC rule table. A whisker maps a box of signal
+// space to an action ⟨m, b, r⟩: on each ACK whose memory lands in the box,
+// the window becomes m*window + b and the pacing gap becomes r
+// milliseconds. The tree starts as one whisker covering the whole domain
+// and is refined by the trainer, which splits the most-used whisker into
+// 2^d children (bisecting every active dimension).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "remy/memory.hpp"
+
+namespace phi::remy {
+
+/// The congestion response of one whisker.
+struct Action {
+  double window_multiple = 1.0;  ///< m
+  double window_increment = 1.0; ///< b
+  double intersend_ms = 0.25;    ///< r: minimum gap between sends
+
+  static constexpr double kMinMultiple = 0.0;
+  static constexpr double kMaxMultiple = 2.0;
+  static constexpr double kMinIncrement = -20.0;
+  static constexpr double kMaxIncrement = 20.0;
+  static constexpr double kMinIntersendMs = 0.05;
+  static constexpr double kMaxIntersendMs = 200.0;
+
+  /// Clamp every component into its legal range.
+  Action clamped() const noexcept;
+  bool operator==(const Action&) const = default;
+  std::string str() const;
+};
+
+/// Axis-aligned box in signal space: [lo[i], hi[i]) per dimension.
+struct SignalRange {
+  SignalVector lo{};
+  SignalVector hi{};
+
+  bool contains(const SignalVector& v) const noexcept;
+  /// Clamp a point into the (closed) domain of this range.
+  SignalVector clamp(const SignalVector& v) const noexcept;
+  std::string str() const;
+};
+
+struct Whisker {
+  SignalRange domain;
+  Action action;
+  std::uint64_t use_count = 0;  ///< ACKs routed here since last reset
+};
+
+/// The rule table: a flat list of non-overlapping whiskers covering the
+/// domain (the split structure need not be materialized as a tree for our
+/// sizes — linear scan over <100 whiskers is cache-friendly and simple).
+class WhiskerTree {
+ public:
+  /// Single whisker covering the full signal domain with `initial`.
+  explicit WhiskerTree(Action initial = {},
+                       std::uint32_t active_dims = 0b0111);
+
+  /// Index of the whisker containing `signals` (clamped into the domain).
+  std::size_t find(const SignalVector& signals) const noexcept;
+
+  const Action& action_for(const SignalVector& signals) noexcept;
+
+  /// Split whisker `idx` by bisecting every *active* dimension; children
+  /// inherit the parent's action. Returns the number of children created.
+  std::size_t split(std::size_t idx);
+
+  std::size_t size() const noexcept { return whiskers_.size(); }
+  const Whisker& whisker(std::size_t i) const { return whiskers_.at(i); }
+  Whisker& whisker(std::size_t i) { return whiskers_.at(i); }
+
+  /// Whisker with the highest use count; nullopt when never used.
+  std::optional<std::size_t> most_used() const noexcept;
+  void reset_use_counts() noexcept;
+
+  /// Bitmask of signal dimensions the tree may split on. Unmodified Remy
+  /// uses 0b0111 (the three classic signals); Remy-Phi adds utilization
+  /// with 0b1111.
+  std::uint32_t active_dims() const noexcept { return active_dims_; }
+
+  /// Line-oriented serialization (domain + action per whisker).
+  std::string serialize() const;
+  static std::optional<WhiskerTree> parse(const std::string& text);
+
+ private:
+  std::vector<Whisker> whiskers_;
+  std::uint32_t active_dims_;
+};
+
+}  // namespace phi::remy

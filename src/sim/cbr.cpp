@@ -1,0 +1,73 @@
+#include "sim/cbr.hpp"
+
+#include <algorithm>
+
+namespace phi::sim {
+
+CbrSource::CbrSource(Scheduler& sched, Node& src, NodeId dst, FlowId flow,
+                     util::Duration frame_interval, std::int32_t frame_bytes)
+    : sched_(sched), src_(src), dst_(dst), flow_(flow),
+      interval_(frame_interval), bytes_(frame_bytes) {}
+
+CbrSource::~CbrSource() { stop(); }
+
+void CbrSource::start() {
+  if (running_) return;
+  running_ = true;
+  emit();
+}
+
+void CbrSource::stop() {
+  running_ = false;
+  if (pending_ != 0) {
+    sched_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void CbrSource::emit() {
+  if (!running_) return;
+  Packet p;
+  p.src = src_.id();
+  p.dst = dst_;
+  p.flow = flow_;
+  p.seq = seq_++;
+  p.size_bytes = bytes_;
+  p.sent_at = sched_.now();
+  src_.send(p);
+  pending_ = sched_.schedule_in(interval_, [this] {
+    pending_ = 0;
+    emit();
+  });
+}
+
+CbrReceiver::CbrReceiver(Scheduler& sched, Node& local, FlowId flow)
+    : sched_(sched), node_(local), flow_(flow) {
+  node_.attach(flow_, this);
+}
+
+CbrReceiver::~CbrReceiver() { node_.detach(flow_); }
+
+void CbrReceiver::on_packet(const Packet& p) {
+  delays_.push_back(util::to_seconds(sched_.now() - p.sent_at));
+}
+
+std::vector<double> CbrReceiver::jitter_ms() const {
+  if (delays_.empty()) return {};
+  const double base = *std::min_element(delays_.begin(), delays_.end());
+  std::vector<double> out;
+  out.reserve(delays_.size());
+  for (const double d : delays_) out.push_back((d - base) * 1e3);
+  return out;
+}
+
+double late_fraction(const std::vector<double>& jitter_ms,
+                     double buffer_ms) {
+  if (jitter_ms.empty()) return 0.0;
+  std::size_t late = 0;
+  for (const double j : jitter_ms)
+    if (j > buffer_ms) ++late;
+  return static_cast<double>(late) / static_cast<double>(jitter_ms.size());
+}
+
+}  // namespace phi::sim

@@ -1,0 +1,79 @@
+// cbr.hpp — constant-bit-rate media flow (voice/video frames on a fixed
+// cadence), the traffic class behind §3.2's jitter-buffer example. The
+// receiver records per-packet one-way delay so playout analysis can
+// determine how deep a jitter buffer the stream needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/node.hpp"
+#include "sim/packet.hpp"
+#include "util/stats.hpp"
+
+namespace phi::sim {
+
+/// Emits `frame_bytes` packets every `frame_interval` from `src` to `dst`.
+class CbrSource {
+ public:
+  CbrSource(Scheduler& sched, Node& src, NodeId dst, FlowId flow,
+            util::Duration frame_interval = util::milliseconds(20),
+            std::int32_t frame_bytes = 160 + 40);  // G.711 20 ms + headers
+  ~CbrSource();
+
+  CbrSource(const CbrSource&) = delete;
+  CbrSource& operator=(const CbrSource&) = delete;
+
+  void start();
+  void stop();
+
+  std::int64_t frames_sent() const noexcept { return seq_; }
+
+ private:
+  void emit();
+
+  Scheduler& sched_;
+  Node& src_;
+  NodeId dst_;
+  FlowId flow_;
+  util::Duration interval_;
+  std::int32_t bytes_;
+  std::int64_t seq_ = 0;
+  bool running_ = false;
+  EventId pending_ = 0;
+};
+
+/// Receives a CBR flow and records each frame's one-way delay.
+class CbrReceiver : public Agent {
+ public:
+  CbrReceiver(Scheduler& sched, Node& local, FlowId flow);
+  ~CbrReceiver() override;
+
+  CbrReceiver(const CbrReceiver&) = delete;
+  CbrReceiver& operator=(const CbrReceiver&) = delete;
+
+  void on_packet(const Packet& p) override;
+
+  std::int64_t frames_received() const noexcept {
+    return static_cast<std::int64_t>(delays_.size());
+  }
+  /// Per-frame one-way delays in seconds, arrival order.
+  const std::vector<double>& delays_s() const noexcept { return delays_; }
+
+  /// Jitter of each frame relative to the smallest delay seen (ms).
+  std::vector<double> jitter_ms() const;
+
+ private:
+  Scheduler& sched_;
+  Node& node_;
+  FlowId flow_;
+  std::vector<double> delays_;
+};
+
+/// Playout analysis: with a jitter buffer of `buffer_ms` on top of the
+/// minimum delay, a frame is late (audible glitch) when its jitter
+/// exceeds the buffer. Returns the fraction of late frames.
+double late_fraction(const std::vector<double>& jitter_ms, double buffer_ms);
+
+}  // namespace phi::sim

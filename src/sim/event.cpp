@@ -1,0 +1,53 @@
+#include "sim/event.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace phi::sim {
+
+EventId Scheduler::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) { return callbacks_.erase(id) != 0; }
+
+bool Scheduler::step() {
+  while (!heap_.empty()) {
+    const Entry e = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    // Move the callback out before erasing so it may reschedule itself.
+    auto fn = std::move(it->second);
+    callbacks_.erase(it);
+    assert(e.time >= now_);
+    now_ = e.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::run_until(Time horizon) {
+  std::uint64_t ran = 0;
+  while (!heap_.empty()) {
+    // Skip over cancelled entries to find the true next event time.
+    const Entry e = heap_.top();
+    if (callbacks_.find(e.id) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (e.time > horizon) break;
+    step();
+    ++ran;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return ran;
+}
+
+}  // namespace phi::sim

@@ -1,0 +1,80 @@
+// event.hpp — the discrete-event scheduler at the heart of the ns-2
+// stand-in. Events are callbacks ordered by (time, insertion sequence);
+// the sequence number makes simultaneous events FIFO, which keeps runs
+// deterministic regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace phi::sim {
+
+using util::Duration;
+using util::Time;
+
+/// Opaque handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+/// Priority-queue based event scheduler.
+///
+/// Usage:
+///   Scheduler s;
+///   s.schedule_in(util::milliseconds(10), [&]{ ... });
+///   s.run_until(util::seconds(30));
+///
+/// Cancellation is O(1) (the callback is dropped from a side map and the
+/// heap entry is skipped when popped).
+class Scheduler {
+ public:
+  Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedule `fn` after a delay relative to now().
+  EventId schedule_in(Duration d, std::function<void()> fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns false if it already ran or was
+  /// cancelled before.
+  bool cancel(EventId id);
+
+  bool pending(EventId id) const { return callbacks_.count(id) != 0; }
+
+  /// Run events until the queue is empty or the next event is after
+  /// `horizon`. Returns the number of events executed. The clock is left at
+  /// `horizon` (or at the last event's time if the queue drained first and
+  /// that was earlier).
+  std::uint64_t run_until(Time horizon);
+
+  /// Run a single event if one is pending; returns false when empty.
+  bool step();
+
+  std::size_t pending_count() const noexcept { return callbacks_.size(); }
+  std::uint64_t executed_count() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const Entry& o) const noexcept {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace phi::sim

@@ -1,0 +1,114 @@
+#include "sim/fq.hpp"
+
+#include <cassert>
+
+namespace phi::sim {
+
+DrrQueue::DrrQueue(Config cfg) : cfg_(cfg) {
+  assert(cfg.capacity_bytes > 0 && cfg.quantum_bytes > 0);
+}
+
+FlowId DrrQueue::longest_flow() const {
+  FlowId worst = 0;
+  std::int64_t worst_bytes = -1;
+  for (const auto& [id, fq] : flows_) {
+    std::int64_t b = 0;
+    for (const auto& p : fq.packets) b += p.size_bytes;
+    if (b > worst_bytes) {
+      worst_bytes = b;
+      worst = id;
+    }
+  }
+  return worst;
+}
+
+bool DrrQueue::enqueue(const Packet& p, util::Time now) {
+  if (bytes_ + p.size_bytes > cfg_.capacity_bytes) {
+    // Push-out from the longest queue: the overloaded flow pays, not the
+    // arriving (possibly well-behaved) one — unless the arriver IS the
+    // longest flow, in which case it's a plain drop.
+    const FlowId victim = longest_flow();
+    if (victim == p.flow || flows_.empty()) {
+      ++stats_.dropped;
+      stats_.bytes_dropped += static_cast<std::uint64_t>(p.size_bytes);
+      return false;
+    }
+    auto vit = flows_.find(victim);
+    while (vit != flows_.end() && !vit->second.packets.empty() &&
+           bytes_ + p.size_bytes > cfg_.capacity_bytes) {
+      const Packet& dropped = vit->second.packets.back();
+      bytes_ -= dropped.size_bytes;
+      --packets_;
+      ++stats_.dropped;
+      stats_.bytes_dropped += static_cast<std::uint64_t>(dropped.size_bytes);
+      vit->second.packets.pop_back();
+    }
+    if (bytes_ + p.size_bytes > cfg_.capacity_bytes) {
+      ++stats_.dropped;
+      stats_.bytes_dropped += static_cast<std::uint64_t>(p.size_bytes);
+      return false;
+    }
+  }
+  auto [it, inserted] = flows_.try_emplace(p.flow);
+  if (it->second.packets.empty() && inserted) {
+    round_robin_.push_back(p.flow);
+  } else if (it->second.packets.empty()) {
+    // Flow exists but idle: it may have been removed from the ring.
+    bool in_ring = false;
+    for (const FlowId f : round_robin_) {
+      if (f == p.flow) {
+        in_ring = true;
+        break;
+      }
+    }
+    if (!in_ring) round_robin_.push_back(p.flow);
+  }
+  Packet copy = p;
+  copy.enqueued_at = now;
+  it->second.packets.push_back(copy);
+  bytes_ += p.size_bytes;
+  ++packets_;
+  ++stats_.enqueued;
+  stats_.bytes_enqueued += static_cast<std::uint64_t>(p.size_bytes);
+  return true;
+}
+
+std::optional<Packet> DrrQueue::dequeue() {
+  // DRR: visit flows in round-robin order; a flow may send while its
+  // deficit covers its head packet, gaining one quantum per visit.
+  std::size_t visits = 0;
+  const std::size_t max_visits = round_robin_.size() * 2 + 2;
+  while (!round_robin_.empty() && visits++ < max_visits) {
+    const FlowId id = round_robin_.front();
+    auto it = flows_.find(id);
+    if (it == flows_.end() || it->second.packets.empty()) {
+      round_robin_.pop_front();
+      if (it != flows_.end()) {
+        it->second.deficit = 0;
+        flows_.erase(it);
+      }
+      continue;
+    }
+    FlowQueue& fq = it->second;
+    if (fq.deficit < fq.packets.front().size_bytes) {
+      fq.deficit += cfg_.quantum_bytes;
+      round_robin_.splice(round_robin_.end(), round_robin_,
+                          round_robin_.begin());
+      continue;
+    }
+    Packet p = fq.packets.front();
+    fq.packets.pop_front();
+    fq.deficit -= p.size_bytes;
+    bytes_ -= p.size_bytes;
+    --packets_;
+    ++stats_.dequeued;
+    if (fq.packets.empty()) {
+      round_robin_.pop_front();
+      flows_.erase(it);
+    }
+    return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace phi::sim

@@ -1,0 +1,59 @@
+// fq.hpp — per-flow fair queueing (Deficit Round Robin, Shreedhar &
+// Varghese). §3.1 roots Phi's need for coordination in the prevalence of
+// FIFO queues, which are not incentive-compatible [Godfrey et al.]: an
+// aggressive flow hurts everyone. Under fair queueing each flow gets an
+// isolated share, so coordination buys much less — DRR is the
+// counterfactual the ablation runs against.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <unordered_map>
+
+#include "sim/queue_disc.hpp"
+
+namespace phi::sim {
+
+class DrrQueue final : public QueueDisc {
+ public:
+  struct Config {
+    std::int64_t capacity_bytes = 0;  ///< shared across all flows
+    std::int64_t quantum_bytes = kSegmentBytes;  ///< per-round credit
+  };
+
+  explicit DrrQueue(Config cfg);
+
+  bool enqueue(const Packet& p, util::Time now) override;
+  std::optional<Packet> dequeue() override;
+
+  bool empty() const noexcept override { return bytes_ == 0; }
+  std::size_t packets() const noexcept override { return packets_; }
+  std::int64_t bytes() const noexcept override { return bytes_; }
+  std::int64_t capacity_bytes() const noexcept override {
+    return cfg_.capacity_bytes;
+  }
+  const QueueStats& stats() const noexcept override { return stats_; }
+  void reset_stats() noexcept override { stats_ = {}; }
+
+  std::size_t active_flows() const noexcept { return flows_.size(); }
+
+ private:
+  struct FlowQueue {
+    std::deque<Packet> packets;
+    std::int64_t deficit = 0;
+  };
+
+  /// Longest per-flow queue (drop-from-longest on overflow keeps heavy
+  /// flows from starving light ones even at the buffer limit).
+  FlowId longest_flow() const;
+
+  Config cfg_;
+  std::unordered_map<FlowId, FlowQueue> flows_;
+  std::list<FlowId> round_robin_;  ///< active flows in service order
+  std::int64_t bytes_ = 0;
+  std::size_t packets_ = 0;
+  QueueStats stats_;
+};
+
+}  // namespace phi::sim

@@ -1,0 +1,79 @@
+#include "sim/link.hpp"
+
+#include "sim/node.hpp"
+
+namespace phi::sim {
+
+Link::Link(Scheduler& sched, Node& dst, util::Rate rate,
+           util::Duration prop_delay, std::int64_t buffer_bytes,
+           std::string name)
+    : Link(sched, dst, rate, prop_delay,
+           std::make_unique<DropTailDisc>(buffer_bytes), std::move(name)) {}
+
+Link::Link(Scheduler& sched, Node& dst, util::Rate rate,
+           util::Duration prop_delay, std::unique_ptr<QueueDisc> queue,
+           std::string name)
+    : sched_(sched),
+      dst_(dst),
+      rate_(rate),
+      prop_delay_(prop_delay),
+      queue_(std::move(queue)),
+      name_(std::move(name)) {}
+
+void Link::send(Packet p) {
+  if (!up_) {
+    ++outage_drops_;
+    return;
+  }
+  if (busy_) {
+    queue_->enqueue(p, sched_.now());  // drop accounted inside the queue
+    return;
+  }
+  start_transmission(p);
+}
+
+void Link::start_transmission(Packet p) {
+  busy_ = true;
+  const util::Duration tx = util::transmission_time(p.size_bytes, rate_);
+  busy_time_ += tx;
+  bytes_tx_ += static_cast<std::uint64_t>(p.size_bytes);
+  ++pkts_tx_;
+  // The packet reaches the far end after serialization + propagation
+  // (plus optional jitter, which can reorder); the transmitter frees up
+  // after serialization alone.
+  const util::Duration extra =
+      jitter_ > 0 ? static_cast<util::Duration>(
+                        jitter_rng_.uniform() * static_cast<double>(jitter_))
+                  : 0;
+  sched_.schedule_in(tx + prop_delay_ + extra,
+                     [this, p] { dst_.deliver(p); });
+  sched_.schedule_in(tx, [this] { on_transmit_complete(); });
+}
+
+void Link::on_transmit_complete() {
+  busy_ = false;
+  if (auto next = queue_->dequeue()) {
+    const double waited = util::to_seconds(sched_.now() - next->enqueued_at);
+    qdelay_.add(waited);
+    qdelay_p99_.add(waited);
+    start_transmission(*next);
+  }
+}
+
+double Link::utilization(util::Time now) const noexcept {
+  const util::Duration elapsed = now - stats_since_;
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(busy_time_) / static_cast<double>(elapsed);
+}
+
+void Link::reset_stats() noexcept {
+  bytes_tx_ = 0;
+  pkts_tx_ = 0;
+  busy_time_ = 0;
+  stats_since_ = sched_.now();
+  qdelay_ = {};
+  qdelay_p99_ = util::P2Quantile(0.99);
+  queue_->reset_stats();
+}
+
+}  // namespace phi::sim

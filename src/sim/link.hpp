@@ -1,0 +1,108 @@
+// link.hpp — unidirectional point-to-point link: fixed rate, fixed
+// propagation delay, drop-tail FIFO buffer. A bidirectional "cable" is two
+// Links. The transmit loop serializes one packet at a time, exactly like
+// ns-2's DelayLink + DropTail pair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include <memory>
+
+#include "sim/event.hpp"
+#include "sim/packet.hpp"
+#include "sim/queue_disc.hpp"
+#include "util/rng.hpp"
+#include "util/p2_quantile.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace phi::sim {
+
+class Node;
+
+class Link {
+ public:
+  /// Drop-tail convenience constructor: `buffer_bytes` bounds the queue;
+  /// the packet being serialized does not count against it (it has left
+  /// the queue).
+  Link(Scheduler& sched, Node& dst, util::Rate rate,
+       util::Duration prop_delay, std::int64_t buffer_bytes,
+       std::string name = {});
+
+  /// Full form: attach an arbitrary queueing discipline (e.g. RED+ECN).
+  Link(Scheduler& sched, Node& dst, util::Rate rate,
+       util::Duration prop_delay, std::unique_ptr<QueueDisc> queue,
+       std::string name = {});
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Entry point from the upstream node: queue (or drop) and kick the
+  /// transmitter.
+  void send(Packet p);
+
+  util::Rate rate() const noexcept { return rate_; }
+  util::Duration propagation_delay() const noexcept { return prop_delay_; }
+  const std::string& name() const noexcept { return name_; }
+  const QueueDisc& queue() const noexcept { return *queue_; }
+  QueueDisc& queue() noexcept { return *queue_; }
+  Node& destination() noexcept { return dst_; }
+
+  /// Random per-packet extra propagation delay in [0, jitter]; non-zero
+  /// jitter reorders packets (the §3.2 informed-adaptation scenario).
+  void set_jitter(util::Duration jitter, std::uint64_t seed = 0x717) {
+    jitter_ = jitter;
+    jitter_rng_ = util::Rng(seed);
+  }
+  util::Duration jitter() const noexcept { return jitter_; }
+
+  /// Failure injection: a downed link discards everything offered to it
+  /// (packets already serialized/propagating still arrive). Used by the
+  /// unreachability experiments and robustness tests.
+  void set_up(bool up) noexcept { up_ = up; }
+  bool is_up() const noexcept { return up_; }
+  std::uint64_t outage_drops() const noexcept { return outage_drops_; }
+
+  std::uint64_t bytes_transmitted() const noexcept { return bytes_tx_; }
+  std::uint64_t packets_transmitted() const noexcept { return pkts_tx_; }
+
+  /// Per-packet time spent in this link's queue (excludes serialization).
+  const util::RunningStats& queueing_delay() const noexcept {
+    return qdelay_;
+  }
+
+  /// Streaming p99 of the per-packet queueing delay, seconds (P2
+  /// estimator: O(1) space even on billion-packet runs).
+  double queueing_delay_p99_s() const { return qdelay_p99_.value(); }
+
+  /// Fraction of wall-clock the transmitter has been busy since t=0.
+  double utilization(util::Time now) const noexcept;
+
+  void reset_stats() noexcept;
+
+ private:
+  void start_transmission(Packet p);
+  void on_transmit_complete();
+
+  Scheduler& sched_;
+  Node& dst_;
+  util::Rate rate_;
+  util::Duration prop_delay_;
+  std::unique_ptr<QueueDisc> queue_;
+  std::string name_;
+  util::Duration jitter_ = 0;
+  util::Rng jitter_rng_{0x717};
+
+  bool busy_ = false;
+  bool up_ = true;
+  std::uint64_t outage_drops_ = 0;
+  std::uint64_t bytes_tx_ = 0;
+  std::uint64_t pkts_tx_ = 0;
+  util::Duration busy_time_ = 0;
+  util::Time stats_since_ = 0;
+  util::RunningStats qdelay_;
+  util::P2Quantile qdelay_p99_{0.99};
+};
+
+}  // namespace phi::sim

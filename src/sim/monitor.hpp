@@ -1,0 +1,89 @@
+// monitor.hpp — periodic sampling of a link's utilization and queue
+// occupancy. This is the measurement substrate behind Phi's congestion
+// context: the "up-to-the-minute bottleneck utilization" signal u that
+// Remy-Phi-ideal consumes, and the windowed averages the context server
+// aggregates.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/event.hpp"
+#include "sim/link.hpp"
+#include "util/stats.hpp"
+
+namespace phi::sim {
+
+class LinkMonitor {
+ public:
+  /// Samples `link` every `interval` starting one interval from now.
+  /// `window` controls how many recent samples `recent_utilization()`
+  /// averages over (the "current network weather").
+  LinkMonitor(Scheduler& sched, const Link& link,
+              util::Duration interval = util::milliseconds(100),
+              std::size_t window = 10);
+
+  LinkMonitor(const LinkMonitor&) = delete;
+  LinkMonitor& operator=(const LinkMonitor&) = delete;
+  ~LinkMonitor();
+
+  /// Utilization over the last completed sampling interval, in [0, 1].
+  double instant_utilization() const noexcept { return last_util_; }
+
+  /// Mean utilization over the trailing window (the u signal).
+  double recent_utilization() const noexcept;
+
+  /// Mean queue occupancy (fraction of buffer) over the trailing window.
+  double recent_occupancy() const noexcept;
+
+  /// Whole-run statistics.
+  const util::RunningStats& utilization_series() const noexcept {
+    return util_all_;
+  }
+  const util::RunningStats& occupancy_series() const noexcept {
+    return occ_all_;
+  }
+
+  /// Whole-run bottleneck loss rate (drops / arrivals at the queue).
+  double loss_rate() const noexcept { return link_.queue().stats().drop_rate(); }
+
+  /// Mean per-packet queueing delay at the link, in seconds.
+  double mean_queueing_delay_s() const noexcept {
+    return link_.queueing_delay().mean();
+  }
+
+  util::Duration interval() const noexcept { return interval_; }
+  std::uint64_t samples() const noexcept { return sample_count_; }
+
+  /// Direct views of the monitored link (for oracle context sources).
+  const QueueDisc& link_queue() const noexcept { return link_.queue(); }
+  double link_rate() const noexcept { return link_.rate(); }
+
+  /// Discard accumulated series (post-warmup reset). The sampling cadence
+  /// continues; recent-window state is kept.
+  void reset_series() noexcept {
+    util_all_ = {};
+    occ_all_ = {};
+  }
+
+ private:
+  void sample();
+  void arm();
+
+  Scheduler& sched_;
+  const Link& link_;
+  util::Duration interval_;
+  std::size_t window_;
+
+  std::uint64_t last_bytes_ = 0;
+  double last_util_ = 0.0;
+  std::deque<double> util_window_;
+  std::deque<double> occ_window_;
+  util::RunningStats util_all_;
+  util::RunningStats occ_all_;
+  std::uint64_t sample_count_ = 0;
+  EventId pending_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace phi::sim

@@ -1,0 +1,44 @@
+#include "sim/network.hpp"
+
+namespace phi::sim {
+
+Node& Network::add_node(std::string name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  if (name.empty()) name = "node" + std::to_string(id);
+  nodes_.push_back(std::make_unique<Node>(id, std::move(name)));
+  return *nodes_.back();
+}
+
+Link& Network::add_link(Node& src, Node& dst, util::Rate rate,
+                        util::Duration prop_delay,
+                        std::int64_t buffer_bytes, std::string name) {
+  return add_link(src, dst, rate, prop_delay,
+                  std::make_unique<DropTailDisc>(buffer_bytes),
+                  std::move(name));
+}
+
+Link& Network::add_link(Node& src, Node& dst, util::Rate rate,
+                        util::Duration prop_delay,
+                        std::unique_ptr<QueueDisc> queue, std::string name) {
+  if (name.empty()) name = src.name() + "->" + dst.name();
+  links_.push_back(std::make_unique<Link>(sched_, dst, rate, prop_delay,
+                                          std::move(queue), std::move(name)));
+  // Route installation is the caller's responsibility; typical use is
+  // src.add_route(dst.id(), &link) or a default route.
+  (void)src;
+  return *links_.back();
+}
+
+std::pair<Link*, Link*> Network::add_duplex(Node& a, Node& b,
+                                            util::Rate rate,
+                                            util::Duration prop_delay,
+                                            std::int64_t buffer_bytes,
+                                            const std::string& name) {
+  Link& fwd = add_link(a, b, rate, prop_delay, buffer_bytes,
+                       name.empty() ? std::string{} : name + ":fwd");
+  Link& rev = add_link(b, a, rate, prop_delay, buffer_bytes,
+                       name.empty() ? std::string{} : name + ":rev");
+  return {&fwd, &rev};
+}
+
+}  // namespace phi::sim

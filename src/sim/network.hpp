@@ -1,0 +1,54 @@
+// network.hpp — owns the scheduler, nodes and links of one simulation run.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/link.hpp"
+#include "sim/node.hpp"
+
+namespace phi::sim {
+
+class Network {
+ public:
+  Scheduler& scheduler() noexcept { return sched_; }
+  util::Time now() const noexcept { return sched_.now(); }
+
+  /// Create a node; the Network owns it and its address is stable.
+  Node& add_node(std::string name = {});
+
+  /// Create a unidirectional link from `src` to `dst`; installs no routes
+  /// (callers wire routing explicitly or via a topology builder).
+  Link& add_link(Node& src, Node& dst, util::Rate rate,
+                 util::Duration prop_delay, std::int64_t buffer_bytes,
+                 std::string name = {});
+
+  /// Same, with an explicit queueing discipline (e.g. RED+ECN).
+  Link& add_link(Node& src, Node& dst, util::Rate rate,
+                 util::Duration prop_delay,
+                 std::unique_ptr<QueueDisc> queue, std::string name = {});
+
+  /// Convenience: two links (src->dst and dst->src) with identical
+  /// parameters; returns {forward, reverse}.
+  std::pair<Link*, Link*> add_duplex(Node& a, Node& b, util::Rate rate,
+                                     util::Duration prop_delay,
+                                     std::int64_t buffer_bytes,
+                                     const std::string& name = {});
+
+  Node& node(NodeId id) { return *nodes_.at(id); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  const std::vector<std::unique_ptr<Link>>& links() const noexcept {
+    return links_;
+  }
+
+  void run_until(util::Time horizon) { sched_.run_until(horizon); }
+
+ private:
+  Scheduler sched_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace phi::sim

@@ -1,0 +1,30 @@
+#include "sim/node.hpp"
+
+#include "sim/link.hpp"
+
+namespace phi::sim {
+
+void Node::send(Packet p) {
+  auto it = routes_.find(p.dst);
+  Link* link = it != routes_.end() ? it->second : default_route_;
+  if (link == nullptr) {
+    ++no_route_drops_;
+    return;
+  }
+  link->send(p);
+}
+
+void Node::deliver(const Packet& p) {
+  if (p.dst != id_) {
+    send(p);
+    return;
+  }
+  auto it = agents_.find(p.flow);
+  if (it == agents_.end()) {
+    ++unclaimed_;
+    return;
+  }
+  it->second->on_packet(p);
+}
+
+}  // namespace phi::sim

@@ -1,0 +1,63 @@
+// node.hpp — a host or router. Hosts dispatch arriving packets to the
+// protocol Agent registered for the packet's flow; routers forward along
+// static routes (per-destination entry or default).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "sim/packet.hpp"
+
+namespace phi::sim {
+
+class Link;
+
+/// A protocol endpoint (TCP sender, sink, Remy sender, ...). Agents are
+/// non-owning observers registered on a Node per flow id.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  /// Called when a packet addressed to this node's flow arrives.
+  virtual void on_packet(const Packet& p) = 0;
+};
+
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Static route: packets for `dst` leave via `link`.
+  void add_route(NodeId dst, Link* link) { routes_[dst] = link; }
+  void set_default_route(Link* link) { default_route_ = link; }
+
+  /// Originate or forward a packet from this node. Packets with no
+  /// matching route are counted in `no_route_drops()` and discarded.
+  void send(Packet p);
+
+  /// A packet has arrived at this node. If addressed here it is handed to
+  /// the flow's Agent (or counted as unclaimed); otherwise forwarded.
+  void deliver(const Packet& p);
+
+  void attach(FlowId flow, Agent* agent) { agents_[flow] = agent; }
+  void detach(FlowId flow) { agents_.erase(flow); }
+
+  std::uint64_t no_route_drops() const noexcept { return no_route_drops_; }
+  std::uint64_t unclaimed_packets() const noexcept { return unclaimed_; }
+
+ private:
+  NodeId id_;
+  std::string name_;
+  std::unordered_map<NodeId, Link*> routes_;
+  Link* default_route_ = nullptr;
+  std::unordered_map<FlowId, Agent*> agents_;
+  std::uint64_t no_route_drops_ = 0;
+  std::uint64_t unclaimed_ = 0;
+};
+
+}  // namespace phi::sim

@@ -1,0 +1,52 @@
+// packet.hpp — the unit of transfer in the simulator.
+//
+// Like ns-2, TCP here is segment-granular: `seq`/`ack` count MSS-sized
+// segments, not bytes. Packets carry a sender timestamp that the receiver
+// echoes, giving exact per-packet RTT samples (the timestamp option).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace phi::sim {
+
+using NodeId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+inline constexpr std::int32_t kDefaultMss = 1460;        // payload bytes
+inline constexpr std::int32_t kSegmentBytes = 1500;      // on-the-wire size
+inline constexpr std::int32_t kAckBytes = 40;            // header-only ACK
+
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  FlowId flow = 0;
+  std::uint32_t conn = 0;       ///< connection epoch within the flow
+  std::int64_t seq = 0;         ///< data: segment number; ACK: unused
+  std::int64_t ack = -1;        ///< cumulative ACK (next expected segment)
+  bool is_ack = false;
+  bool fin = false;             ///< last segment of the connection
+  std::int32_t size_bytes = kSegmentBytes;
+  util::Time sent_at = 0;       ///< stamped by the sender
+  util::Time echo = 0;          ///< receiver echoes data packet's sent_at
+  std::uint32_t priority = 0;   ///< phi §3.3 coordination weight class
+  util::Time enqueued_at = 0;   ///< set by queues to measure queueing delay
+
+  // Explicit Congestion Notification (RFC 3168), for the AQM ablation.
+  bool ect = false;  ///< sender is ECN-capable (ECT codepoint)
+  bool ce = false;   ///< congestion experienced (set by AQM)
+  bool ece = false;  ///< receiver echoes CE back to the sender (on ACKs)
+
+  /// Selective acknowledgment blocks (RFC 2018): up to 3 [start, end)
+  /// ranges of segments received above the cumulative ACK.
+  struct SackBlock {
+    std::int64_t start = 0;
+    std::int64_t end = 0;  ///< exclusive
+  };
+  std::array<SackBlock, 3> sack{};
+  std::uint8_t sack_count = 0;
+};
+
+}  // namespace phi::sim

@@ -1,0 +1,69 @@
+// parking_lot.hpp — the classic multi-bottleneck chain: routers R0..RH
+// connected by per-hop bottleneck links, "long" flows traversing every
+// hop and per-hop "cross" flows loading individual hops. The paper's
+// context is per *path* (§2.2.2: a /24 behind a particular egress); this
+// topology is what makes per-path congestion contexts observable — two
+// hops can carry very different weather.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/monitor.hpp"
+#include "sim/network.hpp"
+
+namespace phi::sim {
+
+struct ParkingLotConfig {
+  std::size_t hops = 2;            ///< bottleneck links (routers = hops+1)
+  std::size_t cross_per_hop = 4;   ///< cross-traffic pairs loading each hop
+  std::size_t long_flows = 2;      ///< end-to-end pairs across all hops
+  util::Rate hop_rate = 15.0 * util::kMbps;
+  util::Duration hop_delay = util::milliseconds(20);  ///< one way per hop
+  util::Rate edge_rate = 1000.0 * util::kMbps;
+  util::Duration edge_delay = util::milliseconds(1);
+  double buffer_bdp_multiple = 5.0;
+  util::Duration monitor_interval = util::milliseconds(100);
+};
+
+class ParkingLot {
+ public:
+  explicit ParkingLot(const ParkingLotConfig& cfg);
+
+  Network& net() noexcept { return net_; }
+  Scheduler& scheduler() noexcept { return net_.scheduler(); }
+  const ParkingLotConfig& config() const noexcept { return cfg_; }
+
+  std::size_t hops() const noexcept { return cfg_.hops; }
+
+  Node& long_sender(std::size_t i) { return *long_senders_.at(i); }
+  Node& long_receiver(std::size_t i) { return *long_receivers_.at(i); }
+  Node& cross_sender(std::size_t hop, std::size_t i) {
+    return *cross_senders_.at(hop).at(i);
+  }
+  Node& cross_receiver(std::size_t hop, std::size_t i) {
+    return *cross_receivers_.at(hop).at(i);
+  }
+
+  /// Forward bottleneck link of hop h (router h -> router h+1).
+  Link& hop_link(std::size_t h) { return *hop_links_.at(h); }
+  LinkMonitor& hop_monitor(std::size_t h) { return *monitors_.at(h); }
+
+ private:
+  /// Create a host, cable it to `router`, and install routes everywhere.
+  Node& attach_host(std::size_t router_idx, const std::string& name);
+
+  ParkingLotConfig cfg_;
+  Network net_;
+  std::vector<Node*> routers_;
+  std::vector<Link*> hop_links_;      ///< forward, one per hop
+  std::vector<Link*> hop_links_rev_;  ///< reverse, one per hop
+  std::vector<Node*> long_senders_;
+  std::vector<Node*> long_receivers_;
+  std::vector<std::vector<Node*>> cross_senders_;
+  std::vector<std::vector<Node*>> cross_receivers_;
+  std::vector<std::unique_ptr<LinkMonitor>> monitors_;
+};
+
+}  // namespace phi::sim

@@ -1,0 +1,29 @@
+#include "sim/queue.hpp"
+
+namespace phi::sim {
+
+bool DropTailQueue::enqueue(const Packet& p, util::Time now) {
+  if (bytes_ + p.size_bytes > capacity_bytes_) {
+    ++stats_.dropped;
+    stats_.bytes_dropped += static_cast<std::uint64_t>(p.size_bytes);
+    return false;
+  }
+  Packet copy = p;
+  copy.enqueued_at = now;
+  bytes_ += copy.size_bytes;
+  ++stats_.enqueued;
+  stats_.bytes_enqueued += static_cast<std::uint64_t>(copy.size_bytes);
+  q_.push_back(copy);
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue() {
+  if (q_.empty()) return std::nullopt;
+  Packet p = q_.front();
+  q_.pop_front();
+  bytes_ -= p.size_bytes;
+  ++stats_.dequeued;
+  return p;
+}
+
+}  // namespace phi::sim

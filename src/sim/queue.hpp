@@ -1,0 +1,80 @@
+// queue.hpp — drop-tail FIFO buffering, the queueing discipline whose
+// incentive-incompatibility motivates Phi's coordination story (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "sim/packet.hpp"
+#include "util/units.hpp"
+
+namespace phi::sim {
+
+/// Statistics a queue accumulates over its lifetime.
+struct QueueStats {
+  std::uint64_t enqueued = 0;   ///< packets accepted
+  std::uint64_t dropped = 0;    ///< packets rejected (buffer full)
+  std::uint64_t dequeued = 0;
+  std::uint64_t bytes_enqueued = 0;
+  std::uint64_t bytes_dropped = 0;
+
+  /// Fraction of arriving packets dropped.
+  double drop_rate() const noexcept {
+    const auto total = enqueued + dropped;
+    return total ? static_cast<double>(dropped) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// Bounded FIFO with a byte-capacity limit (ns-2's DropTail with
+/// queue-in-bytes). The paper's Figure 1 sizes this to 5x the
+/// bandwidth-delay product of the bottleneck.
+class DropTailQueue {
+ public:
+  explicit DropTailQueue(std::int64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Attempt to enqueue. Returns false (and counts a drop) when the packet
+  /// does not fit. `now` is recorded to measure per-packet queueing delay.
+  bool enqueue(const Packet& p, util::Time now);
+
+  /// Remove and return the head packet, if any.
+  std::optional<Packet> dequeue();
+
+  /// Account an externally-decided drop (e.g. RED early drop) in this
+  /// queue's statistics without enqueueing. Always returns false.
+  bool enqueue_drop(const Packet& p) noexcept {
+    ++stats_.dropped;
+    stats_.bytes_dropped += static_cast<std::uint64_t>(p.size_bytes);
+    return false;
+  }
+
+  const Packet* peek() const noexcept {
+    return q_.empty() ? nullptr : &q_.front();
+  }
+
+  bool empty() const noexcept { return q_.empty(); }
+  std::size_t packets() const noexcept { return q_.size(); }
+  std::int64_t bytes() const noexcept { return bytes_; }
+  std::int64_t capacity_bytes() const noexcept { return capacity_bytes_; }
+
+  /// Instantaneous occupancy as a fraction of capacity, in [0, 1].
+  double occupancy() const noexcept {
+    return capacity_bytes_ > 0
+               ? static_cast<double>(bytes_) /
+                     static_cast<double>(capacity_bytes_)
+               : 0.0;
+  }
+
+  const QueueStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  std::int64_t capacity_bytes_;
+  std::int64_t bytes_ = 0;
+  std::deque<Packet> q_;
+  QueueStats stats_;
+};
+
+}  // namespace phi::sim

@@ -1,0 +1,113 @@
+// queue_disc.hpp — queueing-discipline interface. The paper's experiments
+// run drop-tail FIFO (whose incentive-incompatibility motivates Phi's
+// coordination, §3.1); RED+ECN is provided as the ablation counterpoint:
+// how much of Phi's benefit survives once the network manages its queues?
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/packet.hpp"
+#include "sim/queue.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace phi::sim {
+
+/// Abstract bounded packet queue attached to a link's transmitter.
+class QueueDisc {
+ public:
+  virtual ~QueueDisc() = default;
+
+  /// Accept or drop (possibly ECN-mark) an arriving packet.
+  virtual bool enqueue(const Packet& p, util::Time now) = 0;
+  virtual std::optional<Packet> dequeue() = 0;
+
+  virtual bool empty() const noexcept = 0;
+  virtual std::size_t packets() const noexcept = 0;
+  virtual std::int64_t bytes() const noexcept = 0;
+  virtual std::int64_t capacity_bytes() const noexcept = 0;
+  virtual const QueueStats& stats() const noexcept = 0;
+  virtual void reset_stats() noexcept = 0;
+
+  /// Instantaneous occupancy in [0, 1].
+  double occupancy() const noexcept {
+    const auto cap = capacity_bytes();
+    return cap > 0 ? static_cast<double>(bytes()) /
+                         static_cast<double>(cap)
+                   : 0.0;
+  }
+};
+
+/// Drop-tail adapter over the concrete DropTailQueue.
+class DropTailDisc final : public QueueDisc {
+ public:
+  explicit DropTailDisc(std::int64_t capacity_bytes) : q_(capacity_bytes) {}
+
+  bool enqueue(const Packet& p, util::Time now) override {
+    return q_.enqueue(p, now);
+  }
+  std::optional<Packet> dequeue() override { return q_.dequeue(); }
+  bool empty() const noexcept override { return q_.empty(); }
+  std::size_t packets() const noexcept override { return q_.packets(); }
+  std::int64_t bytes() const noexcept override { return q_.bytes(); }
+  std::int64_t capacity_bytes() const noexcept override {
+    return q_.capacity_bytes();
+  }
+  const QueueStats& stats() const noexcept override { return q_.stats(); }
+  void reset_stats() noexcept override { q_.reset_stats(); }
+
+ private:
+  DropTailQueue q_;
+};
+
+/// Random Early Detection (Floyd & Jacobson) with ECN marking ("gentle"
+/// variant). Average queue length is an EWMA sampled at enqueue; between
+/// min_th and max_th arriving packets are marked (ECT traffic) or dropped
+/// with probability ramping to max_p, and between max_th and 2*max_th the
+/// probability ramps to 1.
+class RedQueue final : public QueueDisc {
+ public:
+  struct Config {
+    std::int64_t capacity_bytes = 0;   ///< hard limit (tail drop beyond)
+    double min_th_fraction = 0.15;     ///< of capacity
+    double max_th_fraction = 0.5;
+    double max_p = 0.1;
+    double weight = 0.002;             ///< EWMA weight of instantaneous queue
+    bool ecn = true;                   ///< mark ECT packets instead of drop
+    std::uint64_t seed = 0x12ED;       ///< RNG stream for mark decisions
+  };
+
+  explicit RedQueue(Config cfg);
+
+  bool enqueue(const Packet& p, util::Time now) override;
+  std::optional<Packet> dequeue() override;
+
+  bool empty() const noexcept override { return q_.empty(); }
+  std::size_t packets() const noexcept override { return q_.packets(); }
+  std::int64_t bytes() const noexcept override { return q_.bytes(); }
+  std::int64_t capacity_bytes() const noexcept override {
+    return q_.capacity_bytes();
+  }
+  const QueueStats& stats() const noexcept override { return q_.stats(); }
+  void reset_stats() noexcept override {
+    q_.reset_stats();
+    marks_ = 0;
+  }
+
+  std::uint64_t ecn_marks() const noexcept { return marks_; }
+  double average_queue_bytes() const noexcept { return avg_; }
+
+ private:
+  /// Probability of marking/dropping at the current average occupancy.
+  double mark_probability() const noexcept;
+
+  Config cfg_;
+  DropTailQueue q_;
+  double avg_ = 0.0;
+  std::uint64_t marks_ = 0;
+  std::uint64_t since_last_mark_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace phi::sim

@@ -1,0 +1,47 @@
+#include "sim/tap.hpp"
+
+#include <fstream>
+
+namespace phi::sim {
+
+FlowTap::FlowTap(Scheduler& sched, Node& node, FlowId flow, Agent* inner)
+    : sched_(sched), node_(node), flow_(flow), inner_(inner) {
+  node_.attach(flow_, this);
+}
+
+FlowTap::~FlowTap() {
+  if (inner_ != nullptr) {
+    node_.attach(flow_, inner_);
+  } else {
+    node_.detach(flow_);
+  }
+}
+
+void FlowTap::on_packet(const Packet& p) {
+  ++seen_;
+  if (!filter_ || filter_(p)) {
+    Record r;
+    r.at = sched_.now();
+    r.seq = p.seq;
+    r.ack = p.ack;
+    r.is_ack = p.is_ack;
+    r.ce = p.ce;
+    r.size_bytes = p.size_bytes;
+    records_.push_back(r);
+  }
+  if (inner_ != nullptr) inner_->on_packet(p);
+}
+
+bool FlowTap::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "t_s,seq,ack,is_ack,ce,bytes\n";
+  for (const auto& r : records_) {
+    f << util::to_seconds(r.at) << ',' << r.seq << ',' << r.ack << ','
+      << (r.is_ack ? 1 : 0) << ',' << (r.ce ? 1 : 0) << ',' << r.size_bytes
+      << '\n';
+  }
+  return static_cast<bool>(f);
+}
+
+}  // namespace phi::sim

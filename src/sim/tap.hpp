@@ -1,0 +1,62 @@
+// tap.hpp — packet capture on a node: a LinkTap interposes on a flow's
+// delivery path and records per-packet headers (a text-pcap for the
+// simulator). Used for debugging transports and for building custom
+// telemetry pipelines without touching the agents under test.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/node.hpp"
+#include "sim/packet.hpp"
+
+namespace phi::sim {
+
+/// Interposes on one flow at one node: records every packet, then passes
+/// it to the original agent. Detaches (restoring the original) on
+/// destruction.
+class FlowTap : public Agent {
+ public:
+  struct Record {
+    util::Time at = 0;
+    std::int64_t seq = 0;
+    std::int64_t ack = -1;
+    bool is_ack = false;
+    bool ce = false;
+    std::int32_t size_bytes = 0;
+  };
+
+  /// `inner` is the agent currently attached for `flow` on `node` (the
+  /// tap replaces it and forwards).
+  FlowTap(Scheduler& sched, Node& node, FlowId flow, Agent* inner);
+  ~FlowTap() override;
+
+  FlowTap(const FlowTap&) = delete;
+  FlowTap& operator=(const FlowTap&) = delete;
+
+  void on_packet(const Packet& p) override;
+
+  /// Optional predicate: record only packets it accepts (default: all).
+  void set_filter(std::function<bool(const Packet&)> f) {
+    filter_ = std::move(f);
+  }
+
+  const std::vector<Record>& records() const noexcept { return records_; }
+  std::uint64_t packets_seen() const noexcept { return seen_; }
+
+  /// Write "t_s,seq,ack,is_ack,ce,bytes" rows.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  Scheduler& sched_;
+  Node& node_;
+  FlowId flow_;
+  Agent* inner_;
+  std::function<bool(const Packet&)> filter_;
+  std::vector<Record> records_;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace phi::sim

@@ -1,0 +1,71 @@
+// topology.hpp — canned topologies. The paper's experiments all run on the
+// Figure-1 dumbbell: N sender/receiver pairs across a single bottleneck
+// whose buffer is 5x the bottleneck bandwidth-delay product.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/monitor.hpp"
+#include "sim/network.hpp"
+
+namespace phi::sim {
+
+struct DumbbellConfig {
+  std::size_t pairs = 8;
+  util::Rate bottleneck_rate = 15.0 * util::kMbps;
+  util::Duration rtt = util::milliseconds(150);  ///< end-to-end round trip
+  util::Rate edge_rate = 1000.0 * util::kMbps;
+  util::Duration edge_delay = util::milliseconds(1);  ///< per edge hop, one way
+  double buffer_bdp_multiple = 5.0;                   ///< Figure 1
+  util::Duration monitor_interval = util::milliseconds(100);
+
+  /// Bottleneck queueing discipline: the paper's drop-tail FIFO, RED+ECN
+  /// for the AQM ablation, or per-flow DRR fair queueing for the §3.1
+  /// incentive-compatibility counterfactual.
+  enum class Queue { kDropTail, kRedEcn, kFq };
+  Queue queue = Queue::kDropTail;
+  /// Random extra one-way delay on the bottleneck (reorders packets).
+  util::Duration bottleneck_jitter = 0;
+};
+
+/// The Figure-1 dumbbell. Senders index 0..pairs-1; sender i talks to
+/// receiver i. Routing is fully installed; flows just need agents attached
+/// and packets addressed sender(i) -> receiver(i).
+class Dumbbell {
+ public:
+  explicit Dumbbell(const DumbbellConfig& cfg);
+
+  Network& net() noexcept { return net_; }
+  Scheduler& scheduler() noexcept { return net_.scheduler(); }
+
+  Node& sender(std::size_t i) { return *senders_.at(i); }
+  Node& receiver(std::size_t i) { return *receivers_.at(i); }
+  std::size_t pairs() const noexcept { return senders_.size(); }
+
+  Link& bottleneck() noexcept { return *bottleneck_; }
+  LinkMonitor& monitor() noexcept { return *monitor_; }
+
+  const DumbbellConfig& config() const noexcept { return cfg_; }
+
+  /// One-way propagation delay sender->receiver implied by the config.
+  util::Duration one_way_delay() const noexcept;
+
+  /// Bottleneck buffer size chosen by the builder (bytes).
+  std::int64_t buffer_bytes() const noexcept { return buffer_bytes_; }
+
+ private:
+  DumbbellConfig cfg_;
+  Network net_;
+  std::vector<Node*> senders_;
+  std::vector<Node*> receivers_;
+  Node* left_ = nullptr;
+  Node* right_ = nullptr;
+  Link* bottleneck_ = nullptr;
+  Link* bottleneck_rev_ = nullptr;
+  std::int64_t buffer_bytes_ = 0;
+  std::unique_ptr<LinkMonitor> monitor_;
+};
+
+}  // namespace phi::sim

@@ -1,0 +1,115 @@
+// app.hpp — the paper's workload: each sender alternates between "on"
+// periods (a fresh connection transferring an exponentially-distributed
+// number of bytes) and exponentially-distributed idle "off" periods
+// (§2.2). The ConnectionAdvisor hook is where Phi plugs in: look up the
+// context server before a connection, report back after it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event.hpp"
+#include "tcp/sender.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace phi::tcp {
+
+/// Hook invoked around each connection of an OnOffApp. Default: no-op
+/// (autonomous sender, the paper's status quo).
+class ConnectionAdvisor {
+ public:
+  virtual ~ConnectionAdvisor() = default;
+  /// Called just before start_connection; may call sender.set_cc(...) to
+  /// install tuned parameters (the Phi lookup).
+  virtual void before_connection(TcpSender& sender) { (void)sender; }
+  /// Called when a connection completes (the Phi report).
+  virtual void after_connection(const ConnStats& stats,
+                                const TcpSender& sender) {
+    (void)stats;
+    (void)sender;
+  }
+};
+
+struct OnOffConfig {
+  double mean_on_bytes = 500e3;  ///< exponential; paper Fig. 2 uses 500 KB
+  double mean_off_s = 2.0;       ///< exponential; paper Fig. 2 uses 2 s
+  bool start_with_off = true;    ///< desynchronize flow starts
+  std::int64_t max_connections = 0;  ///< 0 = unlimited
+};
+
+/// Drives an endless sequence of connections on one TcpSender and
+/// accumulates the aggregates the paper reports (throughput is bits
+/// transferred / on-time).
+class OnOffApp {
+ public:
+  OnOffApp(sim::Scheduler& sched, TcpSender& sender, OnOffConfig cfg,
+           std::uint64_t seed);
+  ~OnOffApp();
+
+  OnOffApp(const OnOffApp&) = delete;
+  OnOffApp& operator=(const OnOffApp&) = delete;
+
+  void set_advisor(ConnectionAdvisor* advisor) noexcept {
+    advisor_ = advisor;
+  }
+
+  /// Begin the on/off cycle (call once, before or during the run).
+  void start();
+  /// Stop launching new connections (in-flight one finishes naturally).
+  void stop() noexcept;
+
+  // --- aggregates over completed connections ---
+  std::int64_t connections_completed() const noexcept { return completed_; }
+  double total_on_time_s() const noexcept { return on_time_s_; }
+  double total_bits() const noexcept { return bits_; }
+  /// Paper metric: bits transferred / on-time (bps). 0 before the first
+  /// completion.
+  double throughput_bps() const noexcept {
+    return on_time_s_ > 0 ? bits_ / on_time_s_ : 0.0;
+  }
+  std::uint64_t total_retransmits() const noexcept { return retransmits_; }
+  std::uint64_t total_packets_sent() const noexcept { return packets_; }
+  std::uint64_t total_timeouts() const noexcept { return timeouts_; }
+  double mean_rtt_s() const noexcept { return rtt_all_.mean(); }
+  double min_rtt_s() const noexcept {
+    return rtt_all_.count() ? rtt_all_.min() : 0.0;
+  }
+  const util::Samples& per_conn_throughput_bps() const noexcept {
+    return conn_tput_;
+  }
+  /// Connection-level mean-RTT statistics (one sample per connection).
+  const util::RunningStats& rtt_stats() const noexcept { return rtt_all_; }
+
+  /// Clear accumulated aggregates (e.g. after a warmup period). The
+  /// on/off cycle keeps running; a connection spanning the reset reports
+  /// its full stats into the fresh aggregates.
+  void reset_aggregates() noexcept;
+
+  TcpSender& sender() noexcept { return sender_; }
+
+ private:
+  void schedule_next_connection(double off_delay_s);
+  void launch_connection();
+  void on_connection_done(const ConnStats& s);
+
+  sim::Scheduler& sched_;
+  TcpSender& sender_;
+  OnOffConfig cfg_;
+  util::Rng rng_;
+  ConnectionAdvisor* advisor_ = nullptr;
+
+  bool running_ = false;
+  sim::EventId pending_ = 0;
+
+  std::int64_t completed_ = 0;
+  double on_time_s_ = 0;
+  double bits_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t packets_ = 0;
+  std::uint64_t timeouts_ = 0;
+  util::RunningStats rtt_all_;
+  util::Samples conn_tput_;
+};
+
+}  // namespace phi::tcp

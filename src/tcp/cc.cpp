@@ -1,0 +1,132 @@
+#include "tcp/cc.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace phi::tcp {
+
+std::string CubicParams::str() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "ssthresh=%lld winit=%lld beta=%.1f",
+                static_cast<long long>(initial_ssthresh),
+                static_cast<long long>(window_init), beta);
+  return buf;
+}
+
+Cubic::Cubic(CubicParams params) : params_(params) { reset(0); }
+
+void Cubic::reset(util::Time) {
+  cwnd_ = static_cast<double>(params_.window_init);
+  ssthresh_ = static_cast<double>(params_.initial_ssthresh);
+  w_max_ = 0;
+  w_last_max_ = 0;
+  k_ = 0;
+  epoch_start_ = -1;
+  ack_count_tcp_ = 0;
+  w_est_ = 0;
+}
+
+void Cubic::enter_epoch(util::Time now) {
+  epoch_start_ = now;
+  if (cwnd_ < w_max_) {
+    k_ = std::cbrt((w_max_ - cwnd_) / kC);
+  } else {
+    k_ = 0;
+    w_max_ = cwnd_;
+  }
+  ack_count_tcp_ = 0;
+  w_est_ = cwnd_;
+}
+
+double Cubic::cubic_target(util::Time now, double rtt_s) const {
+  // W_cubic(t + RTT) — the window cubic wants one RTT from now.
+  const double t = util::to_seconds(now - epoch_start_) + rtt_s;
+  const double d = t - k_;
+  return kC * d * d * d + w_max_;
+}
+
+void Cubic::on_ack(std::int64_t newly_acked, double rtt_s, util::Time now) {
+  if (newly_acked <= 0) return;
+  if (cwnd_ < ssthresh_) {
+    // Slow start: exponential growth, bounded so we don't overshoot
+    // ssthresh by more than the acked amount.
+    cwnd_ = std::min(cwnd_ + static_cast<double>(newly_acked), ssthresh_);
+    if (cwnd_ < ssthresh_) return;
+    // fall through into congestion avoidance below
+  }
+  if (epoch_start_ < 0) enter_epoch(now);
+
+  // Reno-friendly region estimate (RFC 8312 §4.2) under our beta
+  // convention (decrease factor 1-beta).
+  const double beta = params_.beta;
+  ack_count_tcp_ += static_cast<double>(newly_acked);
+  const double alpha = 3.0 * beta / (2.0 - beta);
+  while (ack_count_tcp_ >= w_est_ && w_est_ > 0) {
+    ack_count_tcp_ -= w_est_;
+    w_est_ += alpha;
+  }
+
+  const double target = cubic_target(now, rtt_s);
+  double next = cwnd_;
+  if (target > cwnd_) {
+    next = cwnd_ + (target - cwnd_) / cwnd_ * static_cast<double>(newly_acked);
+    // Never more than double per RTT worth of acks (standard clamp).
+    next = std::min(next, cwnd_ + static_cast<double>(newly_acked));
+  } else {
+    next = cwnd_ + 0.01 / cwnd_;  // TCP-friendliness floor growth
+  }
+  if (w_est_ > next) next = w_est_;  // Reno-friendly region
+  cwnd_ = std::max(next, 1.0);
+}
+
+void Cubic::on_loss_event(util::Time now, std::int64_t) {
+  const double beta = params_.beta;
+  // Fast convergence: release bandwidth sooner when the loss happened
+  // below the previous peak.
+  if (cwnd_ < w_last_max_) {
+    w_max_ = cwnd_ * (2.0 - beta) / 2.0;
+  } else {
+    w_max_ = cwnd_;
+  }
+  w_last_max_ = cwnd_;
+  cwnd_ = std::max(cwnd_ * (1.0 - beta), 2.0);
+  ssthresh_ = cwnd_;
+  enter_epoch(now);
+}
+
+void Cubic::on_timeout(util::Time, std::int64_t) {
+  // RFC 8312 §4.7: derive ssthresh from cwnd, not flight size — during
+  // recovery the flight count is inflated far beyond what the path holds.
+  ssthresh_ = std::max(cwnd_ * (1.0 - params_.beta), 2.0);
+  w_last_max_ = w_max_;
+  w_max_ = cwnd_;
+  cwnd_ = 1.0;
+  epoch_start_ = -1;
+}
+
+void NewReno::reset(util::Time) {
+  cwnd_ = static_cast<double>(window_init_);
+  ssthresh_ = static_cast<double>(initial_ssthresh_);
+}
+
+void NewReno::on_ack(std::int64_t newly_acked, double, util::Time) {
+  if (newly_acked <= 0) return;
+  if (cwnd_ < ssthresh_) {
+    cwnd_ = std::min(cwnd_ + static_cast<double>(newly_acked), ssthresh_);
+  } else {
+    cwnd_ += static_cast<double>(newly_acked) / cwnd_;
+  }
+}
+
+void NewReno::on_loss_event(util::Time, std::int64_t flight) {
+  ssthresh_ =
+      std::max(std::min(static_cast<double>(flight), cwnd_) / 2.0, 2.0);
+  cwnd_ = ssthresh_;
+}
+
+void NewReno::on_timeout(util::Time, std::int64_t) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 1.0;
+}
+
+}  // namespace phi::tcp

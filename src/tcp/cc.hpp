@@ -1,0 +1,122 @@
+// cc.hpp — congestion-control policy interface plus the two hard-coded
+// policies the paper exercises: NewReno (classic AIMD baseline) and Cubic
+// with the three knobs Phi tunes (Table 1/2): `windowInit_`,
+// `initial_ssthresh`, and `beta` where (1-beta) is the multiplicative
+// decrease factor applied on packet loss.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace phi::tcp {
+
+/// Congestion-control policy. The transport (TcpSender) owns loss
+/// detection and retransmission; the policy owns the window.
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  /// Fresh connection: restore initial window / thresholds.
+  virtual void reset(util::Time now) = 0;
+
+  /// `newly_acked` segments were cumulatively acknowledged with round-trip
+  /// sample `rtt_s` seconds. Not called while the sender is in fast
+  /// recovery.
+  virtual void on_ack(std::int64_t newly_acked, double rtt_s,
+                      util::Time now) = 0;
+
+  /// Fast-retransmit loss event with `flight` segments outstanding.
+  virtual void on_loss_event(util::Time now, std::int64_t flight) = 0;
+
+  /// Retransmission timeout with `flight` segments outstanding.
+  virtual void on_timeout(util::Time now, std::int64_t flight) = 0;
+
+  /// Current congestion window in segments (>= 1).
+  virtual double window() const = 0;
+
+  /// Slow-start threshold in segments (informational).
+  virtual double ssthresh() const = 0;
+
+  /// Minimum spacing between consecutive data transmissions (pacing).
+  /// 0 means pure ACK clocking. RemyCC overrides this.
+  virtual util::Duration min_send_gap(util::Time) const { return 0; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Default Cubic parameter values, matching Table 1 of the paper (and the
+/// ns-2.35 Cubic the paper used).
+struct CubicParams {
+  /// Initial slow-start threshold in segments. RFC 5681 says "arbitrarily
+  /// high"; the paper (and we) default to 65536 segments.
+  std::int64_t initial_ssthresh = 65536;
+  /// Initial congestion window in segments (`windowInit_`).
+  std::int64_t window_init = 2;
+  /// Multiplicative-decrease parameter: on loss, cwnd *= (1 - beta).
+  double beta = 0.2;
+
+  bool operator==(const CubicParams&) const = default;
+  std::string str() const;
+};
+
+/// CUBIC (Ha, Rhee, Xu 2008 / RFC 8312) with the paper's tunable knobs.
+class Cubic final : public CongestionControl {
+ public:
+  explicit Cubic(CubicParams params = {});
+
+  void reset(util::Time now) override;
+  void on_ack(std::int64_t newly_acked, double rtt_s, util::Time now) override;
+  void on_loss_event(util::Time now, std::int64_t flight) override;
+  void on_timeout(util::Time now, std::int64_t flight) override;
+  double window() const override { return cwnd_; }
+  double ssthresh() const override { return ssthresh_; }
+  std::string name() const override { return "cubic"; }
+
+  const CubicParams& params() const noexcept { return params_; }
+
+  /// Scaling constant C of the cubic growth function (RFC 8312: 0.4).
+  static constexpr double kC = 0.4;
+
+ private:
+  void enter_epoch(util::Time now);
+  double cubic_target(util::Time now, double rtt_s) const;
+
+  CubicParams params_;
+  double cwnd_ = 2;
+  double ssthresh_ = 65536;
+  double w_max_ = 0;       ///< window at last loss
+  double w_last_max_ = 0;  ///< for fast convergence
+  double k_ = 0;           ///< time (s) to regain w_max
+  util::Time epoch_start_ = -1;
+  double ack_count_tcp_ = 0;  ///< Reno-friendly region estimator state
+  double w_est_ = 0;
+};
+
+/// Classic NewReno AIMD (RFC 5681/6582 shape): slow start, +1/cwnd per
+/// ACK in congestion avoidance, halve on loss.
+class NewReno final : public CongestionControl {
+ public:
+  explicit NewReno(std::int64_t window_init = 2,
+                   std::int64_t initial_ssthresh = 65536)
+      : window_init_(window_init), initial_ssthresh_(initial_ssthresh) {}
+
+  void reset(util::Time now) override;
+  void on_ack(std::int64_t newly_acked, double rtt_s, util::Time now) override;
+  void on_loss_event(util::Time now, std::int64_t flight) override;
+  void on_timeout(util::Time now, std::int64_t flight) override;
+  double window() const override { return cwnd_; }
+  double ssthresh() const override { return ssthresh_; }
+  std::string name() const override { return "newreno"; }
+
+ private:
+  std::int64_t window_init_;
+  std::int64_t initial_ssthresh_;
+  double cwnd_ = 2;
+  double ssthresh_ = 65536;
+};
+
+}  // namespace phi::tcp

@@ -1,0 +1,151 @@
+#include "tcp/pcc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phi::tcp {
+
+double Pcc::utility(double throughput_bps, double rtt_gradient, double loss,
+                    double latency_b, double loss_c) {
+  const double x = std::max(throughput_bps / 1e6, 0.0);  // Mbps
+  loss = std::clamp(loss, 0.0, 1.0);
+  return std::pow(x, 0.9) - latency_b * x * std::max(rtt_gradient, 0.0) -
+         loss_c * x * loss;
+}
+
+void Pcc::reset(util::Time now) {
+  state_ = State::kStarting;
+  rate_ = params_.initial_rate_bps;
+  prev_utility_ = -1e18;
+  up_utility_ = 0;
+  srtt_s_ = 0.1;
+  begin_mi(now, srtt_s_);
+}
+
+double Pcc::current_trial_rate() const noexcept {
+  switch (state_) {
+    case State::kTrialUp:
+      return rate_ * (1.0 + params_.epsilon);
+    case State::kTrialDown:
+      return rate_ * (1.0 - params_.epsilon);
+    case State::kStarting:
+      break;
+  }
+  return rate_;
+}
+
+util::Duration Pcc::min_send_gap(util::Time) const {
+  const double r = std::clamp(current_trial_rate(), params_.min_rate_bps,
+                              params_.max_rate_bps);
+  return static_cast<util::Duration>(
+      static_cast<double>(sim::kSegmentBytes) * 8.0 / r *
+      static_cast<double>(util::kSecond));
+}
+
+double Pcc::window() const {
+  // Pacing governs; the window bounds worst-case inflight to two
+  // rate-delay products so a stale rate cannot flood the path.
+  const double bdp_segments = current_trial_rate() * srtt_s_ /
+                              (sim::kSegmentBytes * 8.0);
+  return std::max(4.0, 2.0 * bdp_segments);
+}
+
+void Pcc::begin_mi(util::Time now, double rtt_s) {
+  mi_start_ = now;
+  // Two RTTs per interval: packets paced at the trial rate during the
+  // first half return as ACKs during the second half, so scoring only
+  // the second half attributes the measurement to *this* trial instead
+  // of the previous one (the phase-lag problem real PCC solves with
+  // delayed result accounting).
+  const util::Duration mi = 2 * std::max<util::Duration>(
+      util::from_seconds(rtt_s > 0 ? rtt_s : srtt_s_), params_.min_mi);
+  mi_end_ = now + mi;
+  mi_acked_ = 0;
+  mi_loss_events_ = 0;
+  rtt_sum_first_ = rtt_sum_second_ = 0;
+  rtt_n_first_ = rtt_n_second_ = 0;
+}
+
+void Pcc::finish_mi(util::Time now) {
+  // Only the second half of the interval was scored (see begin_mi).
+  const double dur_s = util::to_seconds(now - mi_start_) / 2.0;
+  if (dur_s <= 0 || mi_acked_ == 0) return;  // no signal: hold the rate
+  const double delivered_bps =
+      static_cast<double>(mi_acked_) * sim::kSegmentBytes * 8.0 / dur_s;
+
+  double gradient = 0.0;
+  if (rtt_n_first_ > 0 && rtt_n_second_ > 0) {
+    const double first = rtt_sum_first_ / rtt_n_first_;
+    const double second = rtt_sum_second_ / rtt_n_second_;
+    gradient = (second - first) / (dur_s / 2.0);
+  }
+  const double loss =
+      std::min(1.0, 10.0 * static_cast<double>(mi_loss_events_) /
+                        static_cast<double>(mi_acked_));
+  const double u = utility(delivered_bps, gradient, loss, params_.latency_b,
+                           params_.loss_c);
+
+  switch (state_) {
+    case State::kStarting:
+      if (u > prev_utility_) {
+        prev_utility_ = u;
+        rate_ = std::min(rate_ * 2.0, params_.max_rate_bps);
+      } else {
+        rate_ = std::max(rate_ / 2.0, params_.min_rate_bps);
+        state_ = State::kTrialUp;
+      }
+      break;
+    case State::kTrialUp:
+      up_utility_ = u;
+      state_ = State::kTrialDown;
+      break;
+    case State::kTrialDown:
+      if (up_utility_ >= u) {
+        rate_ = std::min(rate_ * (1.0 + params_.epsilon),
+                         params_.max_rate_bps);
+      } else {
+        rate_ = std::max(rate_ * (1.0 - params_.epsilon),
+                         params_.min_rate_bps);
+      }
+      state_ = State::kTrialUp;
+      break;
+  }
+}
+
+void Pcc::on_ack(std::int64_t newly_acked, double rtt_s, util::Time now) {
+  if (rtt_s > 0) srtt_s_ += 0.125 * (rtt_s - srtt_s_);
+  // Score only the second half of the interval (this trial's own echo).
+  const util::Time mid = mi_start_ + (mi_end_ - mi_start_) / 2;
+  if (now > mid) {
+    if (newly_acked > 0) mi_acked_ += newly_acked;
+    if (rtt_s > 0) {
+      const util::Time three_q = mi_start_ + 3 * (mi_end_ - mi_start_) / 4;
+      if (now <= three_q) {
+        rtt_sum_first_ += rtt_s;
+        ++rtt_n_first_;
+      } else {
+        rtt_sum_second_ += rtt_s;
+        ++rtt_n_second_;
+      }
+    }
+  }
+  if (now >= mi_end_) {
+    finish_mi(now);
+    begin_mi(now, rtt_s);
+  }
+}
+
+void Pcc::on_loss_event(util::Time, std::int64_t) {
+  ++mi_loss_events_;  // feeds the utility; no immediate cut (PCC's point)
+}
+
+void Pcc::on_timeout(util::Time now, std::int64_t) {
+  // A timeout means the control loop lost its feedback: restart probing
+  // from half the current rate.
+  rate_ = std::max(rate_ / 2.0, params_.min_rate_bps);
+  state_ = State::kTrialUp;
+  prev_utility_ = -1e18;
+  begin_mi(now, srtt_s_);
+}
+
+}  // namespace phi::tcp

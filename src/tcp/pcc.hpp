@@ -1,0 +1,80 @@
+// pcc.hpp — PCC (Dong et al.): the online-learning congestion control the
+// paper cites alongside Remy as the adaptive state of the art Phi builds
+// beyond. Instead of a hard-coded window rule, PCC runs A/B rate trials
+// (monitor intervals at rate*(1±ε)), scores each with an explicit utility,
+// and moves toward the better one.
+//
+// The utility is PCC-Vivace's (NSDI'18) latency-aware form, which needs
+// only signals a sender actually observes:
+//
+//   u(x) = x^0.9 − b · x · max(0, dRTT/dt) − c · x · L
+//
+// with x the delivered rate (Mbps), dRTT/dt the RTT gradient across the
+// interval, and L the loss signal. Simplifications vs. the papers
+// (documented, tested): two trial intervals per decision instead of four,
+// fixed ±ε steps instead of gradient-scaled ones, and L derived from
+// fast-retransmit episodes per delivered segment.
+#pragma once
+
+#include "sim/packet.hpp"
+#include "tcp/cc.hpp"
+
+namespace phi::tcp {
+
+class Pcc final : public CongestionControl {
+ public:
+  struct Params {
+    double initial_rate_bps = 2e6;
+    double min_rate_bps = 64e3;
+    double max_rate_bps = 1e9;
+    double epsilon = 0.05;     ///< trial delta
+    double latency_b = 900.0;  ///< Vivace RTT-gradient coefficient
+    double loss_c = 11.35;     ///< Vivace loss coefficient
+    util::Duration min_mi = util::milliseconds(10);
+  };
+
+  Pcc() : Pcc(Params{}) {}
+  explicit Pcc(Params p) : params_(p) { Pcc::reset(0); }
+
+  void reset(util::Time now) override;
+  void on_ack(std::int64_t newly_acked, double rtt_s, util::Time now) override;
+  void on_loss_event(util::Time now, std::int64_t flight) override;
+  void on_timeout(util::Time now, std::int64_t flight) override;
+  double window() const override;
+  double ssthresh() const override { return 0; }
+  util::Duration min_send_gap(util::Time now) const override;
+  std::string name() const override { return "pcc"; }
+
+  double rate_bps() const noexcept { return rate_; }
+  bool in_startup() const noexcept { return state_ == State::kStarting; }
+
+  /// Vivace utility; exposed for tests. `rtt_gradient` in s/s, `loss` as
+  /// a fraction in [0, 1].
+  static double utility(double throughput_bps, double rtt_gradient,
+                        double loss, double latency_b = 900.0,
+                        double loss_c = 11.35);
+
+ private:
+  enum class State { kStarting, kTrialUp, kTrialDown };
+
+  double current_trial_rate() const noexcept;
+  void begin_mi(util::Time now, double rtt_s);
+  void finish_mi(util::Time now);
+
+  Params params_;
+  State state_ = State::kStarting;
+  double rate_ = 2e6;
+  double prev_utility_ = -1e18;
+  double up_utility_ = 0;
+
+  util::Time mi_start_ = 0;
+  util::Time mi_end_ = 0;
+  std::int64_t mi_acked_ = 0;
+  int mi_loss_events_ = 0;
+  // RTT gradient: mean of the first and second halves of the interval.
+  double rtt_sum_first_ = 0, rtt_sum_second_ = 0;
+  int rtt_n_first_ = 0, rtt_n_second_ = 0;
+  double srtt_s_ = 0.1;
+};
+
+}  // namespace phi::tcp

@@ -1,0 +1,43 @@
+#include "tcp/rtt.hpp"
+
+#include <algorithm>
+
+namespace phi::tcp {
+
+namespace {
+constexpr util::Duration kMaxRto = 60 * util::kSecond;
+}
+
+void RttEstimator::add_sample(util::Duration rtt) {
+  if (rtt < 0) return;
+  if (samples_ == 0) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    min_rtt_ = rtt;
+  } else {
+    // RFC 6298: alpha = 1/8, beta = 1/4.
+    const util::Duration err = rtt - srtt_;
+    rttvar_ += (std::abs(err) - rttvar_) / 4;
+    srtt_ += err / 8;
+    min_rtt_ = std::min(min_rtt_, rtt);
+  }
+  ++samples_;
+  rto_ = srtt_ + std::max<util::Duration>(4 * rttvar_, util::kMillisecond);
+}
+
+void RttEstimator::backoff() { backoff_ = std::min(backoff_ * 2, 64); }
+
+util::Duration RttEstimator::rto() const {
+  const util::Duration base = samples_ ? rto_ : initial_rto_;
+  return std::min<util::Duration>(std::max(base, min_rto_) * backoff_,
+                                  kMaxRto);
+}
+
+void RttEstimator::reset() {
+  srtt_ = rttvar_ = min_rtt_ = 0;
+  samples_ = 0;
+  backoff_ = 1;
+  rto_ = initial_rto_;
+}
+
+}  // namespace phi::tcp

@@ -1,0 +1,49 @@
+// rtt.hpp — RFC 6298 round-trip-time estimation and retransmission
+// timeout computation. RTT samples come from echoed timestamps, so every
+// ACK (including ACKs of retransmitted data) yields a valid sample and
+// Karn's algorithm is unnecessary.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace phi::tcp {
+
+class RttEstimator {
+ public:
+  /// `min_rto` clamps the computed RTO from below. Linux uses 200 ms; the
+  /// RFC suggests 1 s. We default to 200 ms for simulation responsiveness.
+  explicit RttEstimator(util::Duration min_rto = util::milliseconds(200),
+                        util::Duration initial_rto = util::seconds(1))
+      : min_rto_(min_rto), initial_rto_(initial_rto), rto_(initial_rto) {}
+
+  void add_sample(util::Duration rtt);
+
+  /// Exponential backoff after a retransmission timeout (doubles RTO,
+  /// capped at 60 s).
+  void backoff();
+
+  /// Clear the backoff multiplier once new data is ACKed.
+  void clear_backoff() { backoff_ = 1; }
+
+  util::Duration rto() const;
+  util::Duration srtt() const noexcept { return srtt_; }
+  util::Duration rttvar() const noexcept { return rttvar_; }
+  util::Duration min_rtt() const noexcept { return min_rtt_; }
+  bool has_sample() const noexcept { return samples_ > 0; }
+  std::uint64_t samples() const noexcept { return samples_; }
+
+  /// Reset to pristine state (fresh connection).
+  void reset();
+
+ private:
+  util::Duration min_rto_;
+  util::Duration initial_rto_;
+  util::Duration srtt_ = 0;
+  util::Duration rttvar_ = 0;
+  util::Duration rto_;
+  util::Duration min_rtt_ = 0;
+  std::uint64_t samples_ = 0;
+  int backoff_ = 1;
+};
+
+}  // namespace phi::tcp

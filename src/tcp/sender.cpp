@@ -1,0 +1,339 @@
+#include "tcp/sender.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace phi::tcp {
+
+TcpSender::TcpSender(sim::Scheduler& sched, sim::Node& local,
+                     sim::NodeId dst, sim::FlowId flow,
+                     std::unique_ptr<CongestionControl> cc)
+    : sched_(sched), node_(local), dst_(dst), flow_(flow),
+      cc_(std::move(cc)) {
+  if (!cc_) throw std::invalid_argument("TcpSender needs a policy");
+  node_.attach(flow_, this);
+}
+
+TcpSender::~TcpSender() {
+  cancel_rto();
+  if (pacing_event_ != 0) sched_.cancel(pacing_event_);
+  node_.detach(flow_);
+}
+
+void TcpSender::set_cc(std::unique_ptr<CongestionControl> cc) {
+  if (active_) throw std::logic_error("set_cc while connection active");
+  if (!cc) throw std::invalid_argument("null policy");
+  cc_ = std::move(cc);
+}
+
+void TcpSender::start_connection(std::int64_t segments, DoneCallback done) {
+  if (active_) throw std::logic_error("start_connection while busy");
+  if (segments <= 0) throw std::invalid_argument("segments must be > 0");
+  active_ = true;
+  ++conn_;
+  total_ = segments;
+  snd_una_ = snd_nxt_ = high_water_ = 0;
+  dupacks_ = 0;
+  in_recovery_ = false;
+  recovery_point_ = 0;
+  inflation_ = 0;
+  recover_mark_ = -1;
+  partial_acks_in_recovery_ = 0;
+  ecn_cut_point_ = -1;
+  sacked_.clear();
+  rexmitted_.clear();
+  high_sack_ = -1;
+  next_send_time_ = sched_.now();
+
+  cc_->reset(sched_.now());
+  rtt_.reset();
+
+  stats_ = {};
+  stats_.flow = flow_;
+  stats_.conn = conn_;
+  stats_.start = sched_.now();
+  stats_.segments = segments;
+  rtt_agg_ = {};
+  done_ = std::move(done);
+
+  try_send();
+}
+
+void TcpSender::absorb_sack(const sim::Packet& p) {
+  for (std::uint8_t i = 0; i < p.sack_count; ++i) {
+    const auto& b = p.sack[i];
+    for (std::int64_t s = std::max(b.start, snd_una_); s < b.end; ++s)
+      sacked_.insert(s);
+    high_sack_ = std::max(high_sack_, b.end);
+  }
+}
+
+bool TcpSender::rexmit_deemed_lost(std::int64_t seq) const {
+  auto it = rexmitted_.find(seq);
+  if (it == rexmitted_.end()) return true;  // never retransmitted: a hole
+  const util::Duration rescue_after =
+      rtt_.has_sample()
+          ? rtt_.srtt() + rtt_.srtt() / 2
+          : util::seconds(1);
+  return sched_.now() > it->second + rescue_after;
+}
+
+std::int64_t TcpSender::next_hole() const {
+  if (high_sack_ <= snd_una_) return -1;
+  for (std::int64_t s = snd_una_; s < high_sack_; ++s) {
+    if (sacked_.count(s) == 0 && rexmit_deemed_lost(s)) return s;
+  }
+  return -1;
+}
+
+std::int64_t TcpSender::sack_pipe() const {
+  // In flight = sent-but-unaccounted. SACKed segments have left the
+  // network; holes below the highest SACK are presumed lost unless we
+  // already retransmitted them (the retransmission is in flight).
+  std::int64_t pipe = snd_nxt_ - snd_una_ -
+                      static_cast<std::int64_t>(sacked_.size());
+  for (std::int64_t s = snd_una_; s < std::min(high_sack_, snd_nxt_); ++s) {
+    if (sacked_.count(s) == 0 && rexmit_deemed_lost(s)) --pipe;
+  }
+  return std::max<std::int64_t>(pipe, 0);
+}
+
+void TcpSender::try_send_sack() {
+  if (!active_) return;
+  const util::Time now = sched_.now();
+  // Burst limiter (like Linux's tcp_max_burst): one ACK event may release
+  // at most a handful of packets. When SACK coverage collapses the pipe
+  // estimate all at once, this keeps the retransmission wave ACK-clocked
+  // instead of dumping a whole window into the bottleneck queue.
+  int burst_budget = 8;
+  while (static_cast<double>(sack_pipe()) < cc_->window() &&
+         burst_budget-- > 0) {
+    const util::Duration gap = cc_->min_send_gap(now);
+    if (gap > 0 && now < next_send_time_) {
+      if (pacing_event_ == 0 || !sched_.pending(pacing_event_)) {
+        pacing_event_ = sched_.schedule_at(next_send_time_, [this] {
+          pacing_event_ = 0;
+          try_send();
+        });
+      }
+      return;
+    }
+    // Retransmit the lowest outstanding hole first; otherwise new data.
+    const std::int64_t hole = in_recovery_ ? next_hole() : -1;
+    if (hole >= 0) {
+      rexmitted_[hole] = sched_.now();
+      send_segment(hole);
+    } else if (snd_nxt_ < total_) {
+      send_segment(snd_nxt_);
+      ++snd_nxt_;
+      high_water_ = std::max(high_water_, snd_nxt_);
+    } else {
+      return;
+    }
+    if (gap > 0) next_send_time_ = now + gap;
+  }
+}
+
+void TcpSender::try_send() {
+  if (!active_) return;
+  if (sack_) {
+    try_send_sack();
+    return;
+  }
+  const util::Time now = sched_.now();
+  while (snd_nxt_ < total_ &&
+         static_cast<double>(segments_in_flight()) <
+             cc_->window() + static_cast<double>(inflation_)) {
+    // Pacing (Remy): respect the policy's minimum inter-send gap.
+    const util::Duration gap = cc_->min_send_gap(now);
+    if (gap > 0 && now < next_send_time_) {
+      if (pacing_event_ == 0 || !sched_.pending(pacing_event_)) {
+        pacing_event_ = sched_.schedule_at(next_send_time_, [this] {
+          pacing_event_ = 0;
+          try_send();
+        });
+      }
+      return;
+    }
+    send_segment(snd_nxt_);
+    ++snd_nxt_;
+    high_water_ = std::max(high_water_, snd_nxt_);
+    if (gap > 0) next_send_time_ = now + gap;
+  }
+}
+
+void TcpSender::send_segment(std::int64_t seq) {
+  sim::Packet p;
+  p.src = node_.id();
+  p.dst = dst_;
+  p.flow = flow_;
+  p.conn = conn_;
+  p.seq = seq;
+  p.is_ack = false;
+  p.fin = (seq == total_ - 1);
+  p.size_bytes = sim::kSegmentBytes;
+  p.sent_at = sched_.now();
+  p.priority = priority_;
+  p.ect = ecn_;
+  ++stats_.packets_sent;
+  if (seq < high_water_ && seq < snd_nxt_) ++stats_.retransmits;
+  node_.send(p);
+  // Arm (don't restart) the retransmit timer: it tracks the oldest
+  // outstanding data and is reset on ACK progress, not on transmissions.
+  if (rto_event_ == 0) arm_rto();
+}
+
+void TcpSender::on_packet(const sim::Packet& p) {
+  if (!active_ || !p.is_ack || p.conn != conn_) return;  // stale epoch
+  on_ack(p);
+}
+
+void TcpSender::on_ack(const sim::Packet& p) {
+  const util::Time now = sched_.now();
+  // ECN: an echoed CE mark is a congestion signal equivalent to a loss,
+  // minus the retransmission; react at most once per window of data.
+  if (ecn_ && p.ece && !in_recovery_ && snd_una_ > ecn_cut_point_) {
+    ecn_cut_point_ = snd_nxt_;
+    ++stats_.ecn_signals;
+    cc_->on_loss_event(now, snd_nxt_ - snd_una_);
+  }
+  double rtt_s = 0.0;
+  if (p.echo > 0) {
+    const util::Duration sample = now - p.echo;
+    rtt_.add_sample(sample);
+    rtt_s = util::to_seconds(sample);
+    rtt_agg_.add(rtt_s);
+  }
+  if (sack_) absorb_sack(p);
+
+  if (p.ack > snd_una_) {
+    const std::int64_t newly = p.ack - snd_una_;
+    snd_una_ = p.ack;
+    lifetime_acked_ += newly;
+    // After a timeout's go-back-N, ACKs for pre-timeout data can overtake
+    // the rewound send point; never transmit below the cumulative ACK.
+    snd_nxt_ = std::max(snd_nxt_, snd_una_);
+    dupacks_ = 0;
+    rtt_.clear_backoff();
+    if (sack_) {
+      sacked_.erase(sacked_.begin(), sacked_.lower_bound(snd_una_));
+      rexmitted_.erase(rexmitted_.begin(),
+                       rexmitted_.lower_bound(snd_una_));
+    }
+    bool rearm = true;
+    if (in_recovery_) {
+      if (snd_una_ >= recovery_point_) {
+        in_recovery_ = false;  // full ACK: recovery complete
+        inflation_ = 0;
+        rexmitted_.clear();
+      } else if (sack_) {
+        // Scoreboard-driven recovery: retransmissions are selected by
+        // try_send_sack(); partial ACKs just restart the timer.
+      } else {
+        // Partial ACK: the next hole was also lost — retransmit it.
+        // Deflate the inflated window by the data acked, plus one segment
+        // for the retransmission leaving the network (RFC 6582 §3.2).
+        inflation_ = std::max<std::int64_t>(inflation_ - newly, 0) + 1;
+        send_segment(snd_una_);
+        // "Impatient": only the first partial ACK restarts the retransmit
+        // timer, so heavy multi-loss windows fall back to a timeout (and
+        // go-back-N) instead of draining one hole per RTT.
+        if (partial_acks_in_recovery_++ > 0) rearm = false;
+      }
+    } else {
+      partial_acks_in_recovery_ = 0;
+      cc_->on_ack(newly, rtt_s, now);
+    }
+    if (snd_una_ >= total_) {
+      finish();
+      return;
+    }
+    if (rearm) arm_rto();
+  } else if (p.ack == snd_una_ && snd_nxt_ > snd_una_) {
+    ++dupacks_;
+    if (in_recovery_) {
+      if (!sack_) ++inflation_;  // one more segment has left the network
+    } else if (sack_) {
+      // RFC 6675-style trigger: enough SACKed segments above the
+      // cumulative ACK imply a hole was lost.
+      if (static_cast<std::int64_t>(sacked_.size()) >= dupack_threshold_ &&
+          snd_una_ > recover_mark_) {
+        in_recovery_ = true;
+        recovery_point_ = snd_nxt_;
+        rexmitted_.clear();
+        ++stats_.loss_events;
+        cc_->on_loss_event(sched_.now(), snd_nxt_ - snd_una_);
+      }
+    } else if (dupacks_ >= dupack_threshold_ && snd_una_ > recover_mark_) {
+      enter_recovery();
+    }
+  }
+  try_send();
+}
+
+void TcpSender::enter_recovery() {
+  in_recovery_ = true;
+  partial_acks_in_recovery_ = 0;
+  recovery_point_ = snd_nxt_;
+  inflation_ = dupacks_;
+  ++stats_.loss_events;
+  cc_->on_loss_event(sched_.now(), snd_nxt_ - snd_una_);
+  send_segment(snd_una_);
+}
+
+void TcpSender::arm_rto() {
+  cancel_rto();
+  rto_event_ = sched_.schedule_in(rtt_.rto(), [this] {
+    rto_event_ = 0;
+    on_rto();
+  });
+}
+
+void TcpSender::cancel_rto() {
+  if (rto_event_ != 0) {
+    sched_.cancel(rto_event_);
+    rto_event_ = 0;
+  }
+}
+
+void TcpSender::on_rto() {
+  if (!active_) return;
+  ++stats_.timeouts;
+  rtt_.backoff();
+  cc_->on_timeout(sched_.now(), snd_nxt_ - snd_una_);
+  // Go-back-N: rewind and let slow start rediscover the path. Remember
+  // the pre-timeout high water mark so echo duplicate ACKs from the
+  // resent segments cannot trigger spurious fast retransmits.
+  recover_mark_ = high_water_;
+  snd_nxt_ = snd_una_;
+  dupacks_ = 0;
+  in_recovery_ = false;
+  inflation_ = 0;
+  sacked_.clear();
+  rexmitted_.clear();
+  high_sack_ = -1;
+  arm_rto();
+  try_send();
+}
+
+void TcpSender::finish() {
+  cancel_rto();
+  if (pacing_event_ != 0) {
+    sched_.cancel(pacing_event_);
+    pacing_event_ = 0;
+  }
+  active_ = false;
+  stats_.end = sched_.now();
+  stats_.min_rtt_s = rtt_agg_.count() ? rtt_agg_.min() : 0.0;
+  stats_.mean_rtt_s = rtt_agg_.mean();
+  stats_.rtt_samples = rtt_agg_.count();
+  if (done_) {
+    // Move the callback out first: it commonly starts the next connection,
+    // which overwrites done_.
+    auto cb = std::move(done_);
+    done_ = nullptr;
+    cb(stats_);
+  }
+}
+
+}  // namespace phi::tcp

@@ -1,0 +1,140 @@
+#include "tcp/sink.hpp"
+
+#include <vector>
+
+namespace phi::tcp {
+
+TcpSink::TcpSink(sim::Scheduler& sched, sim::Node& local, sim::FlowId flow)
+    : sched_(sched), node_(local), flow_(flow) {
+  node_.attach(flow_, this);
+}
+
+TcpSink::~TcpSink() {
+  if (delack_event_ != 0) sched_.cancel(delack_event_);
+  node_.detach(flow_);
+}
+
+void TcpSink::set_delayed_ack(int every, util::Duration timeout) {
+  ack_every_ = every < 1 ? 1 : every;
+  delack_timeout_ = timeout;
+}
+
+void TcpSink::on_packet(const sim::Packet& p) {
+  if (p.is_ack) return;
+  if (p.conn != conn_) {
+    // New connection epoch on this flow: reset receive state.
+    conn_ = p.conn;
+    expected_ = 0;
+    out_of_order_.clear();
+    unacked_in_order_ = 0;
+    have_pending_ = false;
+    if (delack_event_ != 0) {
+      sched_.cancel(delack_event_);
+      delack_event_ = 0;
+    }
+  }
+  ++received_;
+  bool in_order = false;
+  if (p.seq == expected_) {
+    in_order = true;
+    ++expected_;
+    // Absorb any contiguous out-of-order segments.
+    auto it = out_of_order_.begin();
+    while (it != out_of_order_.end() && *it == expected_) {
+      ++expected_;
+      it = out_of_order_.erase(it);
+    }
+  } else if (p.seq > expected_) {
+    out_of_order_.insert(p.seq);
+  } else {
+    ++duplicates_;  // spurious retransmission
+  }
+
+  // RFC 5681 §4.2: out-of-order or gap-filling segments are ACKed
+  // immediately (dup-ACKs drive fast retransmit); in-order data may be
+  // delayed. The FIN is always ACKed immediately.
+  if (ack_every_ <= 1 || !in_order || !out_of_order_.empty() || p.fin) {
+    unacked_in_order_ = 0;
+    have_pending_ = false;
+    if (delack_event_ != 0) {
+      sched_.cancel(delack_event_);
+      delack_event_ = 0;
+    }
+    send_ack(p);
+    return;
+  }
+
+  pending_data_ = p;
+  have_pending_ = true;
+  if (++unacked_in_order_ >= ack_every_) {
+    flush_delayed();
+    return;
+  }
+  if (delack_event_ == 0) {
+    delack_event_ = sched_.schedule_in(delack_timeout_, [this] {
+      delack_event_ = 0;
+      flush_delayed();
+    });
+  }
+}
+
+void TcpSink::flush_delayed() {
+  if (!have_pending_) return;
+  if (delack_event_ != 0) {
+    sched_.cancel(delack_event_);
+    delack_event_ = 0;
+  }
+  unacked_in_order_ = 0;
+  have_pending_ = false;
+  send_ack(pending_data_);
+}
+
+void TcpSink::send_ack(const sim::Packet& data) {
+  sim::Packet ack;
+  ack.src = node_.id();
+  ack.dst = data.src;
+  ack.flow = flow_;
+  ack.conn = conn_;
+  ack.is_ack = true;
+  ack.ack = expected_;
+  ack.size_bytes = sim::kAckBytes;
+  ack.sent_at = sched_.now();
+  ack.echo = data.sent_at;  // timestamp echo for exact RTT samples
+  ack.priority = data.priority;
+  // Per-packet CE echo (simplified RFC 3168: no CWR handshake; the
+  // sender's once-per-window gate provides the equivalent damping).
+  ack.ece = data.ce;
+  if (sack_ && !out_of_order_.empty()) {
+    // Build the contiguous ranges above the cumulative ACK, then report
+    // up to 3 starting from the range containing the packet that
+    // triggered this ACK (RFC 2018: most recent first). Because arrivals
+    // walk through the sequence space, successive ACKs rotate through
+    // all ranges and the sender's scoreboard converges even when there
+    // are far more than 3 holes.
+    std::vector<sim::Packet::SackBlock> ranges;
+    std::int64_t run_start = -1, prev = -2;
+    for (const std::int64_t seq : out_of_order_) {
+      if (seq != prev + 1) {
+        if (run_start >= 0) ranges.push_back({run_start, prev + 1});
+        run_start = seq;
+      }
+      prev = seq;
+    }
+    if (run_start >= 0) ranges.push_back({run_start, prev + 1});
+
+    std::size_t first = 0;
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      if (data.seq >= ranges[i].start && data.seq < ranges[i].end) {
+        first = i;
+        break;
+      }
+    }
+    const std::size_t n = std::min<std::size_t>(ranges.size(), 3);
+    for (std::size_t k = 0; k < n; ++k)
+      ack.sack[ack.sack_count++] = ranges[(first + k) % ranges.size()];
+  }
+  ++acks_sent_;
+  node_.send(ack);
+}
+
+}  // namespace phi::tcp

@@ -1,0 +1,66 @@
+// sink.hpp — the receive side: cumulative ACKs with timestamp echo. By
+// default ACKs every data packet (matching the ns-2 sinks the paper's
+// experiments used); RFC 1122 delayed ACKs are available via
+// set_delayed_ack() — every 2nd in-order segment or after a timeout,
+// with immediate ACKs for out-of-order data (RFC 5681 §4.2).
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "sim/event.hpp"
+#include "sim/node.hpp"
+#include "sim/packet.hpp"
+
+namespace phi::tcp {
+
+class TcpSink : public sim::Agent {
+ public:
+  TcpSink(sim::Scheduler& sched, sim::Node& local, sim::FlowId flow);
+  ~TcpSink() override;
+
+  TcpSink(const TcpSink&) = delete;
+  TcpSink& operator=(const TcpSink&) = delete;
+
+  void on_packet(const sim::Packet& p) override;
+
+  /// Enable delayed ACKs: acknowledge every `every` in-order segments or
+  /// when `timeout` elapses, whichever first. every=1 restores
+  /// ACK-per-packet.
+  void set_delayed_ack(int every,
+                       util::Duration timeout = util::milliseconds(40));
+
+  /// Advertise selective acknowledgments (RFC 2018): ACKs carry up to 3
+  /// blocks describing out-of-order data held above the cumulative ACK.
+  void set_sack(bool enabled) noexcept { sack_ = enabled; }
+  bool sack() const noexcept { return sack_; }
+
+  std::uint64_t packets_received() const noexcept { return received_; }
+  std::uint64_t duplicates() const noexcept { return duplicates_; }
+  std::uint64_t acks_sent() const noexcept { return acks_sent_; }
+  std::int64_t next_expected() const noexcept { return expected_; }
+
+ private:
+  void send_ack(const sim::Packet& data);
+  void flush_delayed();
+
+  sim::Scheduler& sched_;
+  sim::Node& node_;
+  sim::FlowId flow_;
+  std::uint32_t conn_ = 0;
+  std::int64_t expected_ = 0;
+  std::set<std::int64_t> out_of_order_;
+  std::uint64_t received_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t acks_sent_ = 0;
+
+  bool sack_ = false;
+  int ack_every_ = 1;
+  util::Duration delack_timeout_ = util::milliseconds(40);
+  int unacked_in_order_ = 0;
+  bool have_pending_ = false;
+  sim::Packet pending_data_{};  ///< most recent data awaiting a delayed ACK
+  sim::EventId delack_event_ = 0;
+};
+
+}  // namespace phi::tcp

@@ -1,0 +1,56 @@
+// tracer.hpp — time-series instrumentation of a sender: congestion
+// window, slow-start threshold, smoothed RTT and flight size sampled on a
+// fixed cadence. This is the tooling behind "why did the default
+// parameters lose?" — the Figure-2 mechanism made visible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "tcp/sender.hpp"
+
+namespace phi::tcp {
+
+class SenderTracer {
+ public:
+  struct Sample {
+    util::Time t = 0;
+    double cwnd = 0;
+    double ssthresh = 0;
+    double srtt_s = 0;
+    std::int64_t inflight = 0;
+  };
+
+  /// Starts sampling immediately, every `interval`, until destroyed or
+  /// stop()ped.
+  SenderTracer(sim::Scheduler& sched, const TcpSender& sender,
+               util::Duration interval = util::milliseconds(100));
+  ~SenderTracer();
+
+  SenderTracer(const SenderTracer&) = delete;
+  SenderTracer& operator=(const SenderTracer&) = delete;
+
+  void stop();
+
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+  /// Write "t_s,cwnd,ssthresh,srtt_ms,inflight" rows.
+  bool write_csv(const std::string& path) const;
+
+  /// Render one channel as a coarse unicode sparkline (for terminals).
+  /// `channel` selects: 0 = cwnd, 1 = srtt, 2 = inflight.
+  std::string sparkline(int channel = 0, std::size_t width = 72) const;
+
+ private:
+  void arm();
+
+  sim::Scheduler& sched_;
+  const TcpSender& sender_;
+  util::Duration interval_;
+  std::vector<Sample> samples_;
+  sim::EventId pending_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace phi::tcp

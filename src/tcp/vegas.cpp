@@ -1,0 +1,69 @@
+#include "tcp/vegas.hpp"
+
+#include <algorithm>
+
+namespace phi::tcp {
+
+void Vegas::reset(util::Time) {
+  cwnd_ = static_cast<double>(params_.window_init);
+  ssthresh_ = 65536;
+  in_slow_start_ = true;
+  base_rtt_s_ = 0;
+  epoch_min_rtt_s_ = 0;
+  epoch_end_ = 0;
+  last_diff_ = 0;
+}
+
+void Vegas::on_ack(std::int64_t newly_acked, double rtt_s, util::Time now) {
+  if (newly_acked <= 0) return;
+  if (rtt_s > 0) {
+    if (base_rtt_s_ <= 0 || rtt_s < base_rtt_s_) base_rtt_s_ = rtt_s;
+    if (epoch_min_rtt_s_ <= 0 || rtt_s < epoch_min_rtt_s_)
+      epoch_min_rtt_s_ = rtt_s;
+  }
+  if (in_slow_start_) {
+    // Vegas doubles every *other* RTT; approximated by half-rate growth.
+    cwnd_ += 0.5 * static_cast<double>(newly_acked);
+  }
+  if (now >= epoch_end_) adjust(now);
+}
+
+void Vegas::adjust(util::Time now) {
+  const double rtt = epoch_min_rtt_s_ > 0 ? epoch_min_rtt_s_ : base_rtt_s_;
+  epoch_min_rtt_s_ = 0;
+  epoch_end_ = now + util::from_seconds(std::max(rtt, 1e-3));
+  if (base_rtt_s_ <= 0 || rtt <= 0) return;
+
+  // Segments this flow contributes to the bottleneck queue.
+  const double diff = cwnd_ * (rtt - base_rtt_s_) / rtt;
+  last_diff_ = diff;
+
+  if (in_slow_start_) {
+    if (diff > params_.gamma) {
+      in_slow_start_ = false;
+      cwnd_ = std::max(cwnd_ - diff, 2.0);  // drain the backlog we built
+      ssthresh_ = cwnd_;
+    }
+    return;
+  }
+  if (diff < params_.alpha) {
+    cwnd_ += 1.0;
+  } else if (diff > params_.beta) {
+    cwnd_ = std::max(cwnd_ - 1.0, 2.0);
+  }
+}
+
+void Vegas::on_loss_event(util::Time, std::int64_t) {
+  // Vegas cuts less aggressively than Reno (losses are rare for it).
+  cwnd_ = std::max(cwnd_ * 0.75, 2.0);
+  ssthresh_ = cwnd_;
+  in_slow_start_ = false;
+}
+
+void Vegas::on_timeout(util::Time, std::int64_t) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 2.0;
+  in_slow_start_ = true;
+}
+
+}  // namespace phi::tcp

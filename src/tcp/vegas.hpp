@@ -1,0 +1,51 @@
+// vegas.hpp — TCP Vegas (Brakmo, O'Malley, Peterson 1994), the classic
+// delay-based congestion avoidance the paper cites among the "myriad
+// flavors" of hand-crafted policies. Included as an additional baseline:
+// Vegas keeps queues short by construction, which makes it a useful
+// contrast for Phi's delay results.
+#pragma once
+
+#include "tcp/cc.hpp"
+
+namespace phi::tcp {
+
+class Vegas final : public CongestionControl {
+ public:
+  struct Params {
+    double alpha = 2.0;  ///< add bandwidth when < alpha segments queued
+    double beta = 4.0;   ///< back off when > beta segments queued
+    double gamma = 1.0;  ///< leave slow start when > gamma segments queued
+    std::int64_t window_init = 2;
+  };
+
+  Vegas() : Vegas(Params{}) {}
+  explicit Vegas(Params p) : params_(p) { Vegas::reset(0); }
+
+  void reset(util::Time now) override;
+  void on_ack(std::int64_t newly_acked, double rtt_s, util::Time now) override;
+  void on_loss_event(util::Time now, std::int64_t flight) override;
+  void on_timeout(util::Time now, std::int64_t flight) override;
+  double window() const override { return cwnd_; }
+  double ssthresh() const override { return ssthresh_; }
+  std::string name() const override { return "vegas"; }
+
+  /// Estimated segments this flow keeps queued at the bottleneck
+  /// (diff = cwnd * (rtt - base) / rtt).
+  double queued_estimate() const noexcept { return last_diff_; }
+  double base_rtt_s() const noexcept { return base_rtt_s_; }
+
+ private:
+  void adjust(util::Time now);
+
+  Params params_;
+  double cwnd_ = 2;
+  double ssthresh_ = 65536;
+  bool in_slow_start_ = true;
+
+  double base_rtt_s_ = 0;       ///< smallest RTT ever seen (propagation)
+  double epoch_min_rtt_s_ = 0;  ///< smallest RTT this epoch
+  util::Time epoch_end_ = 0;    ///< adjust once per RTT
+  double last_diff_ = 0;
+};
+
+}  // namespace phi::tcp

@@ -1,0 +1,88 @@
+#include "util/p2_quantile.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace phi::util {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  assert(q > 0.0 && q < 1.0);
+  positions_ = {1, 2, 3, 4, 5};
+  desired_ = {1, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5};
+  increments_ = {0, q / 2, q, (1 + q) / 2, 1};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const double num1 =
+      positions_[i] - positions_[i - 1] + d;
+  const double num2 = positions_[i + 1] - positions_[i] - d;
+  const double den1 = heights_[i + 1] - heights_[i];
+  const double den2 = heights_[i] - heights_[i - 1];
+  return heights_[i] +
+         d / (positions_[i + 1] - positions_[i - 1]) *
+             (num1 * den1 / (positions_[i + 1] - positions_[i]) +
+              num2 * den2 / (positions_[i] - positions_[i - 1]));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) std::sort(heights_.begin(), heights_.end());
+    return;
+  }
+  // Find the cell containing x and clamp the extremes.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++count_;
+
+  // Adjust interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+        (d <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, sign);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = linear(i, sign);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact quantile of the retained prefix.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() +
+                                  static_cast<std::ptrdiff_t>(count_));
+    const double pos = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= count_) return sorted[count_ - 1];
+    return sorted[lo] * (1 - frac) + sorted[lo + 1] * frac;
+  }
+  return heights_[2];
+}
+
+}  // namespace phi::util

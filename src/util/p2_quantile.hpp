@@ -1,0 +1,38 @@
+// p2_quantile.hpp — the P² (piecewise-parabolic) streaming quantile
+// estimator of Jain & Chlamtac (1985): tracks a single quantile of an
+// unbounded stream in O(1) space. Used where per-packet series are too
+// long to retain (e.g. tail queueing delay on a monitored link).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace phi::util {
+
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.99 for a p99 estimate.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate; exact until five samples have arrived (returns the
+  /// sample quantile of what has been seen), then P²-approximate.
+  double value() const;
+
+  std::size_t count() const noexcept { return count_; }
+  double quantile() const noexcept { return q_; }
+
+ private:
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};   ///< marker heights
+  std::array<double, 5> positions_{}; ///< actual marker positions
+  std::array<double, 5> desired_{};   ///< desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace phi::util

@@ -1,0 +1,38 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace phi::util {
+
+std::string format_rate(Rate r) {
+  char buf[64];
+  if (r >= kGbps) {
+    std::snprintf(buf, sizeof buf, "%.2f Gbps", r / kGbps);
+  } else if (r >= kMbps) {
+    std::snprintf(buf, sizeof buf, "%.2f Mbps", r / kMbps);
+  } else if (r >= kKbps) {
+    std::snprintf(buf, sizeof buf, "%.2f Kbps", r / kKbps);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f bps", r);
+  }
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  const double abs = std::abs(static_cast<double>(d));
+  if (abs >= kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3f s", to_seconds(d));
+  } else if (abs >= kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", to_millis(d));
+  } else if (abs >= kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%.3f us",
+                  static_cast<double>(d) / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace phi::util

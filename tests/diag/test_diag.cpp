@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "diag/detector.hpp"
+#include "diag/generator.hpp"
+
+namespace phi::diag {
+namespace {
+
+TEST(SeasonalModel, LearnsBucketMeans) {
+  SeasonalModel m;
+  // Train three weeks of the same minute-of-week.
+  for (int w = 0; w < 3; ++w) m.train(w * 7 * 1440 + 600, 100.0);
+  double mean = 0, sd = 0;
+  ASSERT_TRUE(m.expectation(600, mean, sd));
+  EXPECT_NEAR(mean, 100.0, 1e-9);
+  // A different minute-of-week bucket is untrained.
+  EXPECT_FALSE(m.expectation(600 + 3000, mean, sd));
+}
+
+TEST(SeasonalModel, TooFewSamplesUntrusted) {
+  SeasonalModel m;
+  m.train(0, 50);
+  m.train(7 * 1440, 50);
+  double mean = 0, sd = 0;
+  EXPECT_FALSE(m.expectation(0, mean, sd));  // needs >= 3
+  m.train(14 * 1440, 50);
+  EXPECT_TRUE(m.expectation(0, mean, sd));
+}
+
+TEST(SeasonalModel, ZscoreSignAndMagnitude) {
+  SeasonalModel m;
+  for (int w = 0; w < 5; ++w) m.train(w * 7 * 1440, 100.0);
+  EXPECT_LT(m.zscore(0, 10.0), -3.0);
+  EXPECT_GT(m.zscore(0, 500.0), 3.0);
+  EXPECT_NEAR(m.zscore(0, 100.0), 0.0, 0.5);
+  EXPECT_EQ(m.zscore(5000, 10.0), 0.0);  // untrained bucket
+}
+
+TEST(SliceKey, StrFormats) {
+  EXPECT_EQ((SliceKey{-1, -1}).str(), "(global)");
+  EXPECT_EQ((SliceKey{3, -1}).str(), "(as3, *)");
+  EXPECT_EQ((SliceKey{-1, 2}).str(), "(*, metro2)");
+  EXPECT_EQ((SliceKey{3, 2}).str(), "(as3, metro2)");
+}
+
+TEST(Generator, DeterministicCounts) {
+  RequestGenerator g;
+  const auto a = g.minute_counts(1234);
+  const auto b = g.minute_counts(1234);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(),
+            static_cast<std::size_t>(g.config().n_as * g.config().n_metros));
+}
+
+TEST(Generator, DiurnalShape) {
+  RequestGenerator g;
+  // 4 pm (peak) vs 4 am (trough) on the same weekday.
+  const double peak = g.expected_cell(0, 0, 16 * 60);
+  const double trough = g.expected_cell(0, 0, 4 * 60);
+  EXPECT_GT(peak, trough * 1.3);
+}
+
+TEST(Generator, WeekendFactorApplies) {
+  RequestGenerator g;
+  const double weekday = g.expected_cell(0, 0, 2 * 1440 + 600);
+  const double weekend = g.expected_cell(0, 0, 5 * 1440 + 600);
+  EXPECT_NEAR(weekend / weekday, g.config().weekend_factor, 1e-9);
+}
+
+TEST(Generator, EventSuppressesOnlyItsCell) {
+  RequestGenerator g;
+  InjectedEvent ev;
+  ev.as = 1;
+  ev.metro = 1;
+  ev.start_minute = 100;
+  ev.duration_minutes = 10;
+  ev.severity = 1.0;
+  g.add_event(ev);
+  const auto during = g.minute_counts(105);
+  const auto clean = g.minute_counts(105, /*with_events=*/false);
+  EXPECT_NEAR(during.at({1, 1}), 0.0, 1e-9);
+  EXPECT_GT(during.at({0, 0}), 0.0);
+  EXPECT_EQ(during.at({0, 0}), clean.at({0, 0}));
+  // Outside the window the cell is back.
+  EXPECT_GT(g.minute_counts(111).at({1, 1}), 0.0);
+}
+
+class DetectorScenario : public ::testing::TestWithParam<double> {};
+
+TEST_P(DetectorScenario, DetectsAndLocalizesInjectedEvent) {
+  const double severity = GetParam();
+  RequestGenerator::Config gc;
+  gc.n_as = 4;
+  gc.n_metros = 3;
+  RequestGenerator gen(gc);
+  InjectedEvent ev;
+  ev.as = 2;
+  ev.metro = 1;
+  ev.start_minute = 7 * 1440 + 600;
+  ev.duration_minutes = 120;
+  ev.severity = severity;
+  gen.add_event(ev);
+
+  UnreachabilityDetector det;
+  for (int m = 0; m < 7 * 1440; ++m)
+    det.train(m, gen.minute_counts(m, false));
+  for (int m = 7 * 1440; m < 8 * 1440; ++m)
+    det.observe(m, gen.minute_counts(m));
+
+  const DetectedEvent* match = nullptr;
+  for (const auto& d : det.events()) {
+    if (d.slice.as == ev.as && d.slice.metro == ev.metro) match = &d;
+  }
+  ASSERT_NE(match, nullptr) << "event missed at severity " << severity;
+  EXPECT_NEAR(match->start_minute, ev.start_minute, 10);
+  EXPECT_FALSE(match->open);
+  EXPECT_NEAR(match->duration_minutes(), ev.duration_minutes, 15);
+  EXPECT_LT(match->min_zscore, -3.5);
+  EXPECT_GT(match->deficit, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Severities, DetectorScenario,
+                         ::testing::Values(0.5, 0.9, 1.0));
+
+TEST(Detector, QuietOnCleanTraffic) {
+  RequestGenerator::Config gc;
+  gc.n_as = 3;
+  gc.n_metros = 2;
+  RequestGenerator gen(gc);
+  UnreachabilityDetector::Config dc;
+  dc.trigger_z = -5.0;  // conservative ops setting
+  UnreachabilityDetector det(dc);
+  for (int m = 0; m < 7 * 1440; ++m)
+    det.train(m, gen.minute_counts(m, false));
+  for (int m = 7 * 1440; m < 8 * 1440; ++m)
+    det.observe(m, gen.minute_counts(m, false));
+  EXPECT_TRUE(det.events().empty());
+}
+
+TEST(Detector, BroadOutageLocalizedToAsWide) {
+  // The same AS dies in every metro: localization should stop at the AS
+  // level, not pick one metro.
+  RequestGenerator::Config gc;
+  gc.n_as = 3;
+  gc.n_metros = 3;
+  RequestGenerator gen(gc);
+  for (int metro = 0; metro < 3; ++metro) {
+    InjectedEvent ev;
+    ev.as = 1;
+    ev.metro = metro;
+    ev.start_minute = 7 * 1440 + 300;
+    ev.duration_minutes = 90;
+    ev.severity = 0.95;
+    gen.add_event(ev);
+  }
+  UnreachabilityDetector det;
+  for (int m = 0; m < 7 * 1440; ++m)
+    det.train(m, gen.minute_counts(m, false));
+  for (int m = 7 * 1440; m < 7 * 1440 + 600; ++m)
+    det.observe(m, gen.minute_counts(m));
+
+  bool found_as_wide = false;
+  for (const auto& d : det.events()) {
+    if (d.slice.as == 1 && d.slice.metro == -1) found_as_wide = true;
+  }
+  EXPECT_TRUE(found_as_wide)
+      << "expected an (as1, *) localization; got "
+      << (det.events().empty() ? "none" : det.events()[0].slice.str());
+}
+
+TEST(Detector, ZscoreAndExpectedExposedForPlotting) {
+  RequestGenerator gen;
+  UnreachabilityDetector det;
+  for (int m = 0; m < 7 * 1440; ++m)
+    det.train(m, gen.minute_counts(m, false));
+  const SliceKey global{-1, -1};
+  const double expected = det.expected(global, 7 * 1440 + 100);
+  EXPECT_GT(expected, 0.0);
+  EXPECT_NEAR(det.zscore(global, 7 * 1440 + 100, expected), 0.0, 0.5);
+}
+
+}  // namespace
+}  // namespace phi::diag

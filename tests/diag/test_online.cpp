@@ -1,0 +1,110 @@
+// Continuous-learning detector under traffic drift: a statically-trained
+// model decays into false alarms as volumes shrink; the online model
+// tracks the drift yet still catches a real outage (anomaly gating keeps
+// the outage itself out of the baselines).
+#include <gtest/gtest.h>
+
+#include "diag/detector.hpp"
+#include "diag/generator.hpp"
+
+namespace phi::diag {
+namespace {
+
+RequestGenerator::Config drifting_config() {
+  RequestGenerator::Config gc;
+  gc.n_as = 3;
+  gc.n_metros = 2;
+  gc.daily_drift = -0.03;   // traffic shrinks 3% per day
+  gc.weekend_factor = 1.0;  // isolate the drift (daily buckets in use)
+  return gc;
+}
+
+TEST(OnlineDetector, StaticModelFalseAlarmsUnderDrift) {
+  RequestGenerator gen(drifting_config());
+  UnreachabilityDetector det;
+  for (int m = 0; m < 7 * 1440; ++m)
+    det.train(m, gen.minute_counts(m, false));
+  // Three weeks later the volumes are ~35% lower everywhere: the frozen
+  // baseline reads the whole fleet as unreachable.
+  for (int m = 28 * 1440; m < 29 * 1440; ++m)
+    det.observe(m, gen.minute_counts(m, false));
+  EXPECT_FALSE(det.events().empty())
+      << "a static model should be (wrongly) alarming by now";
+}
+
+UnreachabilityDetector::Config online_config() {
+  UnreachabilityDetector::Config dc;
+  dc.model.decay = 0.8;      // forget in ~5 bucket-visits
+  // Daily buckets: with 3%/day drift, weekly buckets would meet a ~19%
+  // step at each revisit — indistinguishable from an outage. A deployment
+  // facing fast drift trades weekday/weekend fidelity for daily refresh.
+  dc.model.days_per_week = 1;
+  return dc;
+}
+
+TEST(OnlineDetector, LearningModelTracksDrift) {
+  RequestGenerator gen(drifting_config());
+  UnreachabilityDetector det(online_config());
+  for (int m = 0; m < 7 * 1440; ++m)
+    det.train(m, gen.minute_counts(m, false));
+  // Keep learning through the drift; clean traffic stays clean.
+  for (int m = 7 * 1440; m < 29 * 1440; ++m)
+    det.observe_and_learn(m, gen.minute_counts(m, false));
+  EXPECT_TRUE(det.events().empty())
+      << "online learning must absorb a 3%/day drift";
+}
+
+TEST(OnlineDetector, StillCatchesRealOutageWhileLearning) {
+  RequestGenerator gen(drifting_config());
+  InjectedEvent ev;
+  ev.as = 1;
+  ev.metro = 1;
+  ev.start_minute = 20 * 1440 + 600;
+  ev.duration_minutes = 120;
+  ev.severity = 0.9;
+  gen.add_event(ev);
+
+  UnreachabilityDetector det(online_config());
+  for (int m = 0; m < 7 * 1440; ++m)
+    det.train(m, gen.minute_counts(m, false));
+  for (int m = 7 * 1440; m < 21 * 1440; ++m)
+    det.observe_and_learn(m, gen.minute_counts(m));
+
+  const DetectedEvent* match = nullptr;
+  for (const auto& d : det.events())
+    if (d.slice.as == ev.as && d.slice.metro == ev.metro) match = &d;
+  ASSERT_NE(match, nullptr);
+  EXPECT_NEAR(match->start_minute, ev.start_minute, 10);
+  EXPECT_NEAR(match->duration_minutes(), ev.duration_minutes, 15);
+}
+
+TEST(OnlineDetector, LearnsSlicesBornAfterTraining) {
+  // A brand-new metro comes online after the training window; the online
+  // detector starts modelling it instead of ignoring it forever.
+  RequestGenerator::Config small;
+  small.n_as = 2;
+  small.n_metros = 1;
+  RequestGenerator gen_small(small);
+  RequestGenerator::Config big = small;
+  big.n_metros = 2;
+  RequestGenerator gen_big(big);
+
+  UnreachabilityDetector det(online_config());
+  for (int m = 0; m < 7 * 1440; ++m)
+    det.train(m, gen_small.minute_counts(m, false));
+  for (int m = 7 * 1440; m < 21 * 1440; ++m)
+    det.observe_and_learn(m, gen_big.minute_counts(m, false));
+  // The new (as, metro1) slice has a usable baseline now.
+  EXPECT_GT(det.expected(SliceKey{0, 1}, 21 * 1440 + 5), 0.0);
+}
+
+TEST(Generator, DriftShrinksVolume) {
+  RequestGenerator gen(drifting_config());
+  const double early = gen.expected_cell(0, 0, 600);
+  const double late = gen.expected_cell(0, 0, 28 * 1440 + 600);
+  EXPECT_LT(late, early * 0.5);
+  EXPECT_GT(late, early * 0.3);
+}
+
+}  // namespace
+}  // namespace phi::diag

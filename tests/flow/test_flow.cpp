@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "flow/ipfix.hpp"
+#include "flow/tracegen.hpp"
+
+namespace phi::flow {
+namespace {
+
+TEST(PacketSampler, ExactOneInN) {
+  PacketSampler s(10);
+  std::uint64_t sampled = 0;
+  for (int i = 0; i < 1000; ++i) sampled += s.observe(1);
+  EXPECT_EQ(sampled, 100u);
+  EXPECT_EQ(s.packets_seen(), 1000u);
+}
+
+TEST(PacketSampler, BurstCrossingsCounted) {
+  PacketSampler s(10);
+  EXPECT_EQ(s.observe(5), 0u);   // counter 5
+  EXPECT_EQ(s.observe(10), 1u);  // counter 15, crossed 10
+  EXPECT_EQ(s.observe(30), 3u);  // counter 45, crossed 20,30,40
+  EXPECT_EQ(s.observe(4), 0u);   // counter 49
+  EXPECT_EQ(s.observe(1), 1u);   // counter 50
+}
+
+TEST(PacketSampler, RateOneSamplesEverything) {
+  PacketSampler s(1);
+  EXPECT_EQ(s.observe(17), 17u);
+}
+
+TEST(FlowKey, DstSubnetIsSlash24) {
+  FlowKey k;
+  k.dst_ip = 0xC0A80107;  // 192.168.1.7
+  EXPECT_EQ(k.dst_subnet(), 0xC0A801u);
+}
+
+TEST(FlowCollector, CountsDistinctFlowsPerSlice) {
+  FlowCollector c;
+  FlowKey f1{1, 10, 0x0A000001, 443};
+  FlowKey f2{1, 11, 0x0A000002, 443};  // same /24
+  FlowKey f3{1, 12, 0x0B000001, 443};  // different /24
+  c.ingest({f1, 0});
+  c.ingest({f1, 0});  // duplicate record, same flow
+  c.ingest({f2, 0});
+  c.ingest({f3, 0});
+  c.ingest({f1, 1});  // same flow, later minute = separate slice
+  EXPECT_EQ(c.records(), 5u);
+  EXPECT_EQ(c.slice_flows(0x0A0000, 0), 2u);
+  EXPECT_EQ(c.slice_flows(0x0B0000, 0), 1u);
+  EXPECT_EQ(c.slice_flows(0x0A0000, 1), 1u);
+  EXPECT_EQ(c.slice_flows(0x0C0000, 0), 0u);
+}
+
+TEST(FlowCollector, SharingCdfWeightsByFlows) {
+  FlowCollector c;
+  // Slice A: 3 flows (each shares with 2); slice B: 1 flow (shares with 0).
+  for (std::uint16_t p = 0; p < 3; ++p)
+    c.ingest({FlowKey{1, p, 0x0A000001, 443}, 0});
+  c.ingest({FlowKey{1, 9, 0x0B000001, 443}, 0});
+  const auto cdf = c.sharing_cdf();
+  EXPECT_EQ(cdf.total(), 4u);
+  EXPECT_NEAR(cdf.fraction_at_least(2), 0.75, 1e-12);
+  EXPECT_NEAR(cdf.fraction_at_least(1), 0.75, 1e-12);
+  EXPECT_NEAR(cdf.fraction_at_least(0), 1.0, 1e-12);
+}
+
+TEST(FlowCollector, ForEachSliceVisitsAll) {
+  FlowCollector c;
+  c.ingest({FlowKey{1, 1, 0x0A000001, 443}, 3});
+  c.ingest({FlowKey{1, 2, 0x0B000001, 443}, 7});
+  int visits = 0;
+  c.for_each_slice([&](std::uint32_t subnet, int minute, std::size_t n) {
+    ++visits;
+    EXPECT_EQ(n, 1u);
+    EXPECT_TRUE((subnet == 0x0A0000 && minute == 3) ||
+                (subnet == 0x0B0000 && minute == 7));
+  });
+  EXPECT_EQ(visits, 2);
+}
+
+TEST(TraceGen, Deterministic) {
+  TraceConfig cfg;
+  cfg.minutes = 2;
+  cfg.flows_per_minute = 5000;
+  cfg.subnets = 500;
+  const auto a = analyze_trace(cfg);
+  const auto b = analyze_trace(cfg);
+  EXPECT_EQ(a.total_flows, b.total_flows);
+  EXPECT_EQ(a.sampled_packets, b.sampled_packets);
+  EXPECT_EQ(a.observed_flows, b.observed_flows);
+}
+
+TEST(TraceGen, SamplingFractionNearOneInN) {
+  TraceConfig cfg;
+  cfg.minutes = 4;
+  cfg.flows_per_minute = 20000;
+  cfg.subnets = 2000;
+  cfg.sampling = 4096;
+  const auto a = analyze_trace(cfg);
+  const double frac = static_cast<double>(a.sampled_packets) /
+                      static_cast<double>(a.total_packets);
+  EXPECT_NEAR(frac, 1.0 / 4096.0, 0.3 / 4096.0);
+}
+
+TEST(TraceGen, TrueSharingExceedsSampledSharing) {
+  TraceConfig cfg;
+  cfg.minutes = 4;
+  cfg.flows_per_minute = 20000;
+  cfg.subnets = 2000;
+  const auto a = analyze_trace(cfg);
+  ASSERT_GT(a.observed_flows, 0u);
+  for (const std::int64_t k : {1, 5, 20}) {
+    EXPECT_GE(a.true_sharing.fraction_at_least(k) + 1e-9,
+              a.sampled_sharing.fraction_at_least(k))
+        << "k=" << k;
+  }
+  EXPECT_LT(a.observed_flows, a.total_flows);
+}
+
+TEST(TraceGen, HigherSkewConcentratesSharing) {
+  TraceConfig flat, skewed;
+  flat.minutes = skewed.minutes = 4;
+  flat.flows_per_minute = skewed.flows_per_minute = 20000;
+  flat.subnets = skewed.subnets = 2000;
+  flat.zipf_s = 0.3;
+  skewed.zipf_s = 1.4;
+  const auto a = analyze_trace(flat);
+  const auto b = analyze_trace(skewed);
+  EXPECT_GT(b.true_sharing.fraction_at_least(100),
+            a.true_sharing.fraction_at_least(100));
+}
+
+}  // namespace
+}  // namespace phi::flow

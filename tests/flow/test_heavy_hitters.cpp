@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "flow/heavy_hitters.hpp"
+#include "util/rng.hpp"
+
+namespace phi::flow {
+namespace {
+
+TEST(SpaceSaving, ExactWhenUnderCapacity) {
+  SpaceSaving<int> ss(10);
+  for (int i = 0; i < 5; ++i)
+    for (int r = 0; r <= i; ++r) ss.add(i);
+  EXPECT_EQ(ss.tracked(), 5u);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(ss.estimate(i), static_cast<std::uint64_t>(i + 1));
+  const auto top = ss.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 4);
+  EXPECT_EQ(top[1].key, 3);
+  EXPECT_EQ(top[0].error, 0u);
+}
+
+TEST(SpaceSaving, WeightedAdds) {
+  SpaceSaving<int> ss(4);
+  ss.add(1, 100);
+  ss.add(2, 50);
+  EXPECT_EQ(ss.estimate(1), 100u);
+  EXPECT_EQ(ss.total(), 150u);
+}
+
+TEST(SpaceSaving, EvictionBoundsError) {
+  SpaceSaving<int> ss(2);
+  ss.add(1, 10);
+  ss.add(2, 5);
+  ss.add(3);  // evicts key 2 (min count 5); estimate = 5 + 1, error = 5
+  EXPECT_EQ(ss.estimate(2), 0u);
+  EXPECT_EQ(ss.estimate(3), 6u);
+  const auto top = ss.top(2);
+  EXPECT_EQ(top[1].key, 3);
+  EXPECT_EQ(top[1].error, 5u);
+  // True count of 3 is 1; estimate - error <= true <= estimate.
+  EXPECT_LE(top[1].count - top[1].error, 1u);
+}
+
+TEST(SpaceSaving, GuaranteesHeavyHittersSurvive) {
+  // A key with frequency > N/capacity must be tracked at the end.
+  util::Rng rng(3);
+  SpaceSaving<int> ss(20);
+  // Heavy key 999: 20% of 100k; noise keys uniform over 10k.
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.bernoulli(0.2)) {
+      ss.add(999);
+    } else {
+      ss.add(static_cast<int>(rng.below(10000)));
+    }
+  }
+  EXPECT_GT(ss.estimate(999), 15000u);
+  const auto top = ss.top(1);
+  EXPECT_EQ(top[0].key, 999);
+}
+
+TEST(SpaceSaving, TopShareOnZipf) {
+  util::Rng rng(5);
+  util::ZipfSampler zipf(10000, 1.2);
+  SpaceSaving<std::size_t> ss(200);
+  double true_top5 = 0;
+  for (std::size_t k = 0; k < 5; ++k) true_top5 += zipf.pmf(k);
+  for (int i = 0; i < 300000; ++i) ss.add(zipf(rng));
+  // The conservative share estimate lands near (and not above ~5% over)
+  // the true top-5 mass.
+  const double est = ss.top_share(5);
+  EXPECT_NEAR(est, true_top5, 0.05);
+}
+
+TEST(SpaceSaving, TotalCountsEverything) {
+  SpaceSaving<int> ss(2);
+  for (int i = 0; i < 100; ++i) ss.add(i);
+  EXPECT_EQ(ss.total(), 100u);
+  EXPECT_EQ(ss.tracked(), 2u);
+}
+
+}  // namespace
+}  // namespace phi::flow

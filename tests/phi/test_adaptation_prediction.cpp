@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phi/adaptation.hpp"
+#include "phi/prediction.hpp"
+
+namespace phi::core {
+namespace {
+
+constexpr PathKey kPath = 5;
+
+TEST(JitterBufferAdvisor, FallbackUntilEnoughSupport) {
+  JitterBufferAdvisor adv;
+  EXPECT_EQ(adv.recommend_ms(kPath, 77.0), 77.0);
+  for (int i = 0; i < 10; ++i) adv.record_jitter_ms(kPath, 20.0);
+  EXPECT_EQ(adv.recommend_ms(kPath, 77.0), 77.0);  // below min_support
+  for (int i = 0; i < 15; ++i) adv.record_jitter_ms(kPath, 20.0);
+  EXPECT_NE(adv.recommend_ms(kPath, 77.0), 77.0);
+}
+
+TEST(JitterBufferAdvisor, QuantileTimesSafety) {
+  JitterBufferAdvisor::Config cfg;
+  cfg.quantile = 0.95;
+  cfg.safety = 1.25;
+  cfg.min_support = 10;
+  JitterBufferAdvisor adv(cfg);
+  for (int i = 1; i <= 100; ++i)
+    adv.record_jitter_ms(kPath, static_cast<double>(i));
+  // p95 ~= 95; x1.25 ~= 119.
+  EXPECT_NEAR(adv.recommend_ms(kPath), 95.0 * 1.25, 3.0);
+}
+
+TEST(JitterBufferAdvisor, ClampsToBounds) {
+  JitterBufferAdvisor::Config cfg;
+  cfg.min_support = 5;
+  JitterBufferAdvisor adv(cfg);
+  for (int i = 0; i < 10; ++i) adv.record_jitter_ms(kPath, 0.5);
+  EXPECT_EQ(adv.recommend_ms(kPath), cfg.min_ms);
+  for (int i = 0; i < 100; ++i) adv.record_jitter_ms(kPath, 5000.0);
+  EXPECT_EQ(adv.recommend_ms(kPath), cfg.max_ms);
+}
+
+TEST(JitterBufferAdvisor, NegativeSamplesIgnored) {
+  JitterBufferAdvisor adv;
+  adv.record_jitter_ms(kPath, -3.0);
+  EXPECT_EQ(adv.support(kPath), 0u);
+}
+
+TEST(DupAckAdvisor, BaseUntilSupport) {
+  DupAckThresholdAdvisor adv;
+  EXPECT_EQ(adv.recommend(kPath), 3);
+  for (int i = 0; i < 10; ++i) adv.record_connection(kPath, true);
+  EXPECT_EQ(adv.recommend(kPath), 3);  // support gate
+}
+
+TEST(DupAckAdvisor, RaisesWithPrevalence) {
+  DupAckThresholdAdvisor adv;
+  // 10% reordering prevalence over 100 connections -> +1.
+  for (int i = 0; i < 100; ++i) adv.record_connection(kPath, i % 10 == 0);
+  EXPECT_NEAR(adv.prevalence(kPath), 0.1, 1e-9);
+  EXPECT_EQ(adv.recommend(kPath), 4);
+}
+
+TEST(DupAckAdvisor, RaisesMoreWhenSevere) {
+  DupAckThresholdAdvisor adv;
+  for (int i = 0; i < 100; ++i) adv.record_connection(kPath, i % 3 == 0);
+  EXPECT_EQ(adv.recommend(kPath), 6);
+}
+
+TEST(DupAckAdvisor, CleanPathKeepsDefault) {
+  DupAckThresholdAdvisor adv;
+  for (int i = 0; i < 100; ++i) adv.record_connection(kPath, false);
+  EXPECT_EQ(adv.recommend(kPath), 3);
+}
+
+TEST(Predictor, UnreliableWithoutHistory) {
+  PerformancePredictor pred;
+  const auto p = pred.predict(kPath);
+  EXPECT_FALSE(p.reliable);
+  EXPECT_EQ(p.support, 0u);
+  EXPECT_TRUE(std::isinf(pred.predicted_download_time_s(kPath, 1000)));
+  EXPECT_EQ(pred.predicted_voip_mos(kPath), 1.0);
+}
+
+TEST(Predictor, MedianAndQuantiles) {
+  PerformancePredictor pred;
+  for (int i = 1; i <= 100; ++i) {
+    PerfObservation o;
+    o.throughput_bps = i * 1e5;
+    o.rtt_s = 0.1;
+    o.loss_rate = 0.0;
+    pred.record(kPath, o);
+  }
+  const auto p = pred.predict(kPath);
+  ASSERT_TRUE(p.reliable);
+  EXPECT_NEAR(p.expected_throughput_bps, 50.5e5, 1e4);
+  EXPECT_LT(p.p10_throughput_bps, p.expected_throughput_bps);
+  EXPECT_GT(p.p90_throughput_bps, p.expected_throughput_bps);
+}
+
+TEST(Predictor, WindowEvictsOldObservations) {
+  PerformancePredictor::Config cfg;
+  cfg.window = 10;
+  cfg.min_support = 5;
+  PerformancePredictor pred(cfg);
+  for (int i = 0; i < 50; ++i) {
+    PerfObservation o;
+    o.throughput_bps = 1e6;
+    pred.record(kPath, o);
+  }
+  EXPECT_EQ(pred.support(kPath), 10u);
+  // Newer, faster observations displace the old regime entirely.
+  for (int i = 0; i < 10; ++i) {
+    PerfObservation o;
+    o.throughput_bps = 9e6;
+    pred.record(kPath, o);
+  }
+  EXPECT_NEAR(pred.predict(kPath).expected_throughput_bps, 9e6, 1e3);
+}
+
+TEST(Predictor, DownloadTimeFromMedian) {
+  PerformancePredictor pred;
+  for (int i = 0; i < 20; ++i) {
+    PerfObservation o;
+    o.throughput_bps = 8e6;  // 1 MB/s
+    pred.record(kPath, o);
+  }
+  EXPECT_NEAR(pred.predicted_download_time_s(kPath, 10'000'000), 10.0, 0.1);
+}
+
+TEST(Predictor, EmodelMonotoneInDelayAndLoss) {
+  const double r_clean = PerformancePredictor::emodel_r_factor(50, 0.0);
+  const double r_slow = PerformancePredictor::emodel_r_factor(300, 0.0);
+  const double r_lossy = PerformancePredictor::emodel_r_factor(50, 0.05);
+  EXPECT_GT(r_clean, r_slow);
+  EXPECT_GT(r_clean, r_lossy);
+  EXPECT_GT(PerformancePredictor::mos_from_r(r_clean),
+            PerformancePredictor::mos_from_r(r_slow));
+}
+
+TEST(Predictor, MosBounds) {
+  EXPECT_EQ(PerformancePredictor::mos_from_r(-10), 1.0);
+  EXPECT_EQ(PerformancePredictor::mos_from_r(150), 4.5);
+  const double mid = PerformancePredictor::mos_from_r(70);
+  EXPECT_GT(mid, 3.0);
+  EXPECT_LT(mid, 4.5);
+}
+
+TEST(Predictor, VoipAdvisableOnGoodPathOnly) {
+  PerformancePredictor pred;
+  for (int i = 0; i < 20; ++i) {
+    PerfObservation good;
+    good.throughput_bps = 10e6;
+    good.rtt_s = 0.06;
+    good.loss_rate = 0.0;
+    good.jitter_ms = 5.0;
+    pred.record(1, good);
+    PerfObservation bad;
+    bad.throughput_bps = 0.5e6;
+    bad.rtt_s = 0.5;
+    bad.loss_rate = 0.08;
+    bad.jitter_ms = 60.0;
+    pred.record(2, bad);
+  }
+  EXPECT_TRUE(pred.voip_call_advisable(1));
+  EXPECT_FALSE(pred.voip_call_advisable(2));
+}
+
+}  // namespace
+}  // namespace phi::core

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "phi/context_server.hpp"
+
+namespace phi::core {
+namespace {
+
+constexpr PathKey kPath = 42;
+
+Report make_report(std::uint64_t sender, util::Time start, util::Time end,
+                   std::int64_t bytes, double min_rtt = 0.15,
+                   double mean_rtt = 0.18, double rtx = 0.0) {
+  Report r;
+  r.path = kPath;
+  r.sender_id = sender;
+  r.started = start;
+  r.ended = end;
+  r.bytes = bytes;
+  r.min_rtt_s = min_rtt;
+  r.mean_rtt_s = mean_rtt;
+  r.retransmit_rate = rtx;
+  return r;
+}
+
+TEST(ContextServer, UnknownPathIsZeroContext) {
+  ContextServer server;
+  const auto ctx = server.context(123456);
+  EXPECT_EQ(ctx.utilization, 0.0);
+  EXPECT_EQ(ctx.competing_senders, 0.0);
+}
+
+TEST(ContextServer, UtilizationConvergesToOfferedLoad) {
+  // 15 Mbps path, reports covering the window at ~half capacity.
+  ContextServerConfig cfg;
+  cfg.window = util::seconds(10);
+  ContextServer server(cfg);
+  server.set_path_capacity(kPath, 15e6);
+
+  // 10 seconds of transfers, each 1 s long delivering 0.9375 MB
+  // (7.5 Mbps each second).
+  for (int s = 0; s < 10; ++s) {
+    server.report(make_report(1, util::seconds(s), util::seconds(s + 1),
+                              937500));
+  }
+  const auto ctx = server.context(kPath);
+  EXPECT_NEAR(ctx.utilization, 0.5, 0.06);
+}
+
+TEST(ContextServer, UtilizationWindowExpires) {
+  ContextServerConfig cfg;
+  cfg.window = util::seconds(10);
+  ContextServer server(cfg);
+  server.set_path_capacity(kPath, 15e6);
+  server.report(make_report(1, 0, util::seconds(1), 1875000));  // 15 Mb
+  // A lookup far in the future sees an empty window.
+  (void)server.lookup(LookupRequest{kPath, 9, util::seconds(100)});
+  EXPECT_NEAR(server.context(kPath).utilization, 0.0, 1e-9);
+}
+
+TEST(ContextServer, CountsActiveSenders) {
+  ContextServer server;
+  server.set_path_capacity(kPath, 15e6);
+  for (std::uint64_t s = 0; s < 5; ++s)
+    (void)server.lookup(LookupRequest{kPath, s, util::seconds(1)});
+  EXPECT_GE(server.context(kPath).competing_senders, 5.0);
+  // Three finish.
+  for (std::uint64_t s = 0; s < 3; ++s)
+    server.report(make_report(s, util::seconds(1), util::seconds(2), 1000));
+  EXPECT_GE(server.context(kPath).competing_senders, 2.0);
+  EXPECT_LT(server.context(kPath).competing_senders, 5.0);
+}
+
+TEST(ContextServer, QueueDelayFromRttSpread) {
+  ContextServer server;
+  server.set_path_capacity(kPath, 15e6);
+  // min 150 ms, mean 190 ms -> q estimate ~40 ms.
+  for (int i = 0; i < 20; ++i)
+    server.report(make_report(1, util::seconds(i), util::seconds(i + 1),
+                              10000, 0.150, 0.190));
+  EXPECT_NEAR(server.context(kPath).queue_delay_s, 0.040, 0.005);
+}
+
+TEST(ContextServer, MinRttIsGlobalAcrossReports) {
+  ContextServer server;
+  server.set_path_capacity(kPath, 15e6);
+  server.report(make_report(1, 0, util::seconds(1), 1000, 0.150, 0.150));
+  // Later connections never saw the true floor; spread must use the
+  // global minimum (0.15), so q = 0.25 - 0.15 = 0.1.
+  for (int i = 1; i < 30; ++i)
+    server.report(make_report(1, util::seconds(i), util::seconds(i + 1),
+                              1000, 0.25, 0.25));
+  EXPECT_NEAR(server.context(kPath).queue_delay_s, 0.1, 0.02);
+}
+
+TEST(ContextServer, LossEwma) {
+  ContextServer server;
+  server.set_path_capacity(kPath, 15e6);
+  for (int i = 0; i < 30; ++i)
+    server.report(make_report(1, util::seconds(i), util::seconds(i + 1),
+                              1000, 0.15, 0.18, 0.04));
+  EXPECT_NEAR(server.context(kPath).loss_rate, 0.04, 0.005);
+}
+
+TEST(ContextServer, RecommendationServedByBucket) {
+  ContextServer server;
+  server.set_path_capacity(kPath, 15e6);
+  RecommendationTable table;
+  table.set(ContextBucket{0, 0}, tcp::CubicParams{256, 64, 0.2});
+  server.set_recommendations(std::move(table));
+
+  const auto reply = server.lookup(LookupRequest{kPath, 1, 0});
+  ASSERT_TRUE(reply.has_recommendation);
+  EXPECT_EQ(reply.recommended.initial_ssthresh, 256);
+  EXPECT_EQ(reply.recommended.window_init, 64);
+}
+
+TEST(ContextServer, NoRecommendationWhenTableEmpty) {
+  ContextServer server;
+  const auto reply = server.lookup(LookupRequest{kPath, 1, 0});
+  EXPECT_FALSE(reply.has_recommendation);
+}
+
+TEST(ContextServer, VersionBumpsOnReports) {
+  ContextServer server;
+  EXPECT_EQ(server.state_version(), 0u);
+  server.report(make_report(1, 0, util::seconds(1), 1000));
+  server.report(make_report(2, 0, util::seconds(1), 1000));
+  EXPECT_EQ(server.state_version(), 2u);
+  EXPECT_EQ(server.reports(), 2u);
+  (void)server.lookup(LookupRequest{kPath, 3, 0});
+  EXPECT_EQ(server.lookups(), 1u);
+}
+
+TEST(ContextServer, CapacityFallbackFromObservedRate) {
+  ContextServer server;  // no capacity configured
+  // 8 Mbps delivery observed -> becomes the capacity proxy; subsequent
+  // identical load reads as ~full utilization.
+  for (int i = 0; i < 10; ++i)
+    server.report(make_report(1, util::seconds(i), util::seconds(i + 1),
+                              1'000'000));
+  EXPECT_GT(server.context(kPath).utilization, 0.5);
+}
+
+TEST(ContextServer, PathsAreIsolated) {
+  ContextServer server;
+  server.set_path_capacity(1, 15e6);
+  server.set_path_capacity(2, 15e6);
+  Report r = make_report(1, 0, util::seconds(1), 1875000);
+  r.path = 1;
+  server.report(r);
+  EXPECT_GT(server.context(1).utilization, 0.0);
+  EXPECT_EQ(server.context(2).utilization, 0.0);
+}
+
+TEST(ContextServer, ExternalUtilizationLiftsLocalView) {
+  util::Time fake_now = 0;
+  ContextServer server({}, [&fake_now] { return fake_now; });
+  server.set_path_capacity(kPath, 15e6);
+  // Local estimate ~0.25; federation says the bottleneck is at 0.8.
+  fake_now = util::seconds(10);
+  server.report(make_report(1, util::seconds(9), util::seconds(10), 4687500));
+  const double local = server.context(kPath).utilization;
+  EXPECT_LT(local, 0.5);
+  server.set_external_utilization(kPath, 0.8, fake_now, util::seconds(5));
+  EXPECT_NEAR(server.context(kPath).utilization, 0.8, 1e-9);
+  // The external view expires; the local one remains.
+  fake_now = util::seconds(16);
+  EXPECT_LT(server.context(kPath).utilization, 0.5);
+}
+
+TEST(ContextServer, ExternalUtilizationNeverLowersLocal) {
+  util::Time fake_now = util::seconds(10);
+  ContextServer server({}, [&fake_now] { return fake_now; });
+  server.set_path_capacity(kPath, 15e6);
+  // Local already hot (~1.0); a stale-low federated view must not mask it.
+  for (int i = 0; i < 10; ++i)
+    server.report(make_report(1, util::seconds(i), util::seconds(i + 1),
+                              1875000));
+  server.set_external_utilization(kPath, 0.1, fake_now, util::seconds(5));
+  EXPECT_GT(server.context(kPath).utilization, 0.5);
+}
+
+TEST(ContextServer, ClockFunctionDrivesExpiry) {
+  util::Time fake_now = 0;
+  ContextServerConfig cfg;
+  cfg.window = util::seconds(5);
+  ContextServer server(cfg, [&fake_now] { return fake_now; });
+  server.set_path_capacity(kPath, 15e6);
+  server.report(make_report(1, 0, util::seconds(1), 1875000));
+  fake_now = util::seconds(2);
+  EXPECT_GT(server.context(kPath).utilization, 0.0);
+  fake_now = util::seconds(60);
+  EXPECT_EQ(server.context(kPath).utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace phi::core

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "phi/coordination.hpp"
+
+namespace phi::core {
+namespace {
+
+TEST(Priorities, UniformWeightsAreStandardFlows) {
+  const auto alloc = allocate_priorities({{0, 1.0}, {1, 1.0}, {2, 1.0}});
+  for (const auto& a : alloc) {
+    EXPECT_NEAR(a.increase_gain, 1.0, 1e-9);
+    EXPECT_NEAR(a.expected_share, 1.0 / 3.0, 1e-9);
+  }
+  EXPECT_NEAR(ensemble_equivalents(alloc), 3.0, 1e-9);
+}
+
+TEST(Priorities, GainsScaleWithSquaredWeight) {
+  const auto alloc = allocate_priorities({{0, 2.0}, {1, 1.0}, {2, 1.0}});
+  // sqrt(gain) proportional to weight.
+  EXPECT_NEAR(alloc[0].increase_gain / alloc[1].increase_gain, 4.0, 1e-9);
+  EXPECT_NEAR(ensemble_equivalents(alloc), 3.0, 1e-9);
+  EXPECT_NEAR(alloc[0].expected_share, 0.5, 1e-9);
+}
+
+TEST(Priorities, EnsembleFriendlyForAnyDecrease) {
+  for (const double b : {0.2, 0.5, 0.8}) {
+    const auto alloc =
+        allocate_priorities({{0, 4.0}, {1, 2.0}, {2, 1.0}, {3, 1.0}}, b);
+    EXPECT_NEAR(ensemble_equivalents(alloc), 4.0, 1e-9) << "b=" << b;
+    for (const auto& a : alloc) EXPECT_NEAR(a.decrease_factor, b, 1e-12);
+  }
+}
+
+TEST(Priorities, EmptyIsEmpty) {
+  EXPECT_TRUE(allocate_priorities({}).empty());
+}
+
+TEST(Priorities, RejectsBadInputs) {
+  EXPECT_THROW(allocate_priorities({{0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(allocate_priorities({{0, -1.0}}), std::invalid_argument);
+  EXPECT_THROW(allocate_priorities({{0, 1.0}}, 0.0), std::invalid_argument);
+  EXPECT_THROW(allocate_priorities({{0, 1.0}}, 1.0), std::invalid_argument);
+}
+
+TEST(WeightedAimd, GainControlsCaGrowth) {
+  WeightedAimd slow(0.25, 0.5, 2, 4);
+  WeightedAimd fast(4.0, 0.5, 2, 4);
+  slow.reset(0);
+  fast.reset(0);
+  util::Time now = 0;
+  // Exit slow start (ssthresh 4), then compare CA growth over 100 ACKs.
+  for (int i = 0; i < 4; ++i) {
+    slow.on_ack(1, 0.1, now += util::kMillisecond);
+    fast.on_ack(1, 0.1, now += util::kMillisecond);
+  }
+  for (int i = 0; i < 100; ++i) {
+    slow.on_ack(1, 0.1, now += util::kMillisecond);
+    fast.on_ack(1, 0.1, now += util::kMillisecond);
+  }
+  EXPECT_GT(fast.window(), slow.window() * 2);
+}
+
+TEST(WeightedAimd, DecreaseFactorApplied) {
+  WeightedAimd cc(1.0, 0.3, 2, 10);
+  cc.reset(0);
+  util::Time now = 0;
+  for (int i = 0; i < 50; ++i) cc.on_ack(1, 0.1, now += util::kMillisecond);
+  const double before = cc.window();
+  cc.on_loss_event(now, 0);
+  EXPECT_NEAR(cc.window(), before * 0.7, 1e-6);
+}
+
+TEST(WeightedAimd, TimeoutToOne) {
+  WeightedAimd cc(1.0, 0.5);
+  cc.reset(0);
+  util::Time now = 0;
+  for (int i = 0; i < 30; ++i) cc.on_ack(1, 0.1, now += util::kMillisecond);
+  cc.on_timeout(now, 0);
+  EXPECT_EQ(cc.window(), 1.0);
+}
+
+TEST(WeightedAimd, RejectsBadParams) {
+  EXPECT_THROW(WeightedAimd(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(WeightedAimd(1.0, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phi::core

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phi/context.hpp"
+#include "phi/metrics.hpp"
+
+namespace phi::core {
+namespace {
+
+TEST(Metrics, PowerBasic) {
+  EXPECT_NEAR(power(10e6, 0.1), 100e6, 1e-6);
+  EXPECT_EQ(power(10e6, 0.0), 0.0);
+  EXPECT_EQ(power(10e6, -1.0), 0.0);
+}
+
+TEST(Metrics, LossyPowerScalesWithLoss) {
+  const double base = power(10e6, 0.1);
+  EXPECT_NEAR(lossy_power(10e6, 0.1, 0.0), base, 1e-6);
+  EXPECT_NEAR(lossy_power(10e6, 0.1, 0.5), base * 0.5, 1e-6);
+  EXPECT_NEAR(lossy_power(10e6, 0.1, 1.0), 0.0, 1e-6);
+  // Out-of-range loss clamped.
+  EXPECT_NEAR(lossy_power(10e6, 0.1, -0.3), base, 1e-6);
+  EXPECT_NEAR(lossy_power(10e6, 0.1, 2.0), 0.0, 1e-6);
+}
+
+TEST(Metrics, LogPower) {
+  EXPECT_NEAR(log_power(std::exp(1.0), 1.0), 1.0, 1e-12);
+  EXPECT_GT(log_power(10e6, 0.05), log_power(10e6, 0.1));
+  EXPECT_GT(log_power(20e6, 0.1), log_power(10e6, 0.1));
+}
+
+TEST(Metrics, HigherLossNeverIncreasesPl) {
+  for (double l = 0.0; l <= 1.0; l += 0.1) {
+    EXPECT_LE(lossy_power(5e6, 0.2, l + 0.05),
+              lossy_power(5e6, 0.2, l) + 1e-9);
+  }
+}
+
+TEST(ContextBucketer, UtilizationBuckets) {
+  ContextBucketer b;  // 5 buckets
+  auto bucket_u = [&](double u) {
+    CongestionContext c;
+    c.utilization = u;
+    c.competing_senders = 1;
+    return b.bucket(c).u;
+  };
+  EXPECT_EQ(bucket_u(0.0), 0);
+  EXPECT_EQ(bucket_u(0.19), 0);
+  EXPECT_EQ(bucket_u(0.21), 1);
+  EXPECT_EQ(bucket_u(0.5), 2);
+  EXPECT_EQ(bucket_u(0.99), 4);
+  EXPECT_EQ(bucket_u(1.0), 4);   // clamped into last bucket
+  EXPECT_EQ(bucket_u(1.5), 4);   // out of range clamped
+  EXPECT_EQ(bucket_u(-0.2), 0);
+}
+
+TEST(ContextBucketer, SenderCountIsLog2) {
+  ContextBucketer b;
+  auto bucket_n = [&](double n) {
+    CongestionContext c;
+    c.competing_senders = n;
+    return b.bucket(c).n;
+  };
+  EXPECT_EQ(bucket_n(0), 0);  // clamped to >= 1
+  EXPECT_EQ(bucket_n(1), 0);
+  EXPECT_EQ(bucket_n(2), 1);
+  EXPECT_EQ(bucket_n(3), 1);
+  EXPECT_EQ(bucket_n(4), 2);
+  EXPECT_EQ(bucket_n(7.9), 2);
+  EXPECT_EQ(bucket_n(8), 3);
+  EXPECT_EQ(bucket_n(100), 6);
+}
+
+TEST(ContextBucket, Distance) {
+  EXPECT_EQ((ContextBucket{1, 2}).distance({1, 2}), 0);
+  EXPECT_EQ((ContextBucket{1, 2}).distance({3, 1}), 3);
+  EXPECT_EQ((ContextBucket{0, 0}).distance({4, 6}), 10);
+}
+
+TEST(CongestionContext, StrIsHumanReadable) {
+  CongestionContext c;
+  c.utilization = 0.63;
+  c.queue_delay_s = 0.0313;
+  c.competing_senders = 8;
+  const std::string s = c.str();
+  EXPECT_NE(s.find("u=0.63"), std::string::npos);
+  EXPECT_NE(s.find("31.3ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace phi::core

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "phi/recommendation.hpp"
+
+namespace phi::core {
+namespace {
+
+TEST(RecommendationTable, EmptyLookupIsNull) {
+  RecommendationTable t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.lookup({0, 0}).has_value());
+}
+
+TEST(RecommendationTable, ExactHit) {
+  RecommendationTable t;
+  t.set({2, 3}, tcp::CubicParams{64, 8, 0.5});
+  const auto hit = t.lookup({2, 3});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->initial_ssthresh, 64);
+  EXPECT_EQ(hit->window_init, 8);
+  EXPECT_NEAR(hit->beta, 0.5, 1e-12);
+}
+
+TEST(RecommendationTable, NearestNeighbourWithinDistance) {
+  RecommendationTable t;
+  t.set({0, 0}, tcp::CubicParams{2, 2, 0.1});
+  t.set({4, 3}, tcp::CubicParams{256, 64, 0.9});
+  // (3,3) is distance 1 from (4,3) and 6 from (0,0).
+  const auto hit = t.lookup({3, 3});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->initial_ssthresh, 256);
+}
+
+TEST(RecommendationTable, MaxDistanceGate) {
+  RecommendationTable t;
+  t.set({0, 0}, tcp::CubicParams{});
+  EXPECT_TRUE(t.lookup({1, 1}, 2).has_value());
+  EXPECT_FALSE(t.lookup({5, 5}, 2).has_value());
+}
+
+TEST(RecommendationTable, OverwriteBucket) {
+  RecommendationTable t;
+  t.set({1, 1}, tcp::CubicParams{2, 2, 0.1});
+  t.set({1, 1}, tcp::CubicParams{8, 8, 0.8});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup({1, 1})->initial_ssthresh, 8);
+}
+
+TEST(RecommendationTable, SerializeParseRoundTrip) {
+  RecommendationTable t;
+  t.set({0, 0}, tcp::CubicParams{2, 4, 0.1});
+  t.set({3, 2}, tcp::CubicParams{64, 32, 0.5});
+  t.set({4, 6}, tcp::CubicParams{256, 2, 0.9});
+  const auto parsed = RecommendationTable::parse(t.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 3u);
+  for (const auto& [key, params] : t.entries()) {
+    const auto hit = parsed->lookup({key.first, key.second});
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, params);
+  }
+}
+
+TEST(RecommendationTable, ParseRejectsGarbage) {
+  EXPECT_FALSE(RecommendationTable::parse("1 2 nonsense").has_value());
+}
+
+TEST(RecommendationTable, ParseEmptyIsEmptyTable) {
+  const auto parsed = RecommendationTable::parse("");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+}  // namespace
+}  // namespace phi::core

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "phi/secure_agg.hpp"
+
+namespace phi::core {
+namespace {
+
+constexpr std::uint64_t kSession = 0x5EC0A661;
+
+TEST(SecureAgg, SumRecoveredExactly) {
+  const std::size_t n = 3;
+  const auto seeds = derive_pairwise_seeds(n, kSession);
+  SecureAggregator agg(n);
+  agg.begin_round(1);
+  const double values[] = {0.63, 0.12, 0.88};
+  for (std::size_t i = 0; i < n; ++i) {
+    SecureParticipant p(i, seeds[i]);
+    agg.submit(i, p.masked_share(values[i], 1));
+  }
+  ASSERT_TRUE(agg.complete());
+  EXPECT_NEAR(*agg.sum(), 0.63 + 0.12 + 0.88, 1e-5);
+  EXPECT_NEAR(*agg.mean(), (0.63 + 0.12 + 0.88) / 3, 1e-5);
+}
+
+TEST(SecureAgg, IncompleteRoundHasNoSum) {
+  const auto seeds = derive_pairwise_seeds(2, kSession);
+  SecureAggregator agg(2);
+  agg.begin_round(5);
+  SecureParticipant p0(0, seeds[0]);
+  agg.submit(0, p0.masked_share(1.0, 5));
+  EXPECT_FALSE(agg.complete());
+  EXPECT_FALSE(agg.sum().has_value());
+}
+
+TEST(SecureAgg, SharesLookNothingLikeValues) {
+  // The masked share of a small value should be a huge ring element (the
+  // mask dominates). This is a sanity check, not a security proof.
+  const auto seeds = derive_pairwise_seeds(4, kSession);
+  SecureParticipant p(1, seeds[1]);
+  FixedPoint codec;
+  const std::uint64_t plain = codec.encode(0.5);
+  const std::uint64_t share = p.masked_share(0.5, 7);
+  EXPECT_NE(share, plain);
+  // Different rounds produce unrelated shares for the same value.
+  EXPECT_NE(p.masked_share(0.5, 8), share);
+}
+
+TEST(SecureAgg, MasksCancelForAnyFleetSize) {
+  for (std::size_t n : {2u, 5u, 16u}) {
+    const auto seeds = derive_pairwise_seeds(n, kSession + n);
+    SecureAggregator agg(n);
+    agg.begin_round(n);
+    double expected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = 0.1 * static_cast<double>(i + 1);
+      expected += v;
+      SecureParticipant p(i, seeds[i]);
+      agg.submit(i, p.masked_share(v, n));
+    }
+    EXPECT_NEAR(*agg.sum(), expected, 1e-5) << "n=" << n;
+  }
+}
+
+TEST(SecureAgg, NegativeValuesSupported) {
+  const auto seeds = derive_pairwise_seeds(2, kSession);
+  SecureAggregator agg(2);
+  agg.begin_round(2);
+  SecureParticipant a(0, seeds[0]), b(1, seeds[1]);
+  agg.submit(0, a.masked_share(-1.25, 2));
+  agg.submit(1, b.masked_share(0.75, 2));
+  EXPECT_NEAR(*agg.sum(), -0.5, 1e-5);
+}
+
+TEST(SecureAgg, DuplicateSubmissionThrows) {
+  const auto seeds = derive_pairwise_seeds(2, kSession);
+  SecureAggregator agg(2);
+  agg.begin_round(1);
+  SecureParticipant p(0, seeds[0]);
+  agg.submit(0, p.masked_share(1.0, 1));
+  EXPECT_THROW(agg.submit(0, 1), std::logic_error);
+  EXPECT_THROW(agg.submit(7, 1), std::invalid_argument);
+}
+
+TEST(SecureAgg, BeginRoundResets) {
+  const auto seeds = derive_pairwise_seeds(2, kSession);
+  SecureAggregator agg(2);
+  agg.begin_round(1);
+  SecureParticipant a(0, seeds[0]), b(1, seeds[1]);
+  agg.submit(0, a.masked_share(0.4, 1));
+  agg.submit(1, b.masked_share(0.6, 1));
+  EXPECT_NEAR(*agg.sum(), 1.0, 1e-5);
+  agg.begin_round(2);
+  EXPECT_FALSE(agg.complete());
+  agg.submit(0, a.masked_share(0.1, 2));
+  agg.submit(1, b.masked_share(0.2, 2));
+  EXPECT_NEAR(*agg.sum(), 0.3, 1e-5);
+}
+
+TEST(SecureAgg, PairwiseSeedsAreSymmetricAndDistinct) {
+  const auto seeds = derive_pairwise_seeds(5, kSession);
+  std::set<std::uint64_t> distinct;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(seeds[i][j], seeds[j][i]);
+      distinct.insert(seeds[i][j]);
+    }
+  }
+  EXPECT_EQ(distinct.size(), 10u);  // C(5,2) unique pair keys
+}
+
+TEST(SecureAgg, BadParticipantIndexThrows) {
+  const auto seeds = derive_pairwise_seeds(2, kSession);
+  EXPECT_THROW(SecureParticipant(5, seeds[0]), std::invalid_argument);
+  EXPECT_THROW(SecureAggregator(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phi::core

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "remy/memory.hpp"
+#include "remy/whisker.hpp"
+#include "util/rng.hpp"
+
+namespace phi::remy {
+namespace {
+
+TEST(Memory, StartsAtRestState) {
+  Memory m;
+  EXPECT_FALSE(m.warm());
+  EXPECT_EQ(m.signals()[kSendEwmaMs], 0.0);
+  EXPECT_EQ(m.signals()[kRecEwmaMs], 0.0);
+  EXPECT_EQ(m.signals()[kRttRatio], 1.0);
+  EXPECT_EQ(m.signals()[kUtilization], 0.0);
+}
+
+TEST(Memory, EwmaTracksInterarrivals) {
+  Memory m(0.5);
+  // ACKs arriving every 10 ms for packets sent every 5 ms.
+  util::Time sent = 0, recv = 0;
+  for (int i = 0; i < 20; ++i) {
+    sent += util::milliseconds(5);
+    recv += util::milliseconds(10);
+    m.on_ack(sent, recv, 0.15, 0.0);
+  }
+  EXPECT_NEAR(m.signals()[kSendEwmaMs], 5.0, 0.5);
+  EXPECT_NEAR(m.signals()[kRecEwmaMs], 10.0, 0.5);
+  EXPECT_TRUE(m.warm());
+}
+
+TEST(Memory, RttRatioAgainstConnectionMin) {
+  Memory m;
+  m.on_ack(1000, 2000, 0.150, 0.0);
+  EXPECT_NEAR(m.signals()[kRttRatio], 1.0, 1e-9);
+  m.on_ack(2000, 3000, 0.300, 0.0);
+  EXPECT_NEAR(m.signals()[kRttRatio], 2.0, 1e-9);
+  m.on_ack(3000, 4000, 0.120, 0.0);  // new minimum
+  EXPECT_NEAR(m.signals()[kRttRatio], 1.0, 1e-9);
+  m.on_ack(4000, 5000, 0.240, 0.0);
+  EXPECT_NEAR(m.signals()[kRttRatio], 2.0, 1e-9);
+}
+
+TEST(Memory, UtilizationClampedAndStored) {
+  Memory m;
+  m.on_ack(0, 0, 0.1, 0.63);
+  EXPECT_NEAR(m.signals()[kUtilization], 0.63, 1e-12);
+  m.on_ack(1, 1, 0.1, 1.7);
+  EXPECT_EQ(m.signals()[kUtilization], 1.0);
+  m.on_ack(2, 2, 0.1, -0.5);
+  EXPECT_EQ(m.signals()[kUtilization], 0.0);
+}
+
+TEST(Memory, ResetClearsEverything) {
+  Memory m;
+  m.on_ack(1000, 2000, 0.2, 0.5);
+  m.on_ack(3000, 4000, 0.4, 0.5);
+  m.reset();
+  EXPECT_FALSE(m.warm());
+  EXPECT_EQ(m.acks(), 0u);
+  EXPECT_EQ(m.signals()[kRttRatio], 1.0);
+}
+
+TEST(Action, ClampsToLegalRanges) {
+  Action a;
+  a.window_multiple = 5.0;
+  a.window_increment = -100.0;
+  a.intersend_ms = 0.0001;
+  const Action c = a.clamped();
+  EXPECT_EQ(c.window_multiple, Action::kMaxMultiple);
+  EXPECT_EQ(c.window_increment, Action::kMinIncrement);
+  EXPECT_EQ(c.intersend_ms, Action::kMinIntersendMs);
+}
+
+TEST(WhiskerTree, SingleWhiskerCoversDomain) {
+  WhiskerTree tree;
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.find({0, 0, 1, 0}), 0u);
+  EXPECT_EQ(tree.find({999, 999, 4.9, 0.99}), 0u);
+  EXPECT_EQ(tree.find({1e9, -5, 100, 3}), 0u);  // clamped
+}
+
+TEST(WhiskerTree, SplitCreatesDisjointCover) {
+  WhiskerTree tree({}, 0b0111);  // 3 active dims -> 8 children
+  EXPECT_EQ(tree.split(0), 8u);
+  EXPECT_EQ(tree.size(), 8u);
+}
+
+TEST(WhiskerTree, SplitWithUtilizationDim) {
+  WhiskerTree tree({}, 0b1111);
+  EXPECT_EQ(tree.split(0), 16u);
+}
+
+// Property: after arbitrary splits, every random point lands in exactly
+// one whisker.
+class TreeTiling : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeTiling, PointsCoveredExactlyOnce) {
+  util::Rng rng(GetParam());
+  WhiskerTree tree({}, 0b1111);
+  for (int s = 0; s < 4; ++s)
+    tree.split(rng.below(tree.size()));
+
+  const auto lo = signal_domain_lo();
+  const auto hi = signal_domain_hi();
+  for (int i = 0; i < 2000; ++i) {
+    SignalVector v;
+    for (std::size_t d = 0; d < kNumSignals; ++d)
+      v[d] = rng.uniform(lo[d], hi[d]);
+    int hits = 0;
+    for (std::size_t w = 0; w < tree.size(); ++w)
+      if (tree.whisker(w).domain.contains(v)) ++hits;
+    ASSERT_EQ(hits, 1) << "point covered " << hits << " times";
+    // find() agrees with the containing whisker.
+    ASSERT_TRUE(tree.whisker(tree.find(v)).domain.contains(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeTiling, ::testing::Values(1, 2, 7, 19));
+
+TEST(WhiskerTree, UseCountsAndMostUsed) {
+  WhiskerTree tree;
+  tree.split(0);
+  EXPECT_FALSE(tree.most_used().has_value());
+  SignalVector v{1, 1, 1.1, 0.1};
+  (void)tree.action_for(v);
+  (void)tree.action_for(v);
+  const auto used = tree.most_used();
+  ASSERT_TRUE(used.has_value());
+  EXPECT_EQ(tree.whisker(*used).use_count, 2u);
+  tree.reset_use_counts();
+  EXPECT_FALSE(tree.most_used().has_value());
+}
+
+TEST(WhiskerTree, ChildrenInheritParentAction) {
+  Action a;
+  a.window_multiple = 0.7;
+  a.window_increment = 3.0;
+  a.intersend_ms = 2.0;
+  WhiskerTree tree(a, 0b0111);
+  tree.split(0);
+  for (std::size_t i = 0; i < tree.size(); ++i)
+    EXPECT_EQ(tree.whisker(i).action, a.clamped());
+}
+
+TEST(WhiskerTree, SerializeParseRoundTrip) {
+  util::Rng rng(5);
+  WhiskerTree tree({}, 0b1111);
+  tree.split(0);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    tree.whisker(i).action.window_multiple = rng.uniform(0, 2);
+    tree.whisker(i).action.window_increment = rng.uniform(-5, 5);
+    tree.whisker(i).action.intersend_ms = rng.uniform(0.1, 10);
+  }
+  const auto parsed = WhiskerTree::parse(tree.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), tree.size());
+  EXPECT_EQ(parsed->active_dims(), tree.active_dims());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    EXPECT_NEAR(parsed->whisker(i).action.window_multiple,
+                tree.whisker(i).action.window_multiple, 1e-6);
+    EXPECT_NEAR(parsed->whisker(i).action.intersend_ms,
+                tree.whisker(i).action.intersend_ms, 1e-6);
+  }
+}
+
+TEST(WhiskerTree, ParseRejectsGarbage) {
+  EXPECT_FALSE(WhiskerTree::parse("").has_value());
+  EXPECT_FALSE(WhiskerTree::parse("7\n1 2 3").has_value());
+}
+
+}  // namespace
+}  // namespace phi::remy

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.hpp"
+#include "util/rng.hpp"
+
+namespace phi::sim {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Scheduler, SimultaneousEventsAreFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  s.run_until(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(s.pending(id));
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.pending(id));
+  EXPECT_FALSE(s.cancel(id));  // double cancel
+  s.run_until(100);
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelAfterRunFails) {
+  Scheduler s;
+  const EventId id = s.schedule_at(1, [] {});
+  s.run_until(10);
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizon) {
+  Scheduler s;
+  bool late = false;
+  s.schedule_at(50, [&] { late = true; });
+  s.run_until(49);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(s.now(), 49);
+  s.run_until(50);
+  EXPECT_TRUE(late);
+}
+
+TEST(Scheduler, CallbackCanReschedule) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 5) s.schedule_in(10, tick);
+  };
+  s.schedule_at(0, tick);
+  s.run_until(1000);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.executed_count(), 5u);
+}
+
+TEST(Scheduler, SchedulingInPastThrows) {
+  Scheduler s;
+  s.schedule_at(10, [] {});
+  s.run_until(10);
+  EXPECT_THROW(s.schedule_at(5, [] {}), std::invalid_argument);
+  EXPECT_NO_THROW(s.schedule_at(10, [] {}));  // "now" is allowed
+}
+
+TEST(Scheduler, ClockAdvancesToEventTime) {
+  Scheduler s;
+  util::Time seen = -1;
+  s.schedule_at(77, [&] { seen = s.now(); });
+  s.run_until(1000);
+  EXPECT_EQ(seen, 77);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(0, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, PendingCountTracksQueue) {
+  Scheduler s;
+  EXPECT_EQ(s.pending_count(), 0u);
+  const EventId a = s.schedule_at(10, [] {});
+  s.schedule_at(20, [] {});
+  EXPECT_EQ(s.pending_count(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending_count(), 1u);
+  s.run_until(100);
+  EXPECT_EQ(s.pending_count(), 0u);
+}
+
+// Property: random schedule/cancel workload executes in nondecreasing
+// time order with FIFO tie-breaks.
+class SchedulerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerProperty, RandomWorkloadOrdered) {
+  util::Rng rng(GetParam());
+  Scheduler s;
+  std::vector<std::pair<util::Time, std::uint64_t>> executed;
+  std::vector<EventId> ids;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 500; ++i) {
+    const util::Time t = static_cast<util::Time>(rng.below(1000));
+    const std::uint64_t my_seq = seq++;
+    ids.push_back(s.schedule_at(t, [&executed, t, my_seq] {
+      executed.emplace_back(t, my_seq);
+    }));
+  }
+  // Cancel a random 20%.
+  std::size_t cancelled = 0;
+  for (const EventId id : ids)
+    if (rng.bernoulli(0.2) && s.cancel(id)) ++cancelled;
+  s.run_until(2000);
+  EXPECT_EQ(executed.size(), 500u - cancelled);
+  for (std::size_t i = 1; i < executed.size(); ++i) {
+    ASSERT_LE(executed[i - 1].first, executed[i].first);
+    if (executed[i - 1].first == executed[i].first)
+      ASSERT_LT(executed[i - 1].second, executed[i].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
+                         ::testing::Values(1, 2, 3, 99, 12345));
+
+}  // namespace
+}  // namespace phi::sim

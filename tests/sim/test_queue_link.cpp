@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "sim/link.hpp"
+#include "sim/monitor.hpp"
+#include "sim/network.hpp"
+#include "sim/queue.hpp"
+
+namespace phi::sim {
+namespace {
+
+Packet make_packet(NodeId src, NodeId dst, std::int32_t bytes = kSegmentBytes) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(DropTailQueue, EnqueueDequeueFifo) {
+  DropTailQueue q(10000);
+  for (int i = 0; i < 3; ++i) {
+    Packet p = make_packet(0, 1);
+    p.seq = i;
+    EXPECT_TRUE(q.enqueue(p, i * 10));
+  }
+  EXPECT_EQ(q.packets(), 3u);
+  EXPECT_EQ(q.bytes(), 3 * kSegmentBytes);
+  for (int i = 0; i < 3; ++i) {
+    auto p = q.dequeue();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, i);
+    EXPECT_EQ(p->enqueued_at, i * 10);
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(DropTailQueue, DropsWhenFull) {
+  DropTailQueue q(2 * kSegmentBytes);
+  EXPECT_TRUE(q.enqueue(make_packet(0, 1), 0));
+  EXPECT_TRUE(q.enqueue(make_packet(0, 1), 0));
+  EXPECT_FALSE(q.enqueue(make_packet(0, 1), 0));
+  EXPECT_EQ(q.stats().enqueued, 2u);
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_NEAR(q.stats().drop_rate(), 1.0 / 3.0, 1e-12);
+  // Space frees after dequeue.
+  q.dequeue();
+  EXPECT_TRUE(q.enqueue(make_packet(0, 1), 0));
+}
+
+TEST(DropTailQueue, ByteGranularCapacity) {
+  DropTailQueue q(kSegmentBytes + kAckBytes);
+  EXPECT_TRUE(q.enqueue(make_packet(0, 1, kSegmentBytes), 0));
+  EXPECT_TRUE(q.enqueue(make_packet(0, 1, kAckBytes), 0));
+  EXPECT_FALSE(q.enqueue(make_packet(0, 1, kAckBytes), 0));
+  EXPECT_NEAR(q.occupancy(), 1.0, 1e-9);
+}
+
+TEST(DropTailQueue, ResetStatsKeepsContents) {
+  DropTailQueue q(10000);
+  q.enqueue(make_packet(0, 1), 0);
+  q.reset_stats();
+  EXPECT_EQ(q.stats().enqueued, 0u);
+  EXPECT_EQ(q.packets(), 1u);
+}
+
+TEST(Link, DeliversAfterSerializationPlusPropagation) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  Link& l = net.add_link(a, b, 15.0 * util::kMbps, util::milliseconds(10),
+                         1'000'000);
+  a.add_route(b.id(), &l);
+
+  struct Probe : Agent {
+    util::Time arrived = -1;
+    Network* net;
+    void on_packet(const Packet&) override { arrived = net->now(); }
+  } probe;
+  probe.net = &net;
+  b.attach(7, &probe);
+
+  Packet p = make_packet(a.id(), b.id());
+  p.flow = 7;
+  a.send(p);
+  net.run_until(util::seconds(1));
+  // 1500 B at 15 Mbps = 800 us serialization + 10 ms propagation.
+  EXPECT_EQ(probe.arrived, util::microseconds(800) + util::milliseconds(10));
+  b.detach(7);
+}
+
+TEST(Link, SerializesBackToBack) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  Link& l = net.add_link(a, b, 15.0 * util::kMbps, 0, 1'000'000);
+  a.add_route(b.id(), &l);
+
+  struct Probe : Agent {
+    std::vector<util::Time> arrivals;
+    Network* net;
+    void on_packet(const Packet&) override {
+      arrivals.push_back(net->now());
+    }
+  } probe;
+  probe.net = &net;
+  b.attach(7, &probe);
+
+  for (int i = 0; i < 3; ++i) {
+    Packet p = make_packet(a.id(), b.id());
+    p.flow = 7;
+    a.send(p);
+  }
+  net.run_until(util::seconds(1));
+  ASSERT_EQ(probe.arrivals.size(), 3u);
+  // Arrivals spaced exactly one serialization time (800 us) apart.
+  EXPECT_EQ(probe.arrivals[1] - probe.arrivals[0], util::microseconds(800));
+  EXPECT_EQ(probe.arrivals[2] - probe.arrivals[1], util::microseconds(800));
+  EXPECT_EQ(l.packets_transmitted(), 3u);
+  EXPECT_EQ(l.bytes_transmitted(), 3u * kSegmentBytes);
+  b.detach(7);
+}
+
+TEST(Link, QueueOverflowDrops) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  // Buffer holds exactly 2 segments; 1 more can be in serialization.
+  Link& l = net.add_link(a, b, 15.0 * util::kMbps, 0, 2 * kSegmentBytes);
+  a.add_route(b.id(), &l);
+  for (int i = 0; i < 5; ++i) a.send(make_packet(a.id(), b.id()));
+  net.run_until(util::seconds(1));
+  EXPECT_EQ(l.queue().stats().dropped, 2u);
+  EXPECT_EQ(l.packets_transmitted(), 3u);
+}
+
+TEST(Link, UtilizationFraction) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  Link& l = net.add_link(a, b, 12.0 * util::kMbps, 0, 1'000'000);
+  a.add_route(b.id(), &l);
+  // 1 packet of 1500 B = 1 ms busy at 12 Mbps.
+  a.send(make_packet(a.id(), b.id()));
+  net.run_until(util::milliseconds(10));
+  EXPECT_NEAR(l.utilization(net.now()), 0.1, 1e-9);
+}
+
+TEST(Node, NoRouteCountsDrop) {
+  Network net;
+  Node& a = net.add_node("a");
+  a.send(make_packet(a.id(), 42));
+  EXPECT_EQ(a.no_route_drops(), 1u);
+}
+
+TEST(Node, UnclaimedPacketCounted) {
+  Network net;
+  Node& a = net.add_node("a");
+  Packet p = make_packet(0, a.id());
+  p.flow = 99;  // no agent attached
+  a.deliver(p);
+  EXPECT_EQ(a.unclaimed_packets(), 1u);
+}
+
+TEST(LinkMonitor, MeasuresWindowedUtilization) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  Link& l = net.add_link(a, b, 15.0 * util::kMbps, 0, 10'000'000);
+  a.add_route(b.id(), &l);
+  LinkMonitor mon(net.scheduler(), l, util::milliseconds(100));
+
+  // Saturate the link for 1 second: 15 Mbps = 1250 pkts/s.
+  for (int i = 0; i < 1250; ++i) a.send(make_packet(a.id(), b.id()));
+  net.run_until(util::seconds(1));
+  EXPECT_GT(mon.samples(), 5u);
+  EXPECT_NEAR(mon.recent_utilization(), 1.0, 0.05);
+  EXPECT_GT(mon.recent_occupancy(), 0.0);
+
+  // Go idle: windowed utilization decays to 0.
+  net.run_until(util::seconds(3));
+  EXPECT_NEAR(mon.recent_utilization(), 0.0, 0.05);
+}
+
+TEST(LinkMonitor, ResetSeriesClearsAggregates) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  Link& l = net.add_link(a, b, 15.0 * util::kMbps, 0, 10'000'000);
+  a.add_route(b.id(), &l);
+  LinkMonitor mon(net.scheduler(), l);
+  for (int i = 0; i < 100; ++i) a.send(make_packet(a.id(), b.id()));
+  net.run_until(util::seconds(1));
+  EXPECT_GT(mon.utilization_series().count(), 0u);
+  mon.reset_series();
+  EXPECT_EQ(mon.utilization_series().count(), 0u);
+}
+
+}  // namespace
+}  // namespace phi::sim

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "tcp/cc.hpp"
+
+namespace phi::tcp {
+namespace {
+
+TEST(CubicParams, DefaultsMatchTable1) {
+  CubicParams p;
+  EXPECT_EQ(p.initial_ssthresh, 65536);
+  EXPECT_EQ(p.window_init, 2);
+  EXPECT_NEAR(p.beta, 0.2, 1e-12);
+}
+
+TEST(Cubic, ResetAppliesParams) {
+  Cubic cc(CubicParams{64, 16, 0.3});
+  cc.reset(0);
+  EXPECT_EQ(cc.window(), 16.0);
+  EXPECT_EQ(cc.ssthresh(), 64.0);
+}
+
+TEST(Cubic, SlowStartDoublesPerRtt) {
+  Cubic cc(CubicParams{1000, 2, 0.2});
+  cc.reset(0);
+  // 2 ACKs of 1 segment each -> window 4; 4 more -> 8.
+  util::Time now = 0;
+  for (int i = 0; i < 2; ++i) cc.on_ack(1, 0.15, now += util::kMillisecond);
+  EXPECT_NEAR(cc.window(), 4.0, 1e-9);
+  for (int i = 0; i < 4; ++i) cc.on_ack(1, 0.15, now += util::kMillisecond);
+  EXPECT_NEAR(cc.window(), 8.0, 1e-9);
+}
+
+TEST(Cubic, SlowStartCapsAtSsthresh) {
+  Cubic cc(CubicParams{10, 2, 0.2});
+  cc.reset(0);
+  util::Time now = 0;
+  for (int i = 0; i < 100; ++i) cc.on_ack(1, 0.15, now += util::kMillisecond);
+  // Must not blow past ssthresh in one burst; growth beyond is cubic.
+  EXPECT_GE(cc.window(), 10.0);
+  EXPECT_LT(cc.window(), 20.0);
+}
+
+TEST(Cubic, LossAppliesBetaDecrease) {
+  Cubic cc(CubicParams{10, 2, 0.2});
+  cc.reset(0);
+  util::Time now = 0;
+  for (int i = 0; i < 200; ++i) cc.on_ack(1, 0.15, now += util::kMillisecond);
+  const double before = cc.window();
+  cc.on_loss_event(now, static_cast<std::int64_t>(before));
+  EXPECT_NEAR(cc.window(), before * 0.8, 1e-6);
+  EXPECT_NEAR(cc.ssthresh(), before * 0.8, 1e-6);
+}
+
+class CubicBetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CubicBetaSweep, LargerBetaCutsDeeper) {
+  const double beta = GetParam();
+  Cubic cc(CubicParams{10, 2, beta});
+  cc.reset(0);
+  util::Time now = 0;
+  for (int i = 0; i < 100; ++i) cc.on_ack(1, 0.15, now += util::kMillisecond);
+  const double before = cc.window();
+  cc.on_loss_event(now, 0);
+  EXPECT_NEAR(cc.window(), std::max(before * (1.0 - beta), 2.0), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, CubicBetaSweep,
+                         ::testing::Values(0.1, 0.2, 0.5, 0.8, 0.9));
+
+TEST(Cubic, WindowRecoversTowardWmax) {
+  Cubic cc(CubicParams{4, 2, 0.2});
+  cc.reset(0);
+  util::Time now = 0;
+  for (int i = 0; i < 300; ++i) cc.on_ack(1, 0.1, now += util::kMillisecond);
+  const double w_max = cc.window();
+  cc.on_loss_event(now, 0);
+  const double after_cut = cc.window();
+  // Feed ACKs for a few simulated seconds; cubic should climb back
+  // toward (and eventually beyond) the previous maximum.
+  for (int i = 0; i < 3000; ++i)
+    cc.on_ack(1, 0.1, now += util::kMillisecond);
+  EXPECT_GT(cc.window(), after_cut);
+  EXPECT_GT(cc.window(), w_max * 0.9);
+}
+
+TEST(Cubic, TimeoutDropsToOneWindow) {
+  Cubic cc;
+  cc.reset(0);
+  util::Time now = 0;
+  for (int i = 0; i < 50; ++i) cc.on_ack(1, 0.15, now += util::kMillisecond);
+  cc.on_timeout(now, 40);
+  EXPECT_EQ(cc.window(), 1.0);
+  EXPECT_GE(cc.ssthresh(), 2.0);
+}
+
+TEST(Cubic, WindowNeverBelowFloorOnRepeatedLoss) {
+  Cubic cc(CubicParams{64, 2, 0.9});
+  cc.reset(0);
+  util::Time now = 0;
+  for (int i = 0; i < 20; ++i) {
+    cc.on_loss_event(now += util::kMillisecond, 10);
+  }
+  EXPECT_GE(cc.window(), 2.0);
+}
+
+TEST(Cubic, ZeroAckIgnored) {
+  Cubic cc;
+  cc.reset(0);
+  const double w = cc.window();
+  cc.on_ack(0, 0.15, 1000);
+  cc.on_ack(-3, 0.15, 2000);
+  EXPECT_EQ(cc.window(), w);
+}
+
+TEST(NewReno, SlowStartThenLinear) {
+  NewReno cc(2, 8);
+  cc.reset(0);
+  util::Time now = 0;
+  for (int i = 0; i < 6; ++i) cc.on_ack(1, 0.1, now += util::kMillisecond);
+  EXPECT_NEAR(cc.window(), 8.0, 1e-9);  // capped at ssthresh
+  // Congestion avoidance: +1/cwnd per ACK -> +1 per window.
+  for (int i = 0; i < 8; ++i) cc.on_ack(1, 0.1, now += util::kMillisecond);
+  EXPECT_NEAR(cc.window(), 9.0, 0.2);
+}
+
+TEST(NewReno, HalvesOnLoss) {
+  NewReno cc(2, 100);
+  cc.reset(0);
+  util::Time now = 0;
+  for (int i = 0; i < 98; ++i) cc.on_ack(1, 0.1, now += util::kMillisecond);
+  const double before = cc.window();
+  cc.on_loss_event(now, static_cast<std::int64_t>(before));
+  EXPECT_NEAR(cc.window(), before / 2, 1e-6);
+}
+
+TEST(NewReno, TimeoutToOne) {
+  NewReno cc;
+  cc.reset(0);
+  util::Time now = 0;
+  for (int i = 0; i < 30; ++i) cc.on_ack(1, 0.1, now += util::kMillisecond);
+  cc.on_timeout(now, 30);
+  EXPECT_EQ(cc.window(), 1.0);
+}
+
+TEST(CubicParams, StrFormat) {
+  CubicParams p{64, 16, 0.5};
+  EXPECT_EQ(p.str(), "ssthresh=64 winit=16 beta=0.5");
+}
+
+}  // namespace
+}  // namespace phi::tcp

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "tcp/rtt.hpp"
+
+namespace phi::tcp {
+namespace {
+
+TEST(RttEstimator, InitialRtoBeforeSamples) {
+  RttEstimator est;
+  EXPECT_FALSE(est.has_sample());
+  EXPECT_EQ(est.rto(), util::seconds(1));
+}
+
+TEST(RttEstimator, FirstSampleSetsSrttAndVar) {
+  RttEstimator est;
+  est.add_sample(util::milliseconds(100));
+  EXPECT_TRUE(est.has_sample());
+  EXPECT_EQ(est.srtt(), util::milliseconds(100));
+  EXPECT_EQ(est.rttvar(), util::milliseconds(50));
+  // RTO = srtt + 4*var = 300 ms.
+  EXPECT_EQ(est.rto(), util::milliseconds(300));
+}
+
+TEST(RttEstimator, ConvergesOnSteadyRtt) {
+  RttEstimator est;
+  for (int i = 0; i < 100; ++i) est.add_sample(util::milliseconds(150));
+  EXPECT_NEAR(static_cast<double>(est.srtt()),
+              static_cast<double>(util::milliseconds(150)),
+              static_cast<double>(util::kMillisecond));
+  // Variance decays toward zero; RTO clamps to the floor.
+  EXPECT_EQ(est.rto(), util::milliseconds(200));
+}
+
+TEST(RttEstimator, TracksMinRtt) {
+  RttEstimator est;
+  est.add_sample(util::milliseconds(150));
+  est.add_sample(util::milliseconds(120));
+  est.add_sample(util::milliseconds(180));
+  EXPECT_EQ(est.min_rtt(), util::milliseconds(120));
+}
+
+TEST(RttEstimator, BackoffDoublesAndClears) {
+  RttEstimator est;
+  est.add_sample(util::milliseconds(100));
+  const util::Duration base = est.rto();
+  est.backoff();
+  EXPECT_EQ(est.rto(), base * 2);
+  est.backoff();
+  EXPECT_EQ(est.rto(), base * 4);
+  est.clear_backoff();
+  EXPECT_EQ(est.rto(), base);
+}
+
+TEST(RttEstimator, BackoffCapped) {
+  RttEstimator est;
+  est.add_sample(util::seconds(2));
+  for (int i = 0; i < 20; ++i) est.backoff();
+  EXPECT_LE(est.rto(), 60 * util::kSecond);
+}
+
+TEST(RttEstimator, NegativeSampleIgnored) {
+  RttEstimator est;
+  est.add_sample(-5);
+  EXPECT_FALSE(est.has_sample());
+}
+
+TEST(RttEstimator, ResetRestoresPristine) {
+  RttEstimator est;
+  est.add_sample(util::milliseconds(100));
+  est.backoff();
+  est.reset();
+  EXPECT_FALSE(est.has_sample());
+  EXPECT_EQ(est.rto(), util::seconds(1));
+  EXPECT_EQ(est.samples(), 0u);
+}
+
+TEST(RttEstimator, VarianceRisesOnJitter) {
+  RttEstimator low, high;
+  for (int i = 0; i < 50; ++i) {
+    low.add_sample(util::milliseconds(100));
+    high.add_sample(util::milliseconds(i % 2 == 0 ? 50 : 150));
+  }
+  EXPECT_GT(high.rttvar(), low.rttvar());
+  EXPECT_GT(high.rto(), low.rto());
+}
+
+}  // namespace
+}  // namespace phi::tcp

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace phi::util {
+namespace {
+
+TEST(DecayingStats, NoDecayMatchesPopulationStats) {
+  DecayingStats d(1.0);
+  RunningStats r;
+  const double xs[] = {3, 7, 1, 9, 4, 4, 8};
+  for (double x : xs) {
+    d.add(x);
+    r.add(x);
+  }
+  EXPECT_NEAR(d.weight(), 7.0, 1e-12);
+  EXPECT_NEAR(d.mean(), r.mean(), 1e-9);
+  // Population variance vs sample variance: n/(n-1) factor.
+  EXPECT_NEAR(d.variance() * 7.0 / 6.0, r.variance(), 1e-9);
+}
+
+TEST(DecayingStats, EmptyIsZero) {
+  DecayingStats d(0.9);
+  EXPECT_EQ(d.weight(), 0.0);
+  EXPECT_EQ(d.mean(), 0.0);
+  EXPECT_EQ(d.variance(), 0.0);
+}
+
+TEST(DecayingStats, ForgetsOldRegime) {
+  DecayingStats d(0.5);
+  for (int i = 0; i < 20; ++i) d.add(100.0);
+  EXPECT_NEAR(d.mean(), 100.0, 1e-9);
+  for (int i = 0; i < 20; ++i) d.add(10.0);
+  // With decay 0.5 the old regime's weight is ~2^-20 of the new one.
+  EXPECT_NEAR(d.mean(), 10.0, 0.01);
+}
+
+TEST(DecayingStats, EffectiveWindowBoundsWeight) {
+  DecayingStats d(0.8);
+  for (int i = 0; i < 1000; ++i) d.add(1.0);
+  // Geometric series limit: 1 / (1 - 0.8) = 5.
+  EXPECT_NEAR(d.weight(), 5.0, 0.01);
+}
+
+TEST(DecayingStats, VarianceNonNegative) {
+  DecayingStats d(0.7);
+  for (int i = 0; i < 100; ++i) d.add(5.0);
+  EXPECT_GE(d.variance(), 0.0);
+  EXPECT_NEAR(d.stddev(), 0.0, 1e-6);
+}
+
+TEST(DecayingStats, TracksLinearDrift) {
+  // A drifting signal: the decayed mean stays close to recent values
+  // while a cumulative mean lags far behind.
+  DecayingStats fast(0.8);
+  RunningStats all;
+  double x = 0;
+  for (int i = 0; i < 500; ++i) {
+    x += 1.0;
+    fast.add(x);
+    all.add(x);
+  }
+  EXPECT_GT(fast.mean(), 490.0);
+  EXPECT_LT(all.mean(), 260.0);
+}
+
+}  // namespace
+}  // namespace phi::util

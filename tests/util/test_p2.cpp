@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/p2_quantile.hpp"
+#include "util/rng.hpp"
+
+namespace phi::util {
+namespace {
+
+double exact_quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1 - frac) + xs[lo + 1] * frac;
+}
+
+TEST(P2Quantile, ExactForSmallCounts) {
+  P2Quantile p(0.5);
+  p.add(10);
+  EXPECT_EQ(p.value(), 10);
+  p.add(20);
+  EXPECT_NEAR(p.value(), 15, 1e-9);
+  p.add(30);
+  EXPECT_NEAR(p.value(), 20, 1e-9);
+}
+
+class P2Accuracy
+    : public ::testing::TestWithParam<std::pair<double, std::uint64_t>> {};
+
+TEST_P(P2Accuracy, TracksUniformStream) {
+  const auto [q, seed] = GetParam();
+  P2Quantile p(q);
+  Rng rng(seed);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.uniform(0, 100);
+    xs.push_back(x);
+    p.add(x);
+  }
+  EXPECT_NEAR(p.value(), exact_quantile(xs, q), 2.0)
+      << "q=" << q << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, P2Accuracy,
+    ::testing::Values(std::pair{0.5, 1ull}, std::pair{0.9, 2ull},
+                      std::pair{0.99, 3ull}, std::pair{0.1, 4ull},
+                      std::pair{0.5, 5ull}));
+
+TEST(P2Quantile, HeavyTailedStream) {
+  P2Quantile p(0.9);
+  Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.bounded_pareto(1.3, 1.0, 1e4);
+    xs.push_back(x);
+    p.add(x);
+  }
+  const double exact = exact_quantile(xs, 0.9);
+  EXPECT_NEAR(p.value(), exact, exact * 0.15);
+}
+
+TEST(P2Quantile, MonotoneStreamEndsNearQuantile) {
+  P2Quantile p(0.5);
+  for (int i = 1; i <= 10001; ++i) p.add(i);
+  EXPECT_NEAR(p.value(), 5001, 200);
+}
+
+TEST(P2Quantile, EmptyIsZero) {
+  P2Quantile p(0.9);
+  EXPECT_EQ(p.value(), 0.0);
+  EXPECT_EQ(p.count(), 0u);
+}
+
+TEST(P2Quantile, ConstantStream) {
+  P2Quantile p(0.75);
+  for (int i = 0; i < 1000; ++i) p.add(42.0);
+  EXPECT_NEAR(p.value(), 42.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace phi::util

@@ -1,0 +1,115 @@
+// train_remy — offline Remy training CLI (the "Remyization" step run by
+// the operator, not at experiment time). Trains a whisker tree for the
+// chosen signal mode and writes it to a file that table3_remy_phi (via
+// PHI_TREE_DIR) and any RemyCC user can load.
+//
+// Usage:
+//   train_remy [--mode classic|ideal|practical] [--rounds N]
+//              [--sim-seconds S] [--whiskers W] [--out FILE]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "remy/trainer.hpp"
+
+using namespace phi;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--mode classic|ideal|practical] [--rounds N]\n"
+               "          [--sim-seconds S] [--whiskers W] [--out FILE]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  remy::SignalMode mode = remy::SignalMode::kClassic;
+  int rounds = 10;
+  int sim_seconds = 20;
+  std::size_t whiskers = 24;
+  std::string out = "remy_tree.txt";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mode") {
+      const std::string m = next();
+      if (m == "classic") {
+        mode = remy::SignalMode::kClassic;
+      } else if (m == "ideal") {
+        mode = remy::SignalMode::kPhiIdeal;
+      } else if (m == "practical") {
+        mode = remy::SignalMode::kPhiPractical;
+      } else {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--rounds") {
+      rounds = std::atoi(next());
+    } else if (arg == "--sim-seconds") {
+      sim_seconds = std::atoi(next());
+    } else if (arg == "--whiskers") {
+      whiskers = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--out") {
+      out = next();
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  remy::TrainerConfig cfg = remy::TrainerConfig::table3(
+      mode, util::seconds(sim_seconds));
+  cfg.max_rounds = rounds;
+  cfg.max_whiskers = whiskers;
+  const remy::Trainer trainer(cfg);
+
+  std::printf("training: mode=%s rounds=%d sim=%ds max-whiskers=%zu\n",
+              mode == remy::SignalMode::kClassic ? "classic"
+              : mode == remy::SignalMode::kPhiIdeal ? "ideal"
+                                                    : "practical",
+              rounds, sim_seconds, whiskers);
+  const remy::WhiskerTree tree =
+      trainer.train([](int round, double score) {
+        std::printf("  round %2d: objective %.4f\n", round, score);
+        std::fflush(stdout);
+      });
+
+  std::ofstream f(out);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  f << tree.serialize();
+  f.close();  // flush before the read-back check below
+  std::printf("wrote %zu whiskers to %s\n", tree.size(), out.c_str());
+
+  // Round-trip sanity + final held-out score.
+  std::ifstream back(out);
+  std::string text((std::istreambuf_iterator<char>(back)),
+                   std::istreambuf_iterator<char>());
+  const auto parsed = remy::WhiskerTree::parse(text);
+  if (!parsed) {
+    std::fprintf(stderr, "round-trip parse failed\n");
+    return 1;
+  }
+  core::ScenarioConfig holdout = cfg.scenarios.front();
+  holdout.seed += 1000;
+  const auto score = remy::Trainer::score_tree(*parsed, mode, holdout, 2);
+  std::printf("held-out: median tput %.2f Mbps, median qdelay %.1f ms, "
+              "median log-power %.2f\n",
+              score.median_throughput_bps / 1e6,
+              score.median_queue_delay_s * 1e3, score.median_log_power);
+  return 0;
+}
