@@ -1,0 +1,185 @@
+// ablation_liveness — what do the liveness leases and idempotent reports
+// actually buy? The context server's n (competing senders) is built from
+// lookup/report pairs; at production scale some senders crash between the
+// two, and some reports arrive twice (client retries). This ablation
+// drives the dumbbell scenario through a FaultInjector and measures (a)
+// how far the server's open-connection count drifts from ground truth as
+// the crash rate rises, with leases off vs on, and (b) how much duplicate
+// reports inflate the utilization estimate with the dedup set off vs on.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "phi/fault_injection.hpp"
+#include "phi/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace phi;
+
+namespace {
+
+constexpr core::PathKey kPath = 23;
+
+core::ScenarioConfig base_scenario(std::uint64_t seed) {
+  core::ScenarioConfig cfg;
+  cfg.net.pairs = 8;
+  cfg.workload.mean_on_bytes = 60e3;
+  cfg.workload.mean_off_s = 0.4;
+  cfg.duration = util::seconds(90);
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Mean |server active-connection count - live ground truth| sampled over
+/// the last 30 s of a 90 s run with crashes active throughout. Legacy
+/// (lease=0) accumulates one zombie per crash; leased stays bounded.
+double crash_gap(double crash_rate, util::Duration lease, std::uint64_t seed,
+                 std::uint64_t* crashes_out) {
+  const core::ScenarioConfig cfg = base_scenario(seed);
+  core::ContextServerConfig scfg;
+  scfg.lease = lease;
+  std::unique_ptr<core::ContextServer> server;
+  std::unique_ptr<core::FaultInjector> inj;
+  util::RunningStats gap;
+  std::function<void()> probe;  // outlives the run, no shared_ptr cycle
+
+  (void)core::run_scenario_with_setup(
+      cfg, [](std::size_t) { return std::make_unique<tcp::Cubic>(); },
+      [&](core::LiveScenario& live) -> core::AdvisorFactory {
+        sim::Scheduler* sched = &live.dumbbell->scheduler();
+        server = std::make_unique<core::ContextServer>(
+            scfg, [sched] { return sched->now(); });
+        server->set_path_capacity(kPath,
+                                  live.dumbbell->config().bottleneck_rate);
+        core::FaultConfig fc;
+        fc.crash = crash_rate;
+        fc.seed = seed * 7 + 1;
+        inj = std::make_unique<core::FaultInjector>(*sched, *server, fc);
+
+        core::LiveScenario* lv = &live;  // alive for the whole run
+        probe = [&, sched, lv] {
+          const double truth = lv->active_count();
+          const double est =
+              static_cast<double>(server->active_connections(kPath));
+          gap.add(std::abs(est - truth));
+          if (sched->now() < util::seconds(89))
+            sched->schedule_in(util::seconds(1), [&probe] { probe(); });
+        };
+        sched->schedule_at(util::seconds(60), [&probe] { probe(); });
+
+        return [&](std::size_t i) {
+          return std::make_unique<core::FaultyPhiAdvisor>(*inj, kPath, i);
+        };
+      });
+  if (crashes_out != nullptr) *crashes_out = inj->crashes();
+  return gap.mean();
+}
+
+/// Mean utilization estimate under duplicated reports; dedup_capacity = 0
+/// disables the recently-seen set, so every retry is absorbed twice.
+double dup_utilization(double dup_rate, std::size_t dedup_capacity,
+                       std::uint64_t seed) {
+  const core::ScenarioConfig cfg = base_scenario(seed);
+  core::ContextServerConfig scfg;
+  scfg.dedup_capacity = dedup_capacity;
+  std::unique_ptr<core::ContextServer> server;
+  std::unique_ptr<core::FaultInjector> inj;
+  util::RunningStats u;
+  std::function<void()> probe;  // outlives the run, no shared_ptr cycle
+
+  (void)core::run_scenario_with_setup(
+      cfg, [](std::size_t) { return std::make_unique<tcp::Cubic>(); },
+      [&](core::LiveScenario& live) -> core::AdvisorFactory {
+        sim::Scheduler* sched = &live.dumbbell->scheduler();
+        server = std::make_unique<core::ContextServer>(
+            scfg, [sched] { return sched->now(); });
+        server->set_path_capacity(kPath,
+                                  live.dumbbell->config().bottleneck_rate);
+        core::FaultConfig fc;
+        fc.duplicate_report = dup_rate;
+        fc.seed = seed * 7 + 1;
+        inj = std::make_unique<core::FaultInjector>(*sched, *server, fc);
+
+        probe = [&, sched] {
+          u.add(server->context(kPath).utilization);
+          if (sched->now() < util::seconds(89))
+            sched->schedule_in(util::seconds(1), [&probe] { probe(); });
+        };
+        sched->schedule_at(util::seconds(10), [&probe] { probe(); });
+
+        return [&](std::size_t i) {
+          return std::make_unique<core::FaultyPhiAdvisor>(*inj, kPath, i);
+        };
+      });
+  return u.mean();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: liveness leases and idempotent reports");
+  const int runs = bench::scale_from_env() == bench::Scale::kFull ? 3 : 2;
+  bench::WallTimer timer;
+
+  // (a) competing-senders drift vs crash rate.
+  const double crash_rates[] = {0.005, 0.01, 0.02, 0.05};
+  util::TextTable ta;
+  ta.header({"Crash rate", "Crashes", "Gap (no lease)", "Gap (lease 20 s)"});
+  std::vector<std::vector<std::string>> csv_a;
+  for (const double rate : crash_rates) {
+    util::RunningStats legacy, leased, crashes;
+    for (int r = 0; r < runs; ++r) {
+      const std::uint64_t seed = 1800 + static_cast<std::uint64_t>(r);
+      std::uint64_t c = 0;
+      legacy.add(crash_gap(rate, 0, seed, &c));
+      crashes.add(static_cast<double>(c));
+      leased.add(crash_gap(rate, util::seconds(20), seed, nullptr));
+    }
+    ta.row({util::TextTable::num(rate * 100, 1) + " %",
+            util::TextTable::num(crashes.mean(), 0),
+            util::TextTable::num(legacy.mean(), 2),
+            util::TextTable::num(leased.mean(), 2)});
+    csv_a.push_back({util::TextTable::num(rate, 3),
+                     util::TextTable::num(crashes.mean(), 1),
+                     util::TextTable::num(legacy.mean(), 3),
+                     util::TextTable::num(leased.mean(), 3)});
+  }
+  std::printf("\n%s", ta.str().c_str());
+
+  // (b) utilization inflation vs duplicate rate.
+  const double dup_rates[] = {0.0, 0.1, 0.5};
+  util::TextTable tb;
+  tb.header({"Duplicate rate", "Mean u (dedup on)", "Mean u (dedup off)"});
+  std::vector<std::vector<std::string>> csv_b;
+  for (const double rate : dup_rates) {
+    util::RunningStats with_dedup, without;
+    for (int r = 0; r < runs; ++r) {
+      const std::uint64_t seed = 1900 + static_cast<std::uint64_t>(r);
+      with_dedup.add(dup_utilization(rate, 4096, seed));
+      without.add(dup_utilization(rate, 0, seed));
+    }
+    tb.row({util::TextTable::num(rate * 100, 0) + " %",
+            util::TextTable::num(with_dedup.mean(), 3),
+            util::TextTable::num(without.mean(), 3)});
+    csv_b.push_back({util::TextTable::num(rate, 2),
+                     util::TextTable::num(with_dedup.mean(), 4),
+                     util::TextTable::num(without.mean(), 4)});
+  }
+  std::printf("\n%s", tb.str().c_str());
+  std::printf(
+      "\nreading: without leases the open-connection count inflates by\n"
+      "roughly one per crash and never recovers, so n (and every estimate\n"
+      "derived from it) drifts with uptime; a 20 s lease bounds the gap to\n"
+      "the crashes of the last lease window. Duplicated reports double-\n"
+      "count delivered bytes and inflate u in step with the retry rate;\n"
+      "the report-id dedup set holds u at the clean value.\n"
+      "(%.1f s)\n",
+      timer.seconds());
+  bench::write_csv("ablation_liveness_crash.csv",
+                   {"crash_rate", "crashes", "gap_no_lease", "gap_lease"},
+                   csv_a);
+  bench::write_csv("ablation_liveness_dup.csv",
+                   {"dup_rate", "u_dedup", "u_no_dedup"}, csv_b);
+  return 0;
+}

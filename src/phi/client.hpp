@@ -26,8 +26,9 @@ class PhiCubicAdvisor : public tcp::ConnectionAdvisor {
         clock_(std::move(clock)), fallback_(fallback) {}
 
   void before_connection(tcp::TcpSender& sender) override {
+    ++epoch_;
     const LookupReply reply =
-        server_.lookup(LookupRequest{path_, sender_id_, clock_()});
+        server_.lookup(LookupRequest{path_, sender_id_, clock_(), epoch_});
     const tcp::CubicParams params =
         reply.has_recommendation ? reply.recommended : fallback_;
     if (reply.has_recommendation) ++recommended_;
@@ -40,6 +41,7 @@ class PhiCubicAdvisor : public tcp::ConnectionAdvisor {
     Report r;
     r.path = path_;
     r.sender_id = sender_id_;
+    r.epoch = epoch_;
     r.started = s.start;
     r.ended = s.end;
     r.bytes = s.segments * sim::kDefaultMss;
@@ -63,6 +65,7 @@ class PhiCubicAdvisor : public tcp::ConnectionAdvisor {
   tcp::CubicParams fallback_;
   tcp::CubicParams last_params_{};
   std::uint64_t recommended_ = 0;
+  std::uint64_t epoch_ = 0;  ///< connection number, stamped on reports
 };
 
 /// Mid-stream reporter: §2.2.2's refinement for long transfers — "if the
@@ -89,6 +92,8 @@ class MidStreamReporter {
     sender_ = &sender;
     last_acked_ = sender.lifetime_acked_segments();
     last_time_ = sched_.now();
+    ++epoch_;
+    seq_ = 0;
     arm();
   }
 
@@ -108,6 +113,10 @@ class MidStreamReporter {
   /// report can cover just the residual tail).
   std::int64_t acked_reported() const noexcept { return last_acked_; }
   util::Time last_report_time() const noexcept { return last_time_; }
+  /// Connection number of the current/most recent connection; stamp it on
+  /// the completion report so it shares identity space with the
+  /// mid-stream progress reports (which used seq 1..k; completion is 0).
+  std::uint64_t epoch() const noexcept { return epoch_; }
 
  private:
   void arm() {
@@ -120,6 +129,9 @@ class MidStreamReporter {
         Report r;
         r.path = path_;
         r.sender_id = sender_id_;
+        r.kind = Report::Kind::kProgress;
+        r.epoch = epoch_;
+        r.seq = ++seq_;
         r.started = last_time_;
         r.ended = now;
         r.bytes = (acked - last_acked_) * sim::kDefaultMss;
@@ -145,6 +157,8 @@ class MidStreamReporter {
   util::Time last_time_ = 0;
   sim::EventId pending_ = 0;
   std::uint64_t reports_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t seq_ = 0;
 };
 
 /// Advisor combining connection-boundary reports with mid-stream progress
@@ -169,6 +183,7 @@ class MidStreamAdvisor : public tcp::ConnectionAdvisor {
     Report r;
     r.path = path_;
     r.sender_id = sender_id_;
+    r.epoch = reporter_.epoch();
     r.started = reporter_.last_report_time();
     r.ended = s.end;
     r.bytes = std::max<std::int64_t>(residual, 0) * sim::kDefaultMss;
@@ -205,6 +220,7 @@ class ReportOnlyAdvisor : public tcp::ConnectionAdvisor {
     Report r;
     r.path = path_;
     r.sender_id = sender_id_;
+    r.epoch = ++epoch_;
     r.started = s.start;
     r.ended = s.end;
     r.bytes = s.segments * sim::kDefaultMss;
@@ -218,6 +234,7 @@ class ReportOnlyAdvisor : public tcp::ConnectionAdvisor {
   ContextServer& server_;
   PathKey path_;
   std::uint64_t sender_id_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace phi::core

@@ -1,6 +1,8 @@
 #include "phi/context_server.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace phi::core {
@@ -22,10 +24,37 @@ void ContextServer::set_external_utilization(PathKey path, double u,
   st.external_ttl = ttl;
 }
 
+util::Time ContextServer::lease_deadline(util::Time now) const {
+  return cfg_.lease > 0 ? now + cfg_.lease
+                        : std::numeric_limits<util::Time>::max();
+}
+
 void ContextServer::expire(PathState& st, util::Time now) const {
   const util::Time cutoff = now - cfg_.window;
   while (!st.window.empty() && st.window.front().end < cutoff)
     st.window.pop_front();
+}
+
+std::size_t ContextServer::sweep_leases(PathState& st,
+                                        util::Time now) const {
+  if (cfg_.lease <= 0) return 0;
+  std::size_t expired = 0;
+  for (auto it = st.active.begin(); it != st.active.end();) {
+    if (it->second < now) {
+      it = st.active.erase(it);
+      ++expired;
+    } else {
+      ++it;
+    }
+  }
+  if (expired > 0) {
+    // Every expiry is a full lease of silence: the smoothed sender count
+    // was tracking connections that no longer exist, so snap it to the
+    // surviving set instead of letting the stale history linger.
+    st.senders.force(static_cast<double>(st.active.size()));
+    expired_leases_ += expired;
+  }
+  return expired;
 }
 
 double ContextServer::utilization_of(const PathState& st,
@@ -46,16 +75,31 @@ double ContextServer::utilization_of(const PathState& st,
   return std::clamp(u, 0.0, 1.0);
 }
 
+bool ContextServer::already_absorbed(const Report& r) {
+  if (cfg_.dedup_capacity == 0 || !r.has_report_id()) return false;
+  const std::uint64_t key = r.report_key();
+  if (!seen_reports_.insert(key).second) return true;
+  seen_order_.push_back(key);
+  if (seen_order_.size() > cfg_.dedup_capacity) {
+    seen_reports_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+  return false;
+}
+
 LookupReply ContextServer::lookup(const LookupRequest& req) {
   ++lookups_;
   last_message_at_ = std::max(last_message_at_, req.at);
   PathState& st = paths_[req.path];
-  st.active.insert(req.sender_id);
+  const util::Time now = now_or(req.at);
+  sweep_leases(st, now);
+  st.active[req.sender_id] = lease_deadline(now);
   st.senders.add(static_cast<double>(st.active.size()));
 
   LookupReply reply;
   reply.context = context(req.path);
   reply.state_version = version_;
+  reply.lease = cfg_.lease;
   if (auto rec = recommendations_.lookup(
           cfg_.bucketer.bucket(reply.context))) {
     reply.recommended = *rec;
@@ -65,14 +109,28 @@ LookupReply ContextServer::lookup(const LookupRequest& req) {
 }
 
 void ContextServer::report(const Report& r) {
+  if (already_absorbed(r)) {
+    // A retried report: the first copy already updated the delivery
+    // window and estimates; absorbing it again would double-count.
+    ++duplicate_reports_;
+    return;
+  }
   ++reports_;
   ++version_;
   last_message_at_ = std::max(last_message_at_, r.ended);
   PathState& st = paths_[r.path];
-  st.active.erase(r.sender_id);
+  const util::Time now = now_or(r.ended);
+  sweep_leases(st, now);
+  if (r.kind == Report::Kind::kFinal) {
+    st.active.erase(r.sender_id);
+  } else {
+    // Mid-stream progress is proof of life: renew (or establish) the
+    // connection's lease but keep it counted in n.
+    st.active[r.sender_id] = lease_deadline(now);
+  }
 
   st.window.push_back(Delivery{r.started, r.ended, r.bytes});
-  expire(st, now_or(r.ended));
+  expire(st, now);
 
   if (r.min_rtt_s > 0.0) {
     if (!st.has_min_rtt || r.min_rtt_s < st.min_rtt_s) {
@@ -92,10 +150,23 @@ void ContextServer::report(const Report& r) {
   }
 }
 
+std::size_t ContextServer::gc(util::Time now) {
+  std::size_t expired = 0;
+  for (auto& [key, st] : paths_) expired += sweep_leases(st, now);
+  return expired;
+}
+
+std::size_t ContextServer::active_connections(PathKey path) const {
+  auto it = paths_.find(path);
+  if (it == paths_.end()) return 0;
+  sweep_leases(it->second, now_or(last_message_at_));
+  return it->second.active.size();
+}
+
 std::string ContextServer::serialize_state() const {
   std::ostringstream out;
   out.precision(17);
-  out << "phi-context-server-state v1\n";
+  out << "phi-context-server-state v2\n";
   out << last_message_at_ << ' ' << version_ << '\n';
   for (const auto& [key, st] : paths_) {
     out << "path " << key << ' ' << st.capacity << ' '
@@ -104,9 +175,12 @@ std::string ContextServer::serialize_state() const {
         << st.queue_delay.value() << ' ' << (st.loss.initialized() ? 1 : 0)
         << ' ' << st.loss.value() << ' '
         << (st.senders.initialized() ? 1 : 0) << ' ' << st.senders.value()
-        << ' ' << st.active.size() << ' ' << st.window.size() << '\n';
+        << ' ' << st.external_u << ' ' << st.external_at << ' '
+        << st.external_ttl << ' ' << st.active.size() << ' '
+        << st.window.size() << '\n';
     out << "active";
-    for (const auto id : st.active) out << ' ' << id;
+    for (const auto& [id, deadline] : st.active)
+      out << ' ' << id << ' ' << deadline;
     out << '\n';
     for (const auto& d : st.window)
       out << "delivery " << d.start << ' ' << d.end << ' ' << d.bytes
@@ -118,9 +192,15 @@ std::string ContextServer::serialize_state() const {
 bool ContextServer::restore_state(const std::string& text) {
   std::istringstream in(text);
   std::string header;
-  if (!std::getline(in, header) ||
-      header != "phi-context-server-state v1")
+  if (!std::getline(in, header)) return false;
+  int fmt = 0;
+  if (header == "phi-context-server-state v2") {
+    fmt = 2;
+  } else if (header == "phi-context-server-state v1") {
+    fmt = 1;
+  } else {
     return false;
+  }
 
   decltype(paths_) restored;
   util::Time last_at = 0;
@@ -133,22 +213,43 @@ bool ContextServer::restore_state(const std::string& text) {
     PathKey key = 0;
     int has_min = 0, qd_init = 0, loss_init = 0, senders_init = 0;
     double min_rtt = 0, qd = 0, loss = 0, senders = 0;
+    double ext_u = -1.0;
+    util::Time ext_at = 0;
+    util::Duration ext_ttl = 0;
     std::size_t n_active = 0, n_window = 0;
     PathState st;
     if (!(in >> key >> st.capacity >> has_min >> min_rtt >> qd_init >>
-          qd >> loss_init >> loss >> senders_init >> senders >> n_active >>
-          n_window))
+          qd >> loss_init >> loss >> senders_init >> senders))
+      return false;
+    if (fmt >= 2 && !(in >> ext_u >> ext_at >> ext_ttl)) return false;
+    if (!(in >> n_active >> n_window)) return false;
+    // Hostile-input guards: a count can never exceed the number of bytes
+    // it was serialized into (each element takes >= 2 characters), and
+    // none of the floating-point fields may be NaN/Inf — a non-finite
+    // value would poison every estimate derived from it.
+    if (n_active > text.size() || n_window > text.size()) return false;
+    if (!std::isfinite(st.capacity) || !std::isfinite(min_rtt) ||
+        !std::isfinite(qd) || !std::isfinite(loss) ||
+        !std::isfinite(senders) || !std::isfinite(ext_u))
       return false;
     st.has_min_rtt = has_min != 0;
     st.min_rtt_s = min_rtt;
     if (qd_init != 0) st.queue_delay.force(qd);
     if (loss_init != 0) st.loss.force(loss);
     if (senders_init != 0) st.senders.force(senders);
+    st.external_u = ext_u;
+    st.external_at = ext_at;
+    st.external_ttl = ext_ttl;
     if (!(in >> tag) || tag != "active") return false;
+    st.active.reserve(n_active);
     for (std::size_t i = 0; i < n_active; ++i) {
       std::uint64_t id = 0;
+      // v1 stored bare ids; grant restored connections a fresh lease so
+      // they are swept normally if their sender died with the old server.
+      util::Time deadline = lease_deadline(last_at);
       if (!(in >> id)) return false;
-      st.active.insert(id);
+      if (fmt >= 2 && !(in >> deadline)) return false;
+      st.active[id] = deadline;
     }
     for (std::size_t i = 0; i < n_window; ++i) {
       Delivery d{};
@@ -172,6 +273,7 @@ CongestionContext ContextServer::context(PathKey path) const {
   PathState& st = it->second;
   const util::Time now = now_or(last_message_at_);
   expire(st, now);
+  sweep_leases(st, now);
   ctx.utilization = utilization_of(st, now);
   if (st.external_u >= 0.0 && now - st.external_at <= st.external_ttl) {
     // A shared bottleneck carries everyone's traffic: the federated view

@@ -12,6 +12,18 @@
 // plus a loss proxy from reported retransmit rates. When a recommendation
 // table is installed, lookups also return tuned Cubic parameters for the
 // current context bucket.
+//
+// The estimate is only trustworthy if it survives misbehaving endpoints:
+// senders crash between lookup() and report(), and control-plane messages
+// are retried (duplicated), delayed, and reordered. Two mechanisms keep
+// the state honest:
+//   * liveness leases — every lookup grants a lease; a connection that
+//     neither reports nor renews (mid-stream progress) within the lease
+//     is presumed dead and swept from the active set, so n decays back to
+//     truth after crashes instead of growing without bound;
+//   * idempotent reports — reports carrying an identity (see
+//     protocol.hpp) are absorbed exactly once via a bounded
+//     recently-seen set, so a retry cannot double-count delivered bytes.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +46,15 @@ struct ContextServerConfig {
   util::Duration window = util::seconds(10);
   /// Smoothing for the queue-delay and loss estimates.
   double ewma_alpha = 0.3;
+  /// Liveness lease granted by lookup(): a connection that sends no
+  /// (final or progress) report within this long is presumed crashed and
+  /// dropped from the active set. Default ~2x the utilization window;
+  /// 0 disables liveness tracking (legacy behavior — crashed senders
+  /// inflate `competing_senders` forever).
+  util::Duration lease = util::seconds(20);
+  /// Capacity of the recently-seen report-id set used for duplicate
+  /// detection (FIFO eviction). 0 disables idempotency checks.
+  std::size_t dedup_capacity = 4096;
   /// Bucketing used when consulting the recommendation table.
   ContextBucketer bucketer{};
 };
@@ -66,27 +87,52 @@ class ContextServer : public ContextSource {
   void set_external_utilization(PathKey path, double u, util::Time at,
                                 util::Duration ttl = util::seconds(10));
 
-  /// Connection start: registers the sender as active and returns the
-  /// current context (+ tuned parameters when available).
+  /// Connection start: registers the sender as active (granting it a
+  /// liveness lease) and returns the current context (+ tuned parameters
+  /// when available).
   LookupReply lookup(const LookupRequest& req);
 
-  /// Connection end: absorb the connection's experience into shared state.
+  /// Connection end (or mid-stream progress): absorb the connection's
+  /// experience into shared state. Duplicate reports (same identity, see
+  /// protocol.hpp) are detected and absorbed exactly once.
   void report(const Report& r);
+
+  /// Expire lapsed leases on every path. Called implicitly on each
+  /// message; exposed so an operator loop (or test) can force a sweep on
+  /// a quiescent server. Returns the number of connections expired.
+  std::size_t gc(util::Time now);
 
   /// Current aggregated view of a path (ContextSource interface).
   CongestionContext context(PathKey path) const override;
 
+  /// Open connections currently counted on `path` (post-sweep).
+  std::size_t active_connections(PathKey path) const;
+
   std::uint64_t lookups() const noexcept { return lookups_; }
   std::uint64_t reports() const noexcept { return reports_; }
   std::uint64_t state_version() const noexcept { return version_; }
+  /// Connections presumed dead after their lease lapsed without a report.
+  std::uint64_t expired_leases() const noexcept { return expired_leases_; }
+  /// Reports discarded because their identity was already absorbed.
+  std::uint64_t duplicate_reports() const noexcept {
+    return duplicate_reports_;
+  }
 
   /// Persist the aggregated path state (capacities, delivery windows,
-  /// smoothed estimates, open-connection sets) so a restarted server
-  /// resumes with warm weather instead of a cold start. Recommendations
-  /// are installed separately and are not included.
+  /// smoothed estimates, open-connection sets with lease deadlines, and
+  /// federated utilization) so a restarted server resumes with warm
+  /// weather instead of a cold start. Emits the v2 format;
+  /// recommendations are installed separately and are not included, and
+  /// the duplicate-detection set is deliberately dropped (after a restart
+  /// the idempotency window restarts too).
   std::string serialize_state() const;
   /// Replace this server's path state from serialize_state() output.
-  /// Returns false (leaving the server untouched) on malformed input.
+  /// Accepts both the current v2 format and the legacy v1 format (which
+  /// lacked lease deadlines and federated state: restored v1 connections
+  /// get a fresh lease, federated state starts empty). Returns false
+  /// (leaving the server untouched) on malformed or hostile input —
+  /// including element counts larger than the input could possibly hold
+  /// and non-finite floating-point fields.
   bool restore_state(const std::string& text);
 
  private:
@@ -99,7 +145,9 @@ class ContextServer : public ContextSource {
   struct PathState {
     util::Rate capacity = 0;        ///< configured or observed max
     std::deque<Delivery> window;    ///< recent completed transfers
-    std::unordered_set<std::uint64_t> active;  ///< open connections
+    /// Open connections: sender id -> lease deadline (Time max when
+    /// liveness is disabled).
+    std::unordered_map<std::uint64_t, util::Time> active;
     util::Ewma queue_delay{0.3};
     util::Ewma loss{0.3};
     util::Ewma senders{0.3};
@@ -113,16 +161,25 @@ class ContextServer : public ContextSource {
   util::Time now_or(util::Time fallback) const {
     return clock_ ? clock_() : fallback;
   }
+  util::Time lease_deadline(util::Time now) const;
   void expire(PathState& st, util::Time now) const;
+  /// Drop active connections whose lease lapsed; returns how many.
+  std::size_t sweep_leases(PathState& st, util::Time now) const;
   double utilization_of(const PathState& st, util::Time now) const;
+  /// True (and remembers the id) when `r` was seen before.
+  bool already_absorbed(const Report& r);
 
   ContextServerConfig cfg_;
   std::function<util::Time()> clock_;
   mutable std::unordered_map<PathKey, PathState> paths_;
   RecommendationTable recommendations_;
+  std::unordered_set<std::uint64_t> seen_reports_;
+  std::deque<std::uint64_t> seen_order_;  ///< FIFO eviction for the set
   std::uint64_t lookups_ = 0;
   std::uint64_t reports_ = 0;
   std::uint64_t version_ = 0;
+  mutable std::uint64_t expired_leases_ = 0;
+  std::uint64_t duplicate_reports_ = 0;
   util::Time last_message_at_ = 0;
 };
 

@@ -1,0 +1,133 @@
+// fault_injection.hpp — a hostile network between Phi clients and the
+// context server. The paper's control plane is two tiny messages per
+// connection, but at production scale those messages ride a real network:
+// they get lost, retried (duplicated), delayed, and reordered — and the
+// senders behind them crash between lookup() and report(). FaultInjector
+// sits where the wire would be and applies exactly those faults with a
+// seeded RNG, so tests and benches (bench/ablation_liveness) can quantify
+// how far the server's (u, q, n) estimate drifts at a given fault rate,
+// and verify that leases + idempotent reports keep the drift bounded.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+
+#include "phi/client.hpp"
+#include "phi/context_server.hpp"
+#include "sim/event.hpp"
+#include "util/rng.hpp"
+
+namespace phi::core {
+
+struct FaultConfig {
+  /// Per-message probabilities, each decided independently.
+  double drop_lookup = 0.0;      ///< lookup request lost; client falls back
+  double drop_report = 0.0;      ///< report lost in transit
+  double duplicate_report = 0.0; ///< report delivered twice (client retry)
+  double delay_report = 0.0;     ///< report held for a random delay
+  util::Duration delay_min = util::milliseconds(50);
+  util::Duration delay_max = util::milliseconds(500);
+  /// Hold a report until after the *next* report goes through — the
+  /// classic two-paths-through-a-load-balancer reordering.
+  double reorder_report = 0.0;
+  /// Per-connection probability that the sender crashes after lookup():
+  /// the connection runs but no report (final or progress) is ever sent.
+  double crash = 0.0;
+  /// Crashes only happen while simulation time is before this — lets an
+  /// experiment stop the faults and watch the estimate recover.
+  util::Time crash_until = std::numeric_limits<util::Time>::max();
+  std::uint64_t seed = 1;
+};
+
+/// Wraps a ContextServer behind a faulty message channel. All client
+/// traffic should flow through lookup()/report() instead of touching the
+/// server directly; delayed deliveries ride the simulation scheduler.
+class FaultInjector {
+ public:
+  FaultInjector(sim::Scheduler& sched, ContextServer& server,
+                FaultConfig cfg);
+
+  /// Forward a lookup, or lose it (returns nullopt: the client saw a
+  /// timeout and the server never learned of the connection).
+  std::optional<LookupReply> lookup(const LookupRequest& req);
+
+  /// Forward a report through drop / duplicate / delay / reorder faults.
+  void report(const Report& r);
+
+  /// Decide (once per connection) whether this connection's sender
+  /// crashes — the caller should then skip every report for it.
+  bool crash_connection();
+
+  /// Deliver a held (reordered) report, if any. Call at end of run so no
+  /// message is silently lost to the holdback buffer.
+  void flush();
+
+  std::uint64_t lookups_dropped() const noexcept { return lookups_dropped_; }
+  std::uint64_t reports_dropped() const noexcept { return reports_dropped_; }
+  std::uint64_t reports_duplicated() const noexcept {
+    return reports_duplicated_;
+  }
+  std::uint64_t reports_delayed() const noexcept { return reports_delayed_; }
+  std::uint64_t reports_reordered() const noexcept {
+    return reports_reordered_;
+  }
+  std::uint64_t crashes() const noexcept { return crashes_; }
+
+  ContextServer& server() noexcept { return server_; }
+  sim::Scheduler& scheduler() noexcept { return sched_; }
+
+ private:
+  /// Deliver now or after a random delay.
+  void forward(const Report& r);
+
+  sim::Scheduler& sched_;
+  ContextServer& server_;
+  FaultConfig cfg_;
+  util::Rng rng_;
+  std::optional<Report> held_;  ///< reorder holdback (at most one)
+  std::uint64_t lookups_dropped_ = 0;
+  std::uint64_t reports_dropped_ = 0;
+  std::uint64_t reports_duplicated_ = 0;
+  std::uint64_t reports_delayed_ = 0;
+  std::uint64_t reports_reordered_ = 0;
+  std::uint64_t crashes_ = 0;
+};
+
+/// PhiCubicAdvisor equivalent whose control-plane traffic crosses a
+/// FaultInjector: lookups may be lost (fallback parameters), reports may
+/// be lost/duplicated/delayed/reordered, and with FaultConfig::crash the
+/// sender dies silently after lookup — the scenario the liveness leases
+/// exist for. Connections are numbered (epoch) so the server can absorb
+/// retried reports exactly once. Each connection presents a distinct
+/// sender id ((slot << 32) | epoch): at production scale connection churn
+/// is user churn, so a crashed client never comes back to overwrite its
+/// own stale registration — exactly the leak leases exist to stop.
+class FaultyPhiAdvisor : public tcp::ConnectionAdvisor {
+ public:
+  FaultyPhiAdvisor(FaultInjector& injector, PathKey path,
+                   std::uint64_t sender_id, tcp::CubicParams fallback = {});
+
+  void before_connection(tcp::TcpSender& sender) override;
+  void after_connection(const tcp::ConnStats& s,
+                        const tcp::TcpSender& sender) override;
+
+  std::uint64_t crashed_connections() const noexcept { return crashed_; }
+
+ private:
+  /// Distinct per-connection client identity (see class comment).
+  std::uint64_t connection_id() const noexcept {
+    return (sender_id_ << 32) | epoch_;
+  }
+
+  FaultInjector& injector_;
+  PathKey path_;
+  std::uint64_t sender_id_;
+  tcp::CubicParams fallback_;
+  std::uint64_t epoch_ = 0;
+  bool current_crashed_ = false;
+  std::uint64_t crashed_ = 0;
+};
+
+}  // namespace phi::core

@@ -3,6 +3,16 @@
 // connection starts, one report when it ends. These structs are the wire
 // format of that exchange; making them explicit keeps the control plane a
 // real protocol rather than a function call.
+//
+// At production scale the control plane rides an unreliable network of its
+// own: requests get retried (duplicates), delayed, reordered, and senders
+// crash between lookup and report. Two protocol features make the server
+// robust to that:
+//   * every lookup is answered with a *lease* — the server presumes a
+//     connection dead (and stops counting it in n) if the lease lapses
+//     without a report;
+//   * reports carry an identity (sender_id, epoch, seq) so a retried
+//     report is absorbed exactly once.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +28,10 @@ struct LookupRequest {
   PathKey path = 0;
   std::uint64_t sender_id = 0;
   util::Time at = 0;
+  /// Connection epoch at the sender (1-based; 0 = sender does not number
+  /// its connections). Lets the server tie the later report(s) to this
+  /// registration.
+  std::uint64_t epoch = 0;
 };
 
 /// Server -> sender. Carries the current congestion context and, when the
@@ -27,12 +41,21 @@ struct LookupReply {
   tcp::CubicParams recommended;    ///< valid iff has_recommendation
   bool has_recommendation = false;
   std::uint64_t state_version = 0; ///< bumps on every report the server absorbs
+  /// Liveness lease granted to this connection: report (or send mid-stream
+  /// progress) within this long or be presumed crashed. 0 = no lease
+  /// (the server has liveness tracking disabled).
+  util::Duration lease = 0;
 };
 
 /// Sender -> server, at connection end: "when and how much data was
 /// transferred" plus the delay/loss the connection experienced — exactly
 /// the inputs §2.2.2 says enable estimating u, n and q.
 struct Report {
+  /// kFinal closes the connection (removes it from the active set);
+  /// kProgress is a §2.2.2 mid-stream report: it contributes delivered
+  /// bytes and renews the connection's lease but keeps it active.
+  enum class Kind : std::uint8_t { kFinal, kProgress };
+
   PathKey path = 0;
   std::uint64_t sender_id = 0;
   util::Time started = 0;
@@ -41,6 +64,25 @@ struct Report {
   double min_rtt_s = 0.0;
   double mean_rtt_s = 0.0;
   double retransmit_rate = 0.0;  ///< loss proxy
+  Kind kind = Kind::kFinal;
+
+  /// Report identity for exactly-once absorption: `epoch` is the sender's
+  /// connection number (1-based), `seq` distinguishes the reports of one
+  /// connection (0 = completion, 1.. = mid-stream progress). epoch == 0
+  /// means "unnumbered" — the server skips duplicate detection for it.
+  std::uint64_t epoch = 0;
+  std::uint32_t seq = 0;
+
+  bool has_report_id() const noexcept { return epoch != 0; }
+  /// 64-bit key of (sender_id, epoch, seq) for the recently-seen set.
+  /// Mixes the fields so distinct identities collide no more often than a
+  /// random 64-bit hash would.
+  std::uint64_t report_key() const noexcept {
+    std::uint64_t h = sender_id;
+    h ^= epoch + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h ^= seq + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    return h;
+  }
 
   double duration_s() const noexcept {
     return util::to_seconds(ended - started);

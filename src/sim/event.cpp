@@ -1,24 +1,49 @@
 #include "sim/event.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
 namespace phi::sim {
 
+namespace {
+/// Below this size the heap is too small for dead entries to matter;
+/// skipping compaction keeps the common tiny-schedule case allocation-free.
+constexpr std::size_t kCompactFloor = 64;
+}  // namespace
+
 EventId Scheduler::schedule_at(Time t, std::function<void()> fn) {
   if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
   const EventId id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id});
+  heap_.push_back(Entry{t, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   callbacks_.emplace(id, std::move(fn));
   return id;
 }
 
-bool Scheduler::cancel(EventId id) { return callbacks_.erase(id) != 0; }
+bool Scheduler::cancel(EventId id) {
+  if (callbacks_.erase(id) == 0) return false;
+  maybe_compact();
+  return true;
+}
+
+void Scheduler::maybe_compact() {
+  // Every heap entry without a callback is dead (cancelled or already
+  // popped entries leave the heap immediately, so "dead" == cancelled).
+  const std::size_t live = callbacks_.size();
+  if (heap_.size() < kCompactFloor || heap_.size() <= 3 * live) return;
+  auto dead = [this](const Entry& e) {
+    return callbacks_.find(e.id) == callbacks_.end();
+  };
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
 
 bool Scheduler::step() {
   while (!heap_.empty()) {
-    const Entry e = heap_.top();
-    heap_.pop();
+    const Entry e = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
     auto it = callbacks_.find(e.id);
     if (it == callbacks_.end()) continue;  // cancelled
     // Move the callback out before erasing so it may reschedule itself.
@@ -37,9 +62,10 @@ std::uint64_t Scheduler::run_until(Time horizon) {
   std::uint64_t ran = 0;
   while (!heap_.empty()) {
     // Skip over cancelled entries to find the true next event time.
-    const Entry e = heap_.top();
+    const Entry e = heap_.front();
     if (callbacks_.find(e.id) == callbacks_.end()) {
-      heap_.pop();
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      heap_.pop_back();
       continue;
     }
     if (e.time > horizon) break;

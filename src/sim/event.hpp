@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -28,7 +27,11 @@ using EventId = std::uint64_t;
 ///   s.run_until(util::seconds(30));
 ///
 /// Cancellation is O(1) (the callback is dropped from a side map and the
-/// heap entry is skipped when popped).
+/// heap entry is skipped when popped). Cancelled entries are compacted
+/// out of the heap once they outnumber live ones 2:1, so timer-heavy
+/// workloads (e.g. a retransmit timer re-armed on every ACK) keep the
+/// heap proportional to the number of *pending* events rather than the
+/// number ever scheduled.
 class Scheduler {
  public:
   Time now() const noexcept { return now_; }
@@ -58,6 +61,9 @@ class Scheduler {
 
   std::size_t pending_count() const noexcept { return callbacks_.size(); }
   std::uint64_t executed_count() const noexcept { return executed_; }
+  /// Heap entries currently held, live + cancelled-but-unpopped. Bounded
+  /// at ~3x pending_count() (plus a small floor) by compaction.
+  std::size_t heap_size() const noexcept { return heap_.size(); }
 
  private:
   struct Entry {
@@ -69,7 +75,11 @@ class Scheduler {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  void maybe_compact();
+
+  // Min-heap (via std::*_heap with greater<>) kept in a plain vector so
+  // compaction can filter dead entries in place.
+  std::vector<Entry> heap_;
   std::unordered_map<EventId, std::function<void()>> callbacks_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -2,6 +2,7 @@
 // report -> server state evolves — on a live mini dumbbell.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 
 #include "phi/client.hpp"
@@ -26,12 +27,24 @@ TEST(PhiClient, AdvisorInstallsRecommendedParams) {
   cfg.workload.mean_off_s = 0.3;
   cfg.duration = util::seconds(20);
 
+  // Advisors are owned by the senders and die with the dumbbell, so
+  // their state must be snapshotted before the run ends.
+  struct Snapshot {
+    std::uint64_t recommended;
+    tcp::CubicParams params;
+  };
   std::vector<PhiCubicAdvisor*> advisors;
+  std::vector<Snapshot> snapshots;
   const auto metrics = run_scenario_with_setup(
       cfg,
       [](std::size_t) { return std::make_unique<tcp::Cubic>(); },
       [&](LiveScenario& live) -> AdvisorFactory {
         sim::Scheduler* sched = &live.dumbbell->scheduler();
+        sched->schedule_at(cfg.duration - 1, [&] {
+          for (const auto* adv : advisors)
+            snapshots.push_back(
+                {adv->recommended_connections(), adv->last_params()});
+        });
         return [&, sched](std::size_t i) {
           auto adv = std::make_unique<PhiCubicAdvisor>(
               server, kPath, i, [sched] { return sched->now(); });
@@ -47,10 +60,11 @@ TEST(PhiClient, AdvisorInstallsRecommendedParams) {
             static_cast<std::uint64_t>(metrics.connections));
   EXPECT_GE(server.lookups(), server.reports());
   // Every completed connection got the tuned parameters.
-  for (const auto* adv : advisors) {
-    if (adv->recommended_connections() > 0) {
-      EXPECT_EQ(adv->last_params().initial_ssthresh, 64);
-      EXPECT_EQ(adv->last_params().window_init, 32);
+  ASSERT_EQ(snapshots.size(), advisors.size());
+  for (const auto& snap : snapshots) {
+    if (snap.recommended > 0) {
+      EXPECT_EQ(snap.params.initial_ssthresh, 64);
+      EXPECT_EQ(snap.params.window_init, 32);
     }
   }
   // Server has learned a context from the reports.
@@ -67,11 +81,20 @@ TEST(PhiClient, FallbackWhenNoRecommendation) {
   cfg.duration = util::seconds(10);
 
   tcp::CubicParams fallback{128, 4, 0.3};
+  // Snapshot the advisor's state in-run: it dies with the dumbbell.
   PhiCubicAdvisor* captured = nullptr;
+  std::uint64_t recommended = 99;
+  tcp::CubicParams last{};
   const auto metrics = run_scenario_with_setup(
       cfg, [](std::size_t) { return std::make_unique<tcp::Cubic>(); },
       [&](LiveScenario& live) -> AdvisorFactory {
         sim::Scheduler* sched = &live.dumbbell->scheduler();
+        sched->schedule_at(cfg.duration - 1, [&] {
+          if (captured != nullptr) {
+            recommended = captured->recommended_connections();
+            last = captured->last_params();
+          }
+        });
         return [&, sched](std::size_t i) {
           auto adv = std::make_unique<PhiCubicAdvisor>(
               server, kPath, i, [sched] { return sched->now(); }, fallback);
@@ -81,8 +104,8 @@ TEST(PhiClient, FallbackWhenNoRecommendation) {
       });
   EXPECT_GT(metrics.connections, 0);
   ASSERT_NE(captured, nullptr);
-  EXPECT_EQ(captured->recommended_connections(), 0u);
-  EXPECT_EQ(captured->last_params(), fallback);
+  EXPECT_EQ(recommended, 0u);
+  EXPECT_EQ(last, fallback);
 }
 
 TEST(PhiClient, ReportOnlyAdvisorFeedsServer) {

@@ -180,6 +180,83 @@ TEST(ContextServer, ExternalUtilizationNeverLowersLocal) {
   EXPECT_GT(server.context(kPath).utilization, 0.5);
 }
 
+TEST(ContextServer, DefaultLeaseIsTwiceWindow) {
+  ContextServerConfig cfg;
+  EXPECT_EQ(cfg.lease, 2 * cfg.window);
+}
+
+TEST(ContextServer, CrashedSenderExpiresAfterLease) {
+  util::Time fake_now = 0;
+  ContextServer server({}, [&fake_now] { return fake_now; });
+  server.set_path_capacity(kPath, 15e6);
+  (void)server.lookup(LookupRequest{kPath, 1, 0});
+  EXPECT_GE(server.context(kPath).competing_senders, 1.0);
+  // The sender dies without reporting; the default 20-s lease reaps it.
+  fake_now = util::seconds(21);
+  EXPECT_EQ(server.context(kPath).competing_senders, 0.0);
+  EXPECT_EQ(server.expired_leases(), 1u);
+}
+
+TEST(ContextServer, ZeroLeaseDisablesLivenessSweep) {
+  util::Time fake_now = 0;
+  ContextServerConfig cfg;
+  cfg.lease = 0;
+  ContextServer server(cfg, [&fake_now] { return fake_now; });
+  server.set_path_capacity(kPath, 15e6);
+  (void)server.lookup(LookupRequest{kPath, 1, 0});
+  fake_now = util::seconds(100'000);
+  EXPECT_GE(server.context(kPath).competing_senders, 1.0);
+  EXPECT_EQ(server.expired_leases(), 0u);
+}
+
+TEST(ContextServer, UtilizationCountsPartialOverlapAtCutoff) {
+  // A 20-s transfer observed at t=20 with a 10-s window: only its second
+  // half overlaps, so exactly half the bytes count. 18.75 MB over 20 s on
+  // a 15 Mbps path -> u = (18.75e6 * 8 / 2) / (15e6 * 10) = 0.5.
+  util::Time fake_now = util::seconds(20);
+  ContextServerConfig cfg;
+  cfg.window = util::seconds(10);
+  ContextServer server(cfg, [&fake_now] { return fake_now; });
+  server.set_path_capacity(kPath, 15e6);
+  server.report(make_report(1, 0, util::seconds(20), 18'750'000));
+  EXPECT_NEAR(server.context(kPath).utilization, 0.5, 1e-9);
+}
+
+TEST(ContextServer, ZeroDurationDeliveryContributesNothing) {
+  // An instantaneous report: the span clamps to 1 ns and the in-window
+  // overlap fraction is 0 — it must neither divide by zero nor count.
+  util::Time fake_now = util::seconds(1);
+  ContextServer server({}, [&fake_now] { return fake_now; });
+  server.set_path_capacity(kPath, 15e6);
+  server.report(make_report(1, util::seconds(1), util::seconds(1),
+                            5'000'000));
+  EXPECT_EQ(server.context(kPath).utilization, 0.0);
+}
+
+TEST(ContextServer, ZeroDurationDeliveryDoesNotSetCapacityFallback) {
+  ContextServer server;  // no capacity configured
+  server.report(make_report(1, util::seconds(1), util::seconds(1),
+                            5'000'000));
+  EXPECT_EQ(server.context(kPath).utilization, 0.0);
+  // The fallback comes only from a delivery with a real duration: 1 MB/s
+  // -> capacity proxy 8 Mbps; over the 10-s window u = 8e6/(8e6*10) = 0.1.
+  server.report(make_report(1, util::seconds(1), util::seconds(2),
+                            1'000'000));
+  EXPECT_NEAR(server.context(kPath).utilization, 0.1, 1e-9);
+}
+
+TEST(ContextServer, DeliveryEndingExactlyAtCutoffCountsZero) {
+  // end == cutoff survives expiry (strict <) but its overlap is empty.
+  util::Time fake_now = util::seconds(20);
+  ContextServerConfig cfg;
+  cfg.window = util::seconds(10);
+  ContextServer server(cfg, [&fake_now] { return fake_now; });
+  server.set_path_capacity(kPath, 15e6);
+  server.report(make_report(1, util::seconds(5), util::seconds(10),
+                            1'875'000));
+  EXPECT_EQ(server.context(kPath).utilization, 0.0);
+}
+
 TEST(ContextServer, ClockFunctionDrivesExpiry) {
   util::Time fake_now = 0;
   ContextServerConfig cfg;

@@ -78,6 +78,101 @@ TEST(Persistence, EmptyServerRoundTrips) {
   EXPECT_EQ(b.context(1).utilization, 0.0);
 }
 
+TEST(Persistence, RoundTripPreservesFederatedState) {
+  // A restarted server must not forget the fleet-wide utilization while
+  // its TTL is still running (v1 silently dropped it).
+  util::Time now_a = util::seconds(10);
+  ContextServer a({}, [&now_a] { return now_a; });
+  a.set_path_capacity(1, 15e6);
+  a.set_external_utilization(1, 0.8, util::seconds(9), util::seconds(10));
+  ASSERT_NEAR(a.context(1).utilization, 0.8, 1e-9);
+
+  util::Time now_b = util::seconds(10);
+  ContextServer b({}, [&now_b] { return now_b; });
+  ASSERT_TRUE(b.restore_state(a.serialize_state()));
+  EXPECT_NEAR(b.context(1).utilization, 0.8, 1e-9);  // mid-TTL survives
+  now_b = util::seconds(25);  // ...and still expires on schedule
+  EXPECT_EQ(b.context(1).utilization, 0.0);
+}
+
+TEST(Persistence, RoundTripPreservesLeaseDeadlines) {
+  util::Time now_a = 0;
+  ContextServerConfig cfg;
+  cfg.lease = util::seconds(20);
+  ContextServer a(cfg, [&now_a] { return now_a; });
+  a.set_path_capacity(1, 15e6);
+  (void)a.lookup(LookupRequest{1, 999, 0});
+  const std::string blob = a.serialize_state();
+
+  // Restored before the deadline: the connection is still counted.
+  util::Time now_b = util::seconds(10);
+  ContextServer b(cfg, [&now_b] { return now_b; });
+  ASSERT_TRUE(b.restore_state(blob));
+  EXPECT_EQ(b.active_connections(1), 1u);
+  // Past the original deadline: the restart did not resurrect the lease.
+  now_b = util::seconds(21);
+  EXPECT_EQ(b.active_connections(1), 0u);
+}
+
+TEST(Persistence, RestoresLegacyV1Format) {
+  // A blob exactly as the seed (v1) serializer emitted it: no federated
+  // fields, bare ids on the active line.
+  const std::string v1 =
+      "phi-context-server-state v1\n"
+      "5000000000 3\n"
+      "path 7 15000000 1 0.14999999999999999 1 0.03 1 0.01 1 2 2 1\n"
+      "active 11 12\n"
+      "delivery 4000000000 5000000000 1875000\n";
+  ContextServer b;
+  ASSERT_TRUE(b.restore_state(v1));
+  EXPECT_EQ(b.state_version(), 3u);
+  // v1 carried no lease deadlines: restored connections get fresh ones.
+  EXPECT_EQ(b.active_connections(7), 2u);
+  const auto ctx = b.context(7);
+  EXPECT_NEAR(ctx.utilization, 0.1, 1e-9);
+  EXPECT_NEAR(ctx.queue_delay_s, 0.03, 1e-12);
+  EXPECT_NEAR(ctx.loss_rate, 0.01, 1e-12);
+  EXPECT_NEAR(ctx.competing_senders, 2.0, 1e-12);
+}
+
+TEST(Persistence, RejectsHugeElementCounts) {
+  // A hostile blob claiming more active entries than the text could
+  // possibly hold must be rejected before any allocation happens.
+  const std::string evil =
+      "phi-context-server-state v2\n"
+      "0 0\n"
+      "path 1 0 0 0 0 0 0 0 0 0 -1 0 0 18446744073709551615 0\n"
+      "active\n";
+  ContextServer s;
+  s.set_path_capacity(1, 15e6);
+  s.report(mk_report(1, 5, 0, util::seconds(1), 1'000'000));
+  const double u_before = s.context(1).utilization;
+  EXPECT_FALSE(s.restore_state(evil));
+  const std::string evil_window =
+      "phi-context-server-state v2\n"
+      "0 0\n"
+      "path 1 0 0 0 0 0 0 0 0 0 -1 0 0 0 99999999999\n"
+      "active\n";
+  EXPECT_FALSE(s.restore_state(evil_window));
+  const std::string negative =
+      "phi-context-server-state v2\n"
+      "0 0\n"
+      "path 1 0 0 0 0 0 0 0 0 0 -1 0 0 -3 0\n"
+      "active\n";
+  EXPECT_FALSE(s.restore_state(negative));
+  EXPECT_NEAR(s.context(1).utilization, u_before, 1e-12);
+}
+
+TEST(Persistence, RejectsNonFiniteDoubles) {
+  for (const char* bad : {"nan", "inf", "-inf", "1e99999"}) {
+    const std::string blob = std::string("phi-context-server-state v2\n") +
+                             "0 0\n" + "path 1 " + bad +
+                             " 0 0 0 0 0 0 0 0 -1 0 0 0 0\n" + "active\n";
+    ContextServer s;
+    EXPECT_FALSE(s.restore_state(blob)) << bad;
+  }
+}
+
 }  // namespace
 }  // namespace phi::core
 

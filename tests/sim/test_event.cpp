@@ -107,6 +107,43 @@ TEST(Scheduler, PendingCountTracksQueue) {
   EXPECT_EQ(s.pending_count(), 0u);
 }
 
+TEST(Scheduler, CancelHeavyWorkloadKeepsHeapBounded) {
+  // A rearm-on-every-ACK retransmit timer: schedule, cancel, repeat.
+  // Without compaction the heap retains every cancelled entry (100k
+  // here); with it, dead entries never outnumber live ones ~2:1 past a
+  // small floor.
+  Scheduler s;
+  EventId timer = s.schedule_at(1'000'000'000, [] {});
+  for (int i = 1; i <= 100'000; ++i) {
+    s.cancel(timer);
+    timer = s.schedule_at(1'000'000'000 + i, [] {});
+  }
+  EXPECT_EQ(s.pending_count(), 1u);
+  EXPECT_LT(s.heap_size(), 128u);
+  s.run_until(2'000'000'000);
+  EXPECT_EQ(s.executed_count(), 1u);
+  EXPECT_EQ(s.heap_size(), 0u);
+}
+
+TEST(Scheduler, CompactionPreservesOrderAndLiveEvents) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i)
+    s.schedule_at(10'000 + i * 10, [&order, i] { order.push_back(i); });
+  // Heavy churn interleaved with the live events, forcing many compactions.
+  util::Rng rng(42);
+  for (int i = 0; i < 20'000; ++i) {
+    const EventId id = s.schedule_at(
+        static_cast<util::Time>(rng.below(9'000)), [] { FAIL(); });
+    ASSERT_TRUE(s.cancel(id));
+  }
+  EXPECT_EQ(s.pending_count(), 50u);
+  s.run_until(100'000);
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
 // Property: random schedule/cancel workload executes in nondecreasing
 // time order with FIFO tie-breaks.
 class SchedulerProperty : public ::testing::TestWithParam<std::uint64_t> {};
