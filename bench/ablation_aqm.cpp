@@ -79,5 +79,6 @@ int main() {
                    {"queue", "setting", "tput_bps", "qdelay_ms", "loss",
                     "power_l"},
                    csv);
+  bench::dump_metrics("ablation_aqm");
   return 0;
 }

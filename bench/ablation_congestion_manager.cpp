@@ -121,9 +121,10 @@ int main() {
   const char* names[] = {"autonomous (per-conn slow start)",
                          "congestion manager (host-shared)",
                          "Phi (fleet-shared, tuned)"};
-  util::TextTable t;
-  t.header({"Policy", "Median FCT (s)", "Goodput (Mbps)", "Connections"});
-  std::vector<std::vector<std::string>> csv;
+  bench::ResultTable t(
+      "ablation_cm.csv",
+      {"Policy", "Median FCT (s)", "Goodput (Mbps)", "Connections"},
+      {"policy", "median_fct_s", "tput_bps"});
   bench::WallTimer timer;
   for (int mode = 0; mode < 3; ++mode) {
     util::RunningStats fct, tput, conns;
@@ -136,17 +137,16 @@ int main() {
     }
     t.row({names[mode], util::TextTable::num(fct.mean(), 2),
            util::TextTable::num(tput.mean() / 1e6, 2),
-           util::TextTable::num(conns.mean(), 0)});
-    csv.push_back({names[mode], util::TextTable::num(fct.mean(), 3),
-                   util::TextTable::num(tput.mean(), 0)});
+           util::TextTable::num(conns.mean(), 0)},
+          {names[mode], util::TextTable::num(fct.mean(), 3),
+           util::TextTable::num(tput.mean(), 0)});
   }
-  std::printf("\n%s", t.str().c_str());
+  t.print_and_dump();
   std::printf("\nreading: sharing congestion state shortens short-transfer\n"
               "completion times vs autonomous slow starts; Phi delivers the\n"
               "same inheritance effect across hosts (and composes with the\n"
               "sweep-tuned parameters).   (%.1f s)\n",
               timer.seconds());
-  bench::write_csv("ablation_cm.csv", {"policy", "median_fct_s", "tput_bps"},
-                   csv);
+  bench::dump_metrics("ablation_congestion_manager");
   return 0;
 }

@@ -160,5 +160,6 @@ int main() {
   bench::write_csv("ablation_federation.csv",
                    {"mode", "tput_bps", "qdelay_ms", "loss", "power_l"},
                    csv);
+  bench::dump_metrics("ablation_federation");
   return 0;
 }

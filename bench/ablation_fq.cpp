@@ -118,5 +118,6 @@ int main() {
       fifo_gap / 1e6, fq_gap / 1e6, timer.seconds());
   bench::write_csv("ablation_fq.csv",
                    {"queue", "group", "tput_bps", "rtt_ms"}, csv);
+  bench::dump_metrics("ablation_fq");
   return 0;
 }

@@ -130,5 +130,6 @@ int main() {
         util::TextTable::num(late_high.mean(), 4)},
        {"advised", util::TextTable::num(advised_ms, 0),
         util::TextTable::num(late_adv.mean(), 4)}});
+  bench::dump_metrics("ablation_jitterbuffer");
   return 0;
 }

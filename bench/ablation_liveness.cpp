@@ -124,9 +124,10 @@ int main() {
 
   // (a) competing-senders drift vs crash rate.
   const double crash_rates[] = {0.005, 0.01, 0.02, 0.05};
-  util::TextTable ta;
-  ta.header({"Crash rate", "Crashes", "Gap (no lease)", "Gap (lease 20 s)"});
-  std::vector<std::vector<std::string>> csv_a;
+  bench::ResultTable ta(
+      "ablation_liveness_crash.csv",
+      {"Crash rate", "Crashes", "Gap (no lease)", "Gap (lease 20 s)"},
+      {"crash_rate", "crashes", "gap_no_lease", "gap_lease"});
   for (const double rate : crash_rates) {
     util::RunningStats legacy, leased, crashes;
     for (int r = 0; r < runs; ++r) {
@@ -139,19 +140,20 @@ int main() {
     ta.row({util::TextTable::num(rate * 100, 1) + " %",
             util::TextTable::num(crashes.mean(), 0),
             util::TextTable::num(legacy.mean(), 2),
-            util::TextTable::num(leased.mean(), 2)});
-    csv_a.push_back({util::TextTable::num(rate, 3),
-                     util::TextTable::num(crashes.mean(), 1),
-                     util::TextTable::num(legacy.mean(), 3),
-                     util::TextTable::num(leased.mean(), 3)});
+            util::TextTable::num(leased.mean(), 2)},
+           {util::TextTable::num(rate, 3),
+            util::TextTable::num(crashes.mean(), 1),
+            util::TextTable::num(legacy.mean(), 3),
+            util::TextTable::num(leased.mean(), 3)});
   }
-  std::printf("\n%s", ta.str().c_str());
+  ta.print_and_dump();
 
   // (b) utilization inflation vs duplicate rate.
   const double dup_rates[] = {0.0, 0.1, 0.5};
-  util::TextTable tb;
-  tb.header({"Duplicate rate", "Mean u (dedup on)", "Mean u (dedup off)"});
-  std::vector<std::vector<std::string>> csv_b;
+  bench::ResultTable tb(
+      "ablation_liveness_dup.csv",
+      {"Duplicate rate", "Mean u (dedup on)", "Mean u (dedup off)"},
+      {"dup_rate", "u_dedup", "u_no_dedup"});
   for (const double rate : dup_rates) {
     util::RunningStats with_dedup, without;
     for (int r = 0; r < runs; ++r) {
@@ -161,12 +163,12 @@ int main() {
     }
     tb.row({util::TextTable::num(rate * 100, 0) + " %",
             util::TextTable::num(with_dedup.mean(), 3),
-            util::TextTable::num(without.mean(), 3)});
-    csv_b.push_back({util::TextTable::num(rate, 2),
-                     util::TextTable::num(with_dedup.mean(), 4),
-                     util::TextTable::num(without.mean(), 4)});
+            util::TextTable::num(without.mean(), 3)},
+           {util::TextTable::num(rate, 2),
+            util::TextTable::num(with_dedup.mean(), 4),
+            util::TextTable::num(without.mean(), 4)});
   }
-  std::printf("\n%s", tb.str().c_str());
+  tb.print_and_dump();
   std::printf(
       "\nreading: without leases the open-connection count inflates by\n"
       "roughly one per crash and never recovers, so n (and every estimate\n"
@@ -176,10 +178,6 @@ int main() {
       "the report-id dedup set holds u at the clean value.\n"
       "(%.1f s)\n",
       timer.seconds());
-  bench::write_csv("ablation_liveness_crash.csv",
-                   {"crash_rate", "crashes", "gap_no_lease", "gap_lease"},
-                   csv_a);
-  bench::write_csv("ablation_liveness_dup.csv",
-                   {"dup_rate", "u_dedup", "u_no_dedup"}, csv_b);
+  bench::dump_metrics("ablation_liveness");
   return 0;
 }

@@ -178,5 +178,6 @@ int main() {
                    {"policy", "hot_tput", "hot_power", "cold_tput",
                     "cold_power"},
                    csv);
+  bench::dump_metrics("ablation_multipath");
   return 0;
 }

@@ -121,5 +121,6 @@ int main() {
         util::TextTable::num(share[2].mean(), 3)},
        {"3", "1", util::TextTable::num(alloc[3].expected_share, 3),
         util::TextTable::num(share[3].mean(), 3)}});
+  bench::dump_metrics("ablation_priority");
   return 0;
 }

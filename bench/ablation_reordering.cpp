@@ -132,5 +132,6 @@ int main() {
         util::TextTable::num(rtx3.mean(), 5)},
        {"advised", util::TextTable::num(tputA.mean(), 0),
         util::TextTable::num(rtxA.mean(), 5)}});
+  bench::dump_metrics("ablation_reordering");
   return 0;
 }

@@ -112,5 +112,6 @@ int main() {
                    {"transport", "params", "tput_bps", "qdelay_ms", "loss",
                     "timeouts"},
                    csv);
+  bench::dump_metrics("ablation_sack");
   return 0;
 }

@@ -135,5 +135,6 @@ int main() {
       timer.seconds());
   bench::write_csv("ablation_staleness.csv",
                    {"workload", "oracle_u", "rmse", "bias"}, csv);
+  bench::dump_metrics("ablation_staleness");
   return 0;
 }

@@ -3,6 +3,7 @@
 // and wall-clock reporting.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
 namespace phi::bench {
@@ -46,6 +48,74 @@ inline void write_csv(const std::string& name,
   const std::string path = dir + "/" + name;
   if (util::write_csv(path, header, rows)) {
     std::printf("  [csv] %s (%zu rows)\n", path.c_str(), rows.size());
+  }
+}
+
+/// Percentile of a sample set (nearest-rank on a copy; p in [0, 100]).
+/// The common reporting primitive the per-bench helpers used to re-derive.
+inline double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto idx = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(v.size() - 1) + 0.5);
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx),
+                   v.end());
+  return v[idx];
+}
+
+inline double median(std::vector<double> v) {
+  return percentile(std::move(v), 50.0);
+}
+
+/// Console table + CSV artifact fed from one row stream — replaces the
+/// parallel util::TextTable and raw csv-row vectors every bench used to
+/// maintain by hand. `row()` takes the display cells; pass distinct
+/// `csv` cells when the artifact wants different units/precision than
+/// the console (the common case: "1.0 %" on screen, "0.010" on disk).
+class ResultTable {
+ public:
+  ResultTable(std::string csv_name, std::vector<std::string> header,
+              std::vector<std::string> csv_header = {})
+      : csv_name_(std::move(csv_name)),
+        csv_header_(csv_header.empty() ? header : std::move(csv_header)) {
+    table_.header(std::move(header));
+  }
+
+  void row(std::vector<std::string> display,
+           std::vector<std::string> csv = {}) {
+    csv_rows_.push_back(csv.empty() ? display : std::move(csv));
+    table_.row(std::move(display));
+  }
+
+  /// Print the aligned table and write the CSV artifact (if enabled).
+  void print_and_dump() const {
+    std::printf("\n%s", table_.str().c_str());
+    write_csv(csv_name_, csv_header_, csv_rows_);
+  }
+
+  std::size_t rows() const noexcept { return table_.rows(); }
+
+ private:
+  std::string csv_name_;
+  std::vector<std::string> csv_header_;
+  util::TextTable table_;
+  std::vector<std::vector<std::string>> csv_rows_;
+};
+
+/// Dump the global metric registry next to the CSV artifacts as
+/// `<bench>_metrics.json` (plus the Prometheus text form). Call once at
+/// the end of a bench so every ablation leaves a uniform machine-readable
+/// record of what the simulation actually did (packets, drops,
+/// retransmits, faults fired, ...). Compiled-out telemetry still writes
+/// the (empty) artifacts, so downstream tooling never misses a file.
+inline void dump_metrics(const std::string& bench_name) {
+  const std::string dir = out_dir();
+  if (dir.empty()) return;
+  const std::string json = dir + "/" + bench_name + "_metrics.json";
+  const std::string prom = dir + "/" + bench_name + "_metrics.prom";
+  if (telemetry::registry().write_json(json) &&
+      telemetry::registry().write_prometheus(prom)) {
+    std::printf("  [metrics] %s (+ .prom)\n", json.c_str());
   }
 }
 

@@ -132,5 +132,6 @@ int main() {
              core::SweepSpec::beta_only(),
              scale == bench::Scale::kFull ? 4 : 2);
 
+  bench::dump_metrics("fig2_cubic_sweep");
   return 0;
 }

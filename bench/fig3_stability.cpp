@@ -78,5 +78,6 @@ int main() {
   bench::write_csv("fig3.csv",
                    {"senders", "setting", "power_l", "tput_bps", "qdelay_ms"},
                    csv);
+  bench::dump_metrics("fig3_stability");
   return 0;
 }

@@ -134,5 +134,6 @@ int main() {
        {"unmodified", util::TextTable::num(unmod_tput.mean(), 0),
         util::TextTable::num(unmod_rtt.mean() * 1e3, 2),
         util::TextTable::num(unmod_rtx.mean(), 4)}});
+  bench::dump_metrics("fig4_incremental");
   return 0;
 }

@@ -100,5 +100,6 @@ int main() {
 
   bench::write_csv("fig5_series.csv",
                    {"minute_vs_event_start", "actual", "expected"}, series);
+  bench::dump_metrics("fig5_diagnosis");
   return match == nullptr ? 1 : 0;
 }

@@ -139,5 +139,6 @@ int main() {
               timer.seconds());
   bench::write_csv("sec21_bottleneck.csv",
                    {"hops", "precision", "recall"}, csv);
+  bench::dump_metrics("sec21_bottleneck");
   return 0;
 }

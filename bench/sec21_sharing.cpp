@@ -79,5 +79,6 @@ int main() {
   }
 
   bench::write_csv("sec21.csv", {"k", "sampled_frac", "true_frac"}, csv);
+  bench::dump_metrics("sec21_sharing");
   return 0;
 }

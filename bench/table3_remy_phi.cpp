@@ -147,32 +147,31 @@ int main() {
     return std::make_unique<tcp::Pcc>();
   });
 
-  util::TextTable t;
-  t.header({"Algorithm", "Median throughput (Mbps)",
-            "Median queueing delay (ms)", "Median objective log(P)"});
-  std::vector<std::vector<std::string>> csv;
+  bench::ResultTable t(
+      "table3.csv",
+      {"Algorithm", "Median throughput (Mbps)", "Median queueing delay (ms)",
+       "Median objective log(P)"},
+      {"algorithm", "median_tput_bps", "median_qdelay_ms",
+       "median_log_power"});
   auto row = [&](const char* name, const remy::EvalResult& r) {
     t.row({name, util::TextTable::num(r.median_throughput_bps / 1e6, 2),
            util::TextTable::num(r.median_queue_delay_s * 1e3, 1),
-           util::TextTable::num(r.median_log_power, 2)});
-    csv.push_back({name, util::TextTable::num(r.median_throughput_bps, 0),
-                   util::TextTable::num(r.median_queue_delay_s * 1e3, 2),
-                   util::TextTable::num(r.median_log_power, 3)});
+           util::TextTable::num(r.median_log_power, 2)},
+          {name, util::TextTable::num(r.median_throughput_bps, 0),
+           util::TextTable::num(r.median_queue_delay_s * 1e3, 2),
+           util::TextTable::num(r.median_log_power, 3)});
   };
   row("Remy-Phi-practical", practical);
   row("Remy-Phi-ideal", ideal);
   row("Remy", classic);
   row("Cubic", cubic);
   row("PCC-Vivace (extension)", pcc);
-  std::printf("\n%s", t.str().c_str());
+  t.print_and_dump();
 
   std::printf(
       "\npaper shape: ideal > practical > Remy on throughput/objective;\n"
       "Cubic lowest objective with the highest queueing delay.\n");
 
-  bench::write_csv("table3.csv",
-                   {"algorithm", "median_tput_bps", "median_qdelay_ms",
-                    "median_log_power"},
-                   csv);
+  bench::dump_metrics("table3_remy_phi");
   return 0;
 }

@@ -9,7 +9,17 @@ namespace phi::core {
 
 ContextServer::ContextServer(ContextServerConfig cfg,
                              std::function<util::Time()> clock)
-    : cfg_(cfg), clock_(std::move(clock)) {}
+    : cfg_(cfg), clock_(std::move(clock)) {
+  auto& reg = telemetry::registry();
+  ctr_lookups_ = &reg.counter("phi.context.lookups");
+  ctr_reports_ = &reg.counter("phi.context.reports");
+  ctr_dup_reports_ = &reg.counter("phi.context.duplicate_reports");
+  ctr_lease_grants_ = &reg.counter("phi.context.lease_grants");
+  ctr_lease_expiries_ = &reg.counter("phi.context.lease_expiries");
+  ctr_gc_sweeps_ = &reg.counter("phi.context.gc_sweeps");
+  ctr_snapshot_saves_ = &reg.counter("phi.context.snapshot_saves");
+  ctr_snapshot_restores_ = &reg.counter("phi.context.snapshot_restores");
+}
 
 void ContextServer::set_path_capacity(PathKey path, util::Rate bps) {
   paths_[path].capacity = bps;
@@ -53,6 +63,14 @@ std::size_t ContextServer::sweep_leases(PathState& st,
     // surviving set instead of letting the stale history linger.
     st.senders.force(static_cast<double>(st.active.size()));
     expired_leases_ += expired;
+    ctr_lease_expiries_->add(expired);
+    if (auto* t = telemetry::tracer();
+        t && t->enabled(telemetry::Category::kContext)) {
+      t->instant(telemetry::Category::kContext, "ctx.lease_expiry", now,
+                 {telemetry::targ("expired", static_cast<double>(expired)),
+                  telemetry::targ("surviving",
+                                  static_cast<double>(st.active.size()))});
+    }
   }
   return expired;
 }
@@ -89,12 +107,21 @@ bool ContextServer::already_absorbed(const Report& r) {
 
 LookupReply ContextServer::lookup(const LookupRequest& req) {
   ++lookups_;
+  ctr_lookups_->add();
   last_message_at_ = std::max(last_message_at_, req.at);
   PathState& st = paths_[req.path];
   const util::Time now = now_or(req.at);
   sweep_leases(st, now);
   st.active[req.sender_id] = lease_deadline(now);
+  ctr_lease_grants_->add();
   st.senders.add(static_cast<double>(st.active.size()));
+  if (auto* t = telemetry::tracer();
+      t && t->enabled(telemetry::Category::kContext)) {
+    t->instant(telemetry::Category::kContext, "ctx.lookup", now,
+               {telemetry::targ("path", static_cast<double>(req.path)),
+                telemetry::targ("active",
+                                static_cast<double>(st.active.size()))});
+  }
 
   LookupReply reply;
   reply.context = context(req.path);
@@ -113,9 +140,17 @@ void ContextServer::report(const Report& r) {
     // A retried report: the first copy already updated the delivery
     // window and estimates; absorbing it again would double-count.
     ++duplicate_reports_;
+    ctr_dup_reports_->add();
+    if (auto* t = telemetry::tracer();
+        t && t->enabled(telemetry::Category::kContext)) {
+      t->instant(telemetry::Category::kContext, "ctx.duplicate_report",
+                 now_or(r.ended),
+                 {telemetry::targ("path", static_cast<double>(r.path))});
+    }
     return;
   }
   ++reports_;
+  ctr_reports_->add();
   ++version_;
   last_message_at_ = std::max(last_message_at_, r.ended);
   PathState& st = paths_[r.path];
@@ -151,6 +186,7 @@ void ContextServer::report(const Report& r) {
 }
 
 std::size_t ContextServer::gc(util::Time now) {
+  ctr_gc_sweeps_->add();
   std::size_t expired = 0;
   for (auto& [key, st] : paths_) expired += sweep_leases(st, now);
   return expired;
@@ -164,6 +200,7 @@ std::size_t ContextServer::active_connections(PathKey path) const {
 }
 
 std::string ContextServer::serialize_state() const {
+  ctr_snapshot_saves_->add();
   std::ostringstream out;
   out.precision(17);
   out << "phi-context-server-state v2\n";
@@ -263,6 +300,15 @@ bool ContextServer::restore_state(const std::string& text) {
   paths_ = std::move(restored);
   last_message_at_ = last_at;
   version_ = version;
+  ctr_snapshot_restores_->add();
+  if (auto* t = telemetry::tracer();
+      t && t->enabled(telemetry::Category::kContext)) {
+    t->instant(telemetry::Category::kContext, "ctx.snapshot_restore",
+               last_message_at_,
+               {telemetry::targ("paths", static_cast<double>(paths_.size())),
+                telemetry::targ("version",
+                                static_cast<double>(version_))});
+  }
   return true;
 }
 

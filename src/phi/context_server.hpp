@@ -35,6 +35,7 @@
 #include "phi/context.hpp"
 #include "phi/protocol.hpp"
 #include "phi/recommendation.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -181,6 +182,18 @@ class ContextServer : public ContextSource {
   mutable std::uint64_t expired_leases_ = 0;
   std::uint64_t duplicate_reports_ = 0;
   util::Time last_message_at_ = 0;
+
+  // Registry handles (aggregated across servers), resolved at
+  // construction. Plain pointers so the const query paths (sweep_leases,
+  // serialize_state) can bump them too.
+  telemetry::Counter* ctr_lookups_;
+  telemetry::Counter* ctr_reports_;
+  telemetry::Counter* ctr_dup_reports_;
+  telemetry::Counter* ctr_lease_grants_;
+  telemetry::Counter* ctr_lease_expiries_;
+  telemetry::Counter* ctr_gc_sweeps_;
+  telemetry::Counter* ctr_snapshot_saves_;
+  telemetry::Counter* ctr_snapshot_restores_;
 };
 
 }  // namespace phi::core

@@ -8,11 +8,28 @@ namespace phi::core {
 
 FaultInjector::FaultInjector(sim::Scheduler& sched, ContextServer& server,
                              FaultConfig cfg)
-    : sched_(sched), server_(server), cfg_(cfg), rng_(cfg.seed) {}
+    : sched_(sched), server_(server), cfg_(cfg), rng_(cfg.seed) {
+  auto& reg = telemetry::registry();
+  ctr_lookups_dropped_ = &reg.counter("phi.fault.lookups_dropped");
+  ctr_reports_dropped_ = &reg.counter("phi.fault.reports_dropped");
+  ctr_reports_duplicated_ = &reg.counter("phi.fault.reports_duplicated");
+  ctr_reports_delayed_ = &reg.counter("phi.fault.reports_delayed");
+  ctr_reports_reordered_ = &reg.counter("phi.fault.reports_reordered");
+  ctr_crashes_ = &reg.counter("phi.fault.crashes");
+}
+
+void FaultInjector::trace_fault(const char* name) const {
+  if (auto* t = telemetry::tracer();
+      t && t->enabled(telemetry::Category::kFault)) {
+    t->instant(telemetry::Category::kFault, name, sched_.now());
+  }
+}
 
 std::optional<LookupReply> FaultInjector::lookup(const LookupRequest& req) {
   if (rng_.bernoulli(cfg_.drop_lookup)) {
     ++lookups_dropped_;
+    ctr_lookups_dropped_->add();
+    trace_fault("fault.lookup_drop");
     return std::nullopt;
   }
   return server_.lookup(req);
@@ -21,6 +38,8 @@ std::optional<LookupReply> FaultInjector::lookup(const LookupRequest& req) {
 void FaultInjector::forward(const Report& r) {
   if (rng_.bernoulli(cfg_.delay_report)) {
     ++reports_delayed_;
+    ctr_reports_delayed_->add();
+    trace_fault("fault.report_delay");
     const double span = util::to_seconds(cfg_.delay_max - cfg_.delay_min);
     const util::Duration d =
         cfg_.delay_min +
@@ -35,11 +54,15 @@ void FaultInjector::forward(const Report& r) {
 void FaultInjector::report(const Report& r) {
   if (rng_.bernoulli(cfg_.drop_report)) {
     ++reports_dropped_;
+    ctr_reports_dropped_->add();
+    trace_fault("fault.report_drop");
     return;
   }
   const bool dup = rng_.bernoulli(cfg_.duplicate_report);
   if (rng_.bernoulli(cfg_.reorder_report) && !held_) {
     ++reports_reordered_;
+    ctr_reports_reordered_->add();
+    trace_fault("fault.report_reorder");
     held_ = r;
   } else {
     forward(r);
@@ -51,6 +74,8 @@ void FaultInjector::report(const Report& r) {
   if (dup) {
     // The retry takes an independent path: it may be delayed differently.
     ++reports_duplicated_;
+    ctr_reports_duplicated_->add();
+    trace_fault("fault.report_duplicate");
     forward(r);
   }
 }
@@ -61,6 +86,8 @@ bool FaultInjector::crash_connection() {
   const bool crash = rng_.bernoulli(cfg_.crash);
   if (!crash || sched_.now() >= cfg_.crash_until) return false;
   ++crashes_;
+  ctr_crashes_->add();
+  trace_fault("fault.crash");
   return true;
 }
 

@@ -17,6 +17,7 @@
 #include "phi/client.hpp"
 #include "phi/context_server.hpp"
 #include "sim/event.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace phi::core {
@@ -81,6 +82,8 @@ class FaultInjector {
  private:
   /// Deliver now or after a random delay.
   void forward(const Report& r);
+  /// Emit a kFault trace instant stamped with the scheduler's clock.
+  void trace_fault(const char* name) const;
 
   sim::Scheduler& sched_;
   ContextServer& server_;
@@ -93,6 +96,14 @@ class FaultInjector {
   std::uint64_t reports_delayed_ = 0;
   std::uint64_t reports_reordered_ = 0;
   std::uint64_t crashes_ = 0;
+
+  // Registry handles (faults actually fired), resolved at construction.
+  telemetry::Counter* ctr_lookups_dropped_;
+  telemetry::Counter* ctr_reports_dropped_;
+  telemetry::Counter* ctr_reports_duplicated_;
+  telemetry::Counter* ctr_reports_delayed_;
+  telemetry::Counter* ctr_reports_reordered_;
+  telemetry::Counter* ctr_crashes_;
 };
 
 /// PhiCubicAdvisor equivalent whose control-plane traffic crosses a

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cmath>
+#include <limits>
 
 namespace phi::core {
 
@@ -26,9 +27,15 @@ inline double lossy_power(double throughput_bps, double delay_s,
 }
 
 /// Remy's objective log(P) = log(r / d); the paper's Table 3 reports the
-/// median of this. Returns -inf for zero power (never-transmitting flow).
+/// median of this. Returns -inf for non-positive power — a
+/// never-transmitting flow (zero throughput) or a degenerate non-positive
+/// delay both have "no power", and the explicit guard keeps the result
+/// well-defined (-inf, never NaN) without tripping std::log's domain
+/// error / errno machinery on log(0).
 inline double log_power(double throughput_bps, double delay_s) noexcept {
-  return std::log(power(throughput_bps, delay_s));
+  const double p = power(throughput_bps, delay_s);
+  if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+  return std::log(p);
 }
 
 }  // namespace phi::core

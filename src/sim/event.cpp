@@ -12,17 +12,31 @@ namespace {
 constexpr std::size_t kCompactFloor = 64;
 }  // namespace
 
+Scheduler::Scheduler()
+    : ctr_scheduled_(
+          &telemetry::registry().counter("sim.scheduler.events_scheduled")),
+      ctr_executed_(
+          &telemetry::registry().counter("sim.scheduler.events_executed")),
+      ctr_cancelled_(
+          &telemetry::registry().counter("sim.scheduler.events_cancelled")),
+      ctr_compactions_(
+          &telemetry::registry().counter("sim.scheduler.compactions")),
+      heap_gauge_(&telemetry::registry().gauge("sim.scheduler.heap_size")) {}
+
 EventId Scheduler::schedule_at(Time t, std::function<void()> fn) {
   if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
   const EventId id = next_id_++;
   heap_.push_back(Entry{t, next_seq_++, id});
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   callbacks_.emplace(id, std::move(fn));
+  ctr_scheduled_->add();
+  heap_gauge_->set(static_cast<double>(heap_.size()));
   return id;
 }
 
 bool Scheduler::cancel(EventId id) {
   if (callbacks_.erase(id) == 0) return false;
+  ctr_cancelled_->add();
   maybe_compact();
   return true;
 }
@@ -32,11 +46,20 @@ void Scheduler::maybe_compact() {
   // popped entries leave the heap immediately, so "dead" == cancelled).
   const std::size_t live = callbacks_.size();
   if (heap_.size() < kCompactFloor || heap_.size() <= 3 * live) return;
+  const std::size_t before = heap_.size();
   auto dead = [this](const Entry& e) {
     return callbacks_.find(e.id) == callbacks_.end();
   };
   heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
   std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  ctr_compactions_->add();
+  heap_gauge_->set(static_cast<double>(heap_.size()));
+  if (auto* t = telemetry::tracer();
+      t && t->enabled(telemetry::Category::kScheduler)) {
+    t->instant(telemetry::Category::kScheduler, "sched.compact", now_,
+               {telemetry::targ("before", static_cast<double>(before)),
+                telemetry::targ("after", static_cast<double>(heap_.size()))});
+  }
 }
 
 bool Scheduler::step() {
@@ -52,6 +75,7 @@ bool Scheduler::step() {
     assert(e.time >= now_);
     now_ = e.time;
     ++executed_;
+    ctr_executed_->add();
     fn();
     return true;
   }

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "util/units.hpp"
 
 namespace phi::sim {
@@ -34,6 +35,8 @@ using EventId = std::uint64_t;
 /// number ever scheduled.
 class Scheduler {
  public:
+  Scheduler();
+
   Time now() const noexcept { return now_; }
 
   /// Schedule `fn` at absolute time `t` (must be >= now()).
@@ -85,6 +88,15 @@ class Scheduler {
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+
+  // Telemetry handles, resolved once at construction; updates on the hot
+  // path are single indirect stores (nothing at all under
+  // PHI_TELEMETRY_OFF).
+  telemetry::Counter* ctr_scheduled_;
+  telemetry::Counter* ctr_executed_;
+  telemetry::Counter* ctr_cancelled_;
+  telemetry::Counter* ctr_compactions_;
+  telemetry::Gauge* heap_gauge_;
 };
 
 }  // namespace phi::sim

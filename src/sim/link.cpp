@@ -18,15 +18,47 @@ Link::Link(Scheduler& sched, Node& dst, util::Rate rate,
       rate_(rate),
       prop_delay_(prop_delay),
       queue_(std::move(queue)),
-      name_(std::move(name)) {}
+      name_(std::move(name)) {
+  const telemetry::Labels labels{
+      {"link", name_.empty() ? std::string("unnamed") : name_}};
+  auto& reg = telemetry::registry();
+  ctr_pkts_ = &reg.counter("sim.link.packets_tx", labels);
+  ctr_bytes_ = &reg.counter("sim.link.bytes_tx", labels);
+  ctr_enqueued_ = &reg.counter("sim.link.packets_enqueued", labels);
+  ctr_drops_ = &reg.counter("sim.link.packets_dropped", labels);
+  ctr_outage_drops_ = &reg.counter("sim.link.outage_drops", labels);
+  occupancy_gauge_ = &reg.gauge("sim.link.queue_occupancy", labels);
+  qdelay_hist_ = &reg.histogram("sim.link.queueing_delay_s", labels);
+}
 
 void Link::send(Packet p) {
   if (!up_) {
     ++outage_drops_;
+    ctr_outage_drops_->add();
+    if (auto* t = telemetry::tracer();
+        t && t->enabled(telemetry::Category::kLink)) {
+      t->instant(telemetry::Category::kLink, "link.outage_drop",
+                 sched_.now(), {telemetry::targ("link", name_)});
+    }
     return;
   }
   if (busy_) {
-    queue_->enqueue(p, sched_.now());  // drop accounted inside the queue
+    if (queue_->enqueue(p, sched_.now())) {
+      ctr_enqueued_->add();
+    } else {
+      // The queue disc already accounted the drop in its own stats; the
+      // registry counter and trace event make it visible fleet-wide.
+      ctr_drops_->add();
+      if (auto* t = telemetry::tracer();
+          t && t->enabled(telemetry::Category::kLink)) {
+        t->instant(
+            telemetry::Category::kLink, "link.drop", sched_.now(),
+            {telemetry::targ("link", name_),
+             telemetry::targ("queue_bytes",
+                             static_cast<double>(queue_->bytes()))});
+      }
+    }
+    occupancy_gauge_->set(queue_->occupancy());
     return;
   }
   start_transmission(p);
@@ -38,6 +70,8 @@ void Link::start_transmission(Packet p) {
   busy_time_ += tx;
   bytes_tx_ += static_cast<std::uint64_t>(p.size_bytes);
   ++pkts_tx_;
+  ctr_pkts_->add();
+  ctr_bytes_->add(static_cast<std::uint64_t>(p.size_bytes));
   // The packet reaches the far end after serialization + propagation
   // (plus optional jitter, which can reorder); the transmitter frees up
   // after serialization alone.
@@ -56,6 +90,8 @@ void Link::on_transmit_complete() {
     const double waited = util::to_seconds(sched_.now() - next->enqueued_at);
     qdelay_.add(waited);
     qdelay_p99_.add(waited);
+    qdelay_hist_->observe(waited);
+    occupancy_gauge_->set(queue_->occupancy());
     start_transmission(*next);
   }
 }

@@ -12,6 +12,7 @@
 #include "sim/event.hpp"
 #include "sim/packet.hpp"
 #include "sim/queue_disc.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/p2_quantile.hpp"
 #include "util/stats.hpp"
@@ -103,6 +104,15 @@ class Link {
   util::Time stats_since_ = 0;
   util::RunningStats qdelay_;
   util::P2Quantile qdelay_p99_{0.99};
+
+  // Registry handles (labeled by link name), resolved at construction.
+  telemetry::Counter* ctr_pkts_;
+  telemetry::Counter* ctr_bytes_;
+  telemetry::Counter* ctr_enqueued_;
+  telemetry::Counter* ctr_drops_;
+  telemetry::Counter* ctr_outage_drops_;
+  telemetry::Gauge* occupancy_gauge_;
+  telemetry::Histogram* qdelay_hist_;
 };
 
 }  // namespace phi::sim

@@ -5,6 +5,16 @@ namespace phi::sim {
 LinkMonitor::LinkMonitor(Scheduler& sched, const Link& link,
                          util::Duration interval, std::size_t window)
     : sched_(sched), link_(link), interval_(interval), window_(window) {
+  const telemetry::Labels labels{
+      {"link", link_.name().empty() ? std::string("unnamed")
+                                    : link_.name()}};
+  auto& reg = telemetry::registry();
+  util_gauge_ = &reg.gauge("sim.monitor.utilization", labels);
+  occ_gauge_ = &reg.gauge("sim.monitor.occupancy", labels);
+  // Utilization samples live in [0, 1]; linear-ish buckets from 1/64 up
+  // resolve the whole range.
+  util_hist_ = &reg.histogram("sim.monitor.utilization_sample", labels,
+                              {1.0 / 64.0, 1.5, 12});
   last_bytes_ = link_.bytes_transmitted();
   arm();
 }
@@ -40,6 +50,18 @@ void LinkMonitor::sample() {
   util_all_.add(last_util_);
   occ_all_.add(occ);
   ++sample_count_;
+
+  util_gauge_->set(last_util_);
+  occ_gauge_->set(occ);
+  util_hist_->observe(last_util_);
+  if (auto* t = telemetry::tracer();
+      t && t->enabled(telemetry::Category::kLink)) {
+    // Chrome "C" counter events render as stacked per-link tracks.
+    const util::Time now = sched_.now();
+    t->counter(telemetry::Category::kLink, "monitor.utilization", now,
+               last_util_);
+    t->counter(telemetry::Category::kLink, "monitor.occupancy", now, occ);
+  }
 }
 
 double LinkMonitor::recent_utilization() const noexcept {

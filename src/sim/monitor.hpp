@@ -10,6 +10,7 @@
 
 #include "sim/event.hpp"
 #include "sim/link.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/stats.hpp"
 
 namespace phi::sim {
@@ -84,6 +85,11 @@ class LinkMonitor {
   std::uint64_t sample_count_ = 0;
   EventId pending_ = 0;
   bool stopped_ = false;
+
+  // Registry handles (labeled by link name), resolved at construction.
+  telemetry::Gauge* util_gauge_;
+  telemetry::Gauge* occ_gauge_;
+  telemetry::Histogram* util_hist_;
 };
 
 }  // namespace phi::sim

@@ -9,6 +9,8 @@ RedQueue::RedQueue(Config cfg) : cfg_(cfg), q_(cfg.capacity_bytes),
                                  rng_(cfg.seed) {
   assert(cfg.capacity_bytes > 0);
   assert(cfg.min_th_fraction < cfg.max_th_fraction);
+  ctr_marks_ = &telemetry::registry().counter("sim.red.ecn_marks");
+  ctr_early_drops_ = &telemetry::registry().counter("sim.red.early_drops");
 }
 
 double RedQueue::mark_probability() const noexcept {
@@ -42,9 +44,21 @@ bool RedQueue::enqueue(const Packet& p, util::Time now) {
         Packet marked = p;
         marked.ce = true;
         ++marks_;
+        ctr_marks_->add();
+        if (auto* t = telemetry::tracer();
+            t && t->enabled(telemetry::Category::kQueue)) {
+          t->instant(telemetry::Category::kQueue, "red.mark", now,
+                     {telemetry::targ("avg_bytes", avg_)});
+        }
         return q_.enqueue(marked, now);
       }
       // Early drop: account it as a drop in the underlying stats.
+      ctr_early_drops_->add();
+      if (auto* t = telemetry::tracer();
+          t && t->enabled(telemetry::Category::kQueue)) {
+        t->instant(telemetry::Category::kQueue, "red.early_drop", now,
+                   {telemetry::targ("avg_bytes", avg_)});
+      }
       return q_.enqueue_drop(p);
     }
   }

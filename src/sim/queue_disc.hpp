@@ -9,6 +9,7 @@
 
 #include "sim/packet.hpp"
 #include "sim/queue.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -108,6 +109,8 @@ class RedQueue final : public QueueDisc {
   std::uint64_t marks_ = 0;
   std::uint64_t since_last_mark_ = 0;
   util::Rng rng_;
+  telemetry::Counter* ctr_marks_ = nullptr;
+  telemetry::Counter* ctr_early_drops_ = nullptr;
 };
 
 }  // namespace phi::sim

@@ -1,6 +1,6 @@
 #include "sim/tap.hpp"
 
-#include <fstream>
+#include "util/table.hpp"
 
 namespace phi::sim {
 
@@ -33,15 +33,17 @@ void FlowTap::on_packet(const Packet& p) {
 }
 
 bool FlowTap::write_csv(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) return false;
-  f << "t_s,seq,ack,is_ack,ce,bytes\n";
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(records_.size());
   for (const auto& r : records_) {
-    f << util::to_seconds(r.at) << ',' << r.seq << ',' << r.ack << ','
-      << (r.is_ack ? 1 : 0) << ',' << (r.ce ? 1 : 0) << ',' << r.size_bytes
-      << '\n';
+    rows.push_back({util::fmt_g(util::to_seconds(r.at)),
+                    std::to_string(r.seq), std::to_string(r.ack),
+                    std::string(r.is_ack ? "1" : "0"),
+                    std::string(r.ce ? "1" : "0"),
+                    std::to_string(r.size_bytes)});
   }
-  return static_cast<bool>(f);
+  return util::write_csv(path, {"t_s", "seq", "ack", "is_ack", "ce", "bytes"},
+                         rows);
 }
 
 }  // namespace phi::sim

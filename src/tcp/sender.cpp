@@ -12,6 +12,26 @@ TcpSender::TcpSender(sim::Scheduler& sched, sim::Node& local,
       cc_(std::move(cc)) {
   if (!cc_) throw std::invalid_argument("TcpSender needs a policy");
   node_.attach(flow_, this);
+  auto& reg = telemetry::registry();
+  ctr_conns_ = &reg.counter("tcp.sender.connections_started");
+  ctr_conns_done_ = &reg.counter("tcp.sender.connections_finished");
+  ctr_packets_ = &reg.counter("tcp.sender.packets_sent");
+  ctr_retransmits_ = &reg.counter("tcp.sender.retransmits");
+  ctr_timeouts_ = &reg.counter("tcp.sender.timeouts");
+  ctr_loss_events_ = &reg.counter("tcp.sender.loss_events");
+  ctr_ecn_cuts_ = &reg.counter("tcp.sender.ecn_cuts");
+  ctr_cwnd_cuts_ = &reg.counter("tcp.sender.cwnd_cuts");
+}
+
+void TcpSender::trace_state(const char* name) const {
+  if (auto* t = telemetry::tracer();
+      t && t->enabled(telemetry::Category::kTcp)) {
+    t->instant(telemetry::Category::kTcp, name, sched_.now(),
+               {telemetry::targ("cwnd", cc_->window()),
+                telemetry::targ("inflight",
+                                static_cast<double>(snd_nxt_ - snd_una_))},
+               static_cast<std::uint32_t>(flow_));
+  }
 }
 
 TcpSender::~TcpSender() {
@@ -56,6 +76,8 @@ void TcpSender::start_connection(std::int64_t segments, DoneCallback done) {
   rtt_agg_ = {};
   done_ = std::move(done);
 
+  ctr_conns_->add();
+  trace_state("tcp.conn_start");
   try_send();
 }
 
@@ -176,7 +198,11 @@ void TcpSender::send_segment(std::int64_t seq) {
   p.priority = priority_;
   p.ect = ecn_;
   ++stats_.packets_sent;
-  if (seq < high_water_ && seq < snd_nxt_) ++stats_.retransmits;
+  ctr_packets_->add();
+  if (seq < high_water_ && seq < snd_nxt_) {
+    ++stats_.retransmits;
+    ctr_retransmits_->add();
+  }
   node_.send(p);
   // Arm (don't restart) the retransmit timer: it tracks the oldest
   // outstanding data and is reset on ACK progress, not on transmissions.
@@ -195,7 +221,10 @@ void TcpSender::on_ack(const sim::Packet& p) {
   if (ecn_ && p.ece && !in_recovery_ && snd_una_ > ecn_cut_point_) {
     ecn_cut_point_ = snd_nxt_;
     ++stats_.ecn_signals;
+    ctr_ecn_cuts_->add();
+    ctr_cwnd_cuts_->add();
     cc_->on_loss_event(now, snd_nxt_ - snd_una_);
+    trace_state("tcp.ecn_cut");
   }
   double rtt_s = 0.0;
   if (p.echo > 0) {
@@ -262,7 +291,10 @@ void TcpSender::on_ack(const sim::Packet& p) {
         recovery_point_ = snd_nxt_;
         rexmitted_.clear();
         ++stats_.loss_events;
+        ctr_loss_events_->add();
+        ctr_cwnd_cuts_->add();
         cc_->on_loss_event(sched_.now(), snd_nxt_ - snd_una_);
+        trace_state("tcp.sack_recovery");
       }
     } else if (dupacks_ >= dupack_threshold_ && snd_una_ > recover_mark_) {
       enter_recovery();
@@ -277,7 +309,10 @@ void TcpSender::enter_recovery() {
   recovery_point_ = snd_nxt_;
   inflation_ = dupacks_;
   ++stats_.loss_events;
+  ctr_loss_events_->add();
+  ctr_cwnd_cuts_->add();
   cc_->on_loss_event(sched_.now(), snd_nxt_ - snd_una_);
+  trace_state("tcp.fast_retransmit");
   send_segment(snd_una_);
 }
 
@@ -299,8 +334,11 @@ void TcpSender::cancel_rto() {
 void TcpSender::on_rto() {
   if (!active_) return;
   ++stats_.timeouts;
+  ctr_timeouts_->add();
+  ctr_cwnd_cuts_->add();
   rtt_.backoff();
   cc_->on_timeout(sched_.now(), snd_nxt_ - snd_una_);
+  trace_state("tcp.rto");
   // Go-back-N: rewind and let slow start rediscover the path. Remember
   // the pre-timeout high water mark so echo duplicate ACKs from the
   // resent segments cannot trigger spurious fast retransmits.
@@ -327,6 +365,16 @@ void TcpSender::finish() {
   stats_.min_rtt_s = rtt_agg_.count() ? rtt_agg_.min() : 0.0;
   stats_.mean_rtt_s = rtt_agg_.mean();
   stats_.rtt_samples = rtt_agg_.count();
+  ctr_conns_done_->add();
+  if (auto* t = telemetry::tracer();
+      t && t->enabled(telemetry::Category::kTcp)) {
+    t->instant(telemetry::Category::kTcp, "tcp.conn_done", sched_.now(),
+               {telemetry::targ("segments",
+                                static_cast<double>(stats_.segments)),
+                telemetry::targ("retransmits",
+                                static_cast<double>(stats_.retransmits))},
+               static_cast<std::uint32_t>(flow_));
+  }
   if (done_) {
     // Move the callback out first: it commonly starts the next connection,
     // which overwrites done_.

@@ -16,6 +16,7 @@
 #include "sim/packet.hpp"
 #include "tcp/cc.hpp"
 #include "tcp/rtt.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/stats.hpp"
 
 namespace phi::tcp {
@@ -182,6 +183,21 @@ class TcpSender : public sim::Agent {
   util::RunningStats rtt_agg_;
   std::int64_t lifetime_acked_ = 0;
   DoneCallback done_;
+
+  /// Emit a kTcp trace instant tagged with this sender's flow id,
+  /// carrying the current cwnd. No-op unless a tracer is installed.
+  void trace_state(const char* name) const;
+
+  // Registry handles (aggregated across senders), resolved at
+  // construction.
+  telemetry::Counter* ctr_conns_;
+  telemetry::Counter* ctr_conns_done_;
+  telemetry::Counter* ctr_packets_;
+  telemetry::Counter* ctr_retransmits_;
+  telemetry::Counter* ctr_timeouts_;
+  telemetry::Counter* ctr_loss_events_;
+  telemetry::Counter* ctr_ecn_cuts_;
+  telemetry::Counter* ctr_cwnd_cuts_;
 };
 
 }  // namespace phi::tcp

@@ -1,13 +1,20 @@
 #include "tcp/tracer.hpp"
 
 #include <algorithm>
-#include <fstream>
+
+#include "util/table.hpp"
 
 namespace phi::tcp {
 
 SenderTracer::SenderTracer(sim::Scheduler& sched, const TcpSender& sender,
                            util::Duration interval)
     : sched_(sched), sender_(sender), interval_(interval) {
+  const telemetry::Labels labels{
+      {"flow", std::to_string(sender_.flow())}};
+  auto& reg = telemetry::registry();
+  cwnd_gauge_ = &reg.gauge("tcp.tracer.cwnd", labels);
+  srtt_gauge_ = &reg.gauge("tcp.tracer.srtt_ms", labels);
+  inflight_gauge_ = &reg.gauge("tcp.tracer.inflight", labels);
   arm();
 }
 
@@ -33,19 +40,29 @@ void SenderTracer::arm() {
                    : 0.0;
     s.inflight = sender_.segments_in_flight();
     samples_.push_back(s);
+    cwnd_gauge_->set(s.cwnd);
+    srtt_gauge_->set(s.srtt_s * 1e3);
+    inflight_gauge_->set(static_cast<double>(s.inflight));
+    if (auto* t = telemetry::tracer();
+        t && t->enabled(telemetry::Category::kTcp)) {
+      t->counter(telemetry::Category::kTcp, "tracer.cwnd", s.t, s.cwnd,
+                 static_cast<std::uint32_t>(sender_.flow()));
+    }
     arm();
   });
 }
 
 bool SenderTracer::write_csv(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) return false;
-  f << "t_s,cwnd,ssthresh,srtt_ms,inflight\n";
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(samples_.size());
   for (const auto& s : samples_) {
-    f << util::to_seconds(s.t) << ',' << s.cwnd << ',' << s.ssthresh << ','
-      << s.srtt_s * 1e3 << ',' << s.inflight << '\n';
+    rows.push_back({util::fmt_g(util::to_seconds(s.t)),
+                    util::fmt_g(s.cwnd), util::fmt_g(s.ssthresh),
+                    util::fmt_g(s.srtt_s * 1e3),
+                    std::to_string(s.inflight)});
   }
-  return static_cast<bool>(f);
+  return util::write_csv(
+      path, {"t_s", "cwnd", "ssthresh", "srtt_ms", "inflight"}, rows);
 }
 
 std::string SenderTracer::sparkline(int channel, std::size_t width) const {

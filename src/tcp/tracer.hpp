@@ -9,6 +9,7 @@
 
 #include "sim/event.hpp"
 #include "tcp/sender.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace phi::tcp {
 
@@ -51,6 +52,11 @@ class SenderTracer {
   std::vector<Sample> samples_;
   sim::EventId pending_ = 0;
   bool stopped_ = false;
+
+  // Registry handles (labeled by flow), resolved at construction.
+  telemetry::Gauge* cwnd_gauge_;
+  telemetry::Gauge* srtt_gauge_;
+  telemetry::Gauge* inflight_gauge_;
 };
 
 }  // namespace phi::tcp

@@ -1,0 +1,224 @@
+// metrics.hpp — the metric registry at the heart of the telemetry
+// subsystem: named counters, gauges, and histograms with optional labels
+// ({"link": "bottleneck"}), handed out as stable references so hot paths
+// pay one pointer-indirect update per event. Histograms combine fixed
+// log-scale buckets (for Prometheus-style exposition) with the P² quantile
+// estimators already used elsewhere (for cheap p50/p90/p99).
+//
+// Build with -DPHI_TELEMETRY_OFF (CMake option of the same name) and the
+// whole API collapses to empty inline stubs: instrument updates compile to
+// nothing, which bench/micro_telemetry verifies on the scheduler hot path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef PHI_TELEMETRY_OFF
+#include <map>
+
+#include "util/p2_quantile.hpp"
+#endif
+
+namespace phi::telemetry {
+
+/// Instrument labels: key/value pairs identifying one stream of a named
+/// metric (e.g. {"link", "bottleneck"}). Order does not matter — the
+/// registry canonicalizes by sorting on key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Log-scale bucket layout for histograms: upper bounds
+/// first_bound * growth^i for i in [0, buckets), plus an implicit +Inf
+/// overflow bucket. The default spans 1e-6 .. ~4e6 in powers of two —
+/// wide enough for seconds-valued latencies and window sizes alike.
+struct HistogramOptions {
+  double first_bound = 1e-6;
+  double growth = 2.0;
+  std::size_t buckets = 42;
+};
+
+#ifndef PHI_TELEMETRY_OFF
+
+/// Monotonically increasing event count. Single-threaded like the
+/// simulator itself: updates are plain integer adds.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { v_ += n; }
+  std::uint64_t value() const noexcept { return v_; }
+  void reset() noexcept { v_ = 0; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Last-written instantaneous value (heap size, occupancy, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_ = v; }
+  void add(double d) noexcept { v_ += d; }
+  double value() const noexcept { return v_; }
+  void reset() noexcept { v_ = 0.0; }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Distribution of observed values: log-scale bucket counts plus running
+/// sum/min/max and streaming P² estimates of p50/p90/p99.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions opt = {});
+
+  void observe(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  double p50() const { return count_ ? p50_.value() : 0.0; }
+  double p90() const { return count_ ? p90_.value() : 0.0; }
+  double p99() const { return count_ ? p99_.value() : 0.0; }
+
+  /// Finite upper bounds; the +Inf overflow bucket is bucket_counts()'s
+  /// last element (bucket_counts().size() == bucket_bounds().size() + 1).
+  const std::vector<double>& bucket_bounds() const noexcept {
+    return bounds_;
+  }
+  const std::vector<std::uint64_t>& bucket_counts() const noexcept {
+    return counts_;
+  }
+
+  void reset() noexcept;
+
+ private:
+  HistogramOptions opt_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  util::P2Quantile p50_{0.5};
+  util::P2Quantile p90_{0.9};
+  util::P2Quantile p99_{0.99};
+};
+
+/// Owner of every instrument. Lookups are by (name, labels): the same
+/// pair always returns the same instrument, so components can cache the
+/// reference at construction and update it for free afterwards.
+/// Instruments live as long as the registry (they are never evicted —
+/// instrument cardinality is bounded by code, not traffic), which keeps
+/// cached handles valid across reset_values().
+class MetricRegistry {
+ public:
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       HistogramOptions opt = {});
+
+  std::size_t size() const noexcept;
+
+  /// Zero every instrument but keep identities (and cached handles)
+  /// intact — call between benchmark repetitions, never clear().
+  void reset_values() noexcept;
+
+  /// Prometheus text exposition format (names sanitized: '.' -> '_').
+  std::string prometheus_text() const;
+  /// One JSON object with "counters" / "gauges" / "histograms" arrays.
+  std::string json() const;
+  /// Flat CSV: kind,name,labels,value,count,sum,min,max,p50,p90,p99.
+  std::string csv() const;
+
+  bool write_prometheus(const std::string& path) const;
+  bool write_json(const std::string& path) const;
+  bool write_csv(const std::string& path) const;
+
+  /// The process-wide default registry every built-in component
+  /// publishes into.
+  static MetricRegistry& global();
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<T> instrument;
+  };
+
+  static std::string key_of(const std::string& name, const Labels& labels);
+
+  // std::map keeps exports deterministically ordered by key.
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+#else  // PHI_TELEMETRY_OFF — the whole API as empty inline stubs.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  void set(double) noexcept {}
+  void add(double) noexcept {}
+  double value() const noexcept { return 0.0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions = {}) {}
+  void observe(double) noexcept {}
+  std::uint64_t count() const noexcept { return 0; }
+  double sum() const noexcept { return 0.0; }
+  double min() const noexcept { return 0.0; }
+  double max() const noexcept { return 0.0; }
+  double mean() const noexcept { return 0.0; }
+  double p50() const { return 0.0; }
+  double p90() const { return 0.0; }
+  double p99() const { return 0.0; }
+  const std::vector<double>& bucket_bounds() const noexcept;
+  const std::vector<std::uint64_t>& bucket_counts() const noexcept;
+  void reset() noexcept {}
+};
+
+class MetricRegistry {
+ public:
+  Counter& counter(const std::string&, const Labels& = {}) { return c_; }
+  Gauge& gauge(const std::string&, const Labels& = {}) { return g_; }
+  Histogram& histogram(const std::string&, const Labels& = {},
+                       HistogramOptions = {}) {
+    return h_;
+  }
+  std::size_t size() const noexcept { return 0; }
+  void reset_values() noexcept {}
+  std::string prometheus_text() const { return {}; }
+  std::string json() const { return "{}\n"; }
+  std::string csv() const { return {}; }
+  bool write_prometheus(const std::string& path) const;
+  bool write_json(const std::string& path) const;
+  bool write_csv(const std::string& path) const;
+  static MetricRegistry& global();
+
+ private:
+  Counter c_;
+  Gauge g_;
+  Histogram h_;
+};
+
+#endif  // PHI_TELEMETRY_OFF
+
+/// Shorthand for MetricRegistry::global().
+inline MetricRegistry& registry() { return MetricRegistry::global(); }
+
+}  // namespace phi::telemetry

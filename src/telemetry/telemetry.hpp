@@ -1,0 +1,8 @@
+// telemetry.hpp — umbrella header for the telemetry subsystem: the
+// metric registry (counters / gauges / histograms) and the structured
+// trace-event sink. See docs/TELEMETRY.md for naming conventions,
+// category masks, and how to view traces in Chrome.
+#pragma once
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"

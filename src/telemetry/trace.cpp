@@ -1,0 +1,148 @@
+#include "telemetry/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace phi::telemetry {
+
+const char* category_name(Category c) noexcept {
+  switch (c) {
+    case Category::kScheduler: return "scheduler";
+    case Category::kLink: return "link";
+    case Category::kQueue: return "queue";
+    case Category::kTcp: return "tcp";
+    case Category::kContext: return "context";
+    case Category::kFault: return "fault";
+    case Category::kBench: return "bench";
+  }
+  return "other";
+}
+
+#ifndef PHI_TELEMETRY_OFF
+
+namespace {
+
+TraceSink* g_tracer = nullptr;
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void append_args(std::ostringstream& out,
+                 const std::vector<TraceArg>& args) {
+  out << '{';
+  bool first = true;
+  for (const auto& a : args) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << escape(a.key) << "\":";
+    if (a.is_number) {
+      out << number(a.number);
+    } else {
+      out << '"' << escape(a.text) << '"';
+    }
+  }
+  out << '}';
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << text;
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+TraceSink* tracer() noexcept { return g_tracer; }
+void set_tracer(TraceSink* sink) noexcept { g_tracer = sink; }
+
+void TraceSink::push(TraceEvent e) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(e));
+}
+
+void TraceSink::instant(Category c, std::string name, util::Time ts,
+                        std::vector<TraceArg> args, std::uint32_t tid) {
+  if (!enabled(c)) return;
+  push(TraceEvent{ts, c, 'i', std::move(name), tid, std::move(args)});
+}
+
+void TraceSink::counter(Category c, std::string name, util::Time ts,
+                        double value, std::uint32_t tid) {
+  if (!enabled(c)) return;
+  push(TraceEvent{ts, c, 'C', std::move(name), tid,
+                  {targ("value", value)}});
+}
+
+std::string TraceSink::jsonl() const {
+  std::ostringstream out;
+  for (const auto& e : events_) {
+    out << "{\"ts_ns\":" << e.ts << ",\"cat\":\"" << category_name(e.cat)
+        << "\",\"ph\":\"" << e.phase << "\",\"name\":\"" << escape(e.name)
+        << "\",\"tid\":" << e.tid << ",\"args\":";
+    append_args(out, e.args);
+    out << "}\n";
+  }
+  return out.str();
+}
+
+std::string TraceSink::chrome_json() const {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    out << (first ? "" : ",") << "\n{\"name\":\"" << escape(e.name)
+        << "\",\"cat\":\"" << category_name(e.cat) << "\",\"ph\":\""
+        << e.phase << '"';
+    if (e.phase == 'i') out << ",\"s\":\"g\"";
+    out << ",\"ts\":" << number(static_cast<double>(e.ts) / 1e3)
+        << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":";
+    append_args(out, e.args);
+    out << '}';
+    first = false;
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out.str();
+}
+
+bool TraceSink::write_jsonl(const std::string& path) const {
+  return write_text(path, jsonl());
+}
+
+bool TraceSink::write_chrome_json(const std::string& path) const {
+  return write_text(path, chrome_json());
+}
+
+#endif  // PHI_TELEMETRY_OFF
+
+}  // namespace phi::telemetry

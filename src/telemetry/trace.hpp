@@ -1,0 +1,154 @@
+// trace.hpp — structured trace events with simulation timestamps. A
+// TraceSink collects instant events ("a packet was dropped", "recovery
+// entered") and counter samples ("cwnd is now 34"), each tagged with a
+// category bit, and renders them as JSONL (one object per line, easy to
+// grep/jq) or as Chrome trace_event JSON loadable in about://tracing /
+// https://ui.perfetto.dev.
+//
+// Tracing is opt-in twice over: nothing is recorded until a sink is
+// installed with set_tracer(), and each sink carries a category enable
+// mask so a run can record, say, only kContext | kFault events. Under
+// PHI_TELEMETRY_OFF, tracer() is a constant nullptr and every call site
+// folds away.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace phi::telemetry {
+
+/// Event categories, one bit each, combinable into enable masks.
+enum class Category : std::uint32_t {
+  kScheduler = 1u << 0,  ///< event loop: compactions, horizon runs
+  kLink = 1u << 1,       ///< links: drops, outages
+  kQueue = 1u << 2,      ///< queue discs: RED marks/early drops
+  kTcp = 1u << 3,        ///< senders: recovery, RTO, cwnd samples
+  kContext = 1u << 4,    ///< context server: leases, snapshots, dups
+  kFault = 1u << 5,      ///< fault injector: every fault actually fired
+  kBench = 1u << 6,      ///< harness-level markers
+};
+
+inline constexpr std::uint32_t kAllCategories = 0xFFFFFFFFu;
+
+inline constexpr std::uint32_t mask_of(Category c) noexcept {
+  return static_cast<std::uint32_t>(c);
+}
+
+const char* category_name(Category c) noexcept;
+
+/// One event argument: either a number or a string.
+struct TraceArg {
+  std::string key;
+  bool is_number = true;
+  double number = 0.0;
+  std::string text;
+};
+
+inline TraceArg targ(std::string key, double v) {
+  return TraceArg{std::move(key), true, v, {}};
+}
+inline TraceArg targ(std::string key, std::string v) {
+  return TraceArg{std::move(key), false, 0.0, std::move(v)};
+}
+inline TraceArg targ(std::string key, const char* v) {
+  return targ(std::move(key), std::string(v));
+}
+
+struct TraceEvent {
+  util::Time ts = 0;  ///< simulation time, nanoseconds
+  Category cat = Category::kBench;
+  char phase = 'i';  ///< 'i' = instant, 'C' = counter sample
+  std::string name;
+  std::uint32_t tid = 0;  ///< track id (e.g. flow id) in Chrome views
+  std::vector<TraceArg> args;
+};
+
+#ifndef PHI_TELEMETRY_OFF
+
+class TraceSink {
+ public:
+  /// `max_events` bounds memory on long runs: past it, new events are
+  /// counted in dropped() instead of recorded.
+  explicit TraceSink(std::uint32_t mask = kAllCategories,
+                     std::size_t max_events = 1'000'000)
+      : mask_(mask), max_events_(max_events) {}
+
+  void set_mask(std::uint32_t mask) noexcept { mask_ = mask; }
+  std::uint32_t mask() const noexcept { return mask_; }
+  bool enabled(Category c) const noexcept {
+    return (mask_ & mask_of(c)) != 0;
+  }
+
+  /// Record an instant event (ignored when the category is masked off).
+  void instant(Category c, std::string name, util::Time ts,
+               std::vector<TraceArg> args = {}, std::uint32_t tid = 0);
+
+  /// Record a counter sample — rendered by Chrome as a time series track.
+  void counter(Category c, std::string name, util::Time ts, double value,
+               std::uint32_t tid = 0);
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t dropped() const noexcept { return dropped_; }
+  void clear() noexcept {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  /// One JSON object per line: {"ts_ns":..,"cat":"..","name":"..",...}.
+  std::string jsonl() const;
+  /// Chrome trace_event format ("ts" in microseconds).
+  std::string chrome_json() const;
+
+  bool write_jsonl(const std::string& path) const;
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  void push(TraceEvent e);
+
+  std::uint32_t mask_;
+  std::size_t max_events_;
+  std::vector<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+};
+
+/// The process-wide sink components emit into; nullptr = tracing off.
+TraceSink* tracer() noexcept;
+/// Install (or, with nullptr, remove) the global sink. The caller keeps
+/// ownership and must outlive any traced activity.
+void set_tracer(TraceSink* sink) noexcept;
+
+#else  // PHI_TELEMETRY_OFF
+
+class TraceSink {
+ public:
+  explicit TraceSink(std::uint32_t = kAllCategories, std::size_t = 0) {}
+  void set_mask(std::uint32_t) noexcept {}
+  std::uint32_t mask() const noexcept { return 0; }
+  bool enabled(Category) const noexcept { return false; }
+  void instant(Category, std::string, util::Time,
+               std::vector<TraceArg> = {}, std::uint32_t = 0) {}
+  void counter(Category, std::string, util::Time, double,
+               std::uint32_t = 0) {}
+  const std::vector<TraceEvent>& events() const noexcept {
+    static const std::vector<TraceEvent> empty;
+    return empty;
+  }
+  std::size_t dropped() const noexcept { return 0; }
+  void clear() noexcept {}
+  std::string jsonl() const { return {}; }
+  std::string chrome_json() const {
+    return "{\"traceEvents\":[]}\n";
+  }
+  bool write_jsonl(const std::string&) const { return false; }
+  bool write_chrome_json(const std::string&) const { return false; }
+};
+
+inline TraceSink* tracer() noexcept { return nullptr; }
+inline void set_tracer(TraceSink*) noexcept {}
+
+#endif  // PHI_TELEMETRY_OFF
+
+}  // namespace phi::telemetry

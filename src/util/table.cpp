@@ -58,7 +58,6 @@ std::string TextTable::str() const {
   return out.str();
 }
 
-namespace {
 std::string csv_escape(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
   std::string out = "\"";
@@ -69,7 +68,12 @@ std::string csv_escape(const std::string& cell) {
   out += '"';
   return out;
 }
-}  // namespace
+
+std::string fmt_g(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
 
 bool write_csv(const std::string& path,
                const std::vector<std::string>& header,

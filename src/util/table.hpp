@@ -31,6 +31,16 @@ class TextTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Quote a cell per RFC 4180 when it contains commas/quotes/newlines;
+/// returns it untouched otherwise. The single CSV-escape used by every
+/// writer in the repo (tables, tracers, taps, telemetry exporters).
+std::string csv_escape(const std::string& cell);
+
+/// Shortest round-trippable rendering of a double ("%g"), matching the
+/// default iostream formatting the CSV time-series writers historically
+/// used.
+std::string fmt_g(double v);
+
 /// Write rows to a CSV file; returns false on I/O failure. Cells containing
 /// commas/quotes are quoted per RFC 4180.
 bool write_csv(const std::string& path,

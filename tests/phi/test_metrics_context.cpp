@@ -30,6 +30,21 @@ TEST(Metrics, LogPower) {
   EXPECT_GT(log_power(20e6, 0.1), log_power(10e6, 0.1));
 }
 
+TEST(Metrics, LogPowerDegenerateInputsAreMinusInfNeverNan) {
+  // A never-transmitting flow has zero power; its objective is -inf
+  // (the guarded path, not a raw std::log(0) domain poke).
+  EXPECT_TRUE(std::isinf(log_power(0.0, 0.1)));
+  EXPECT_LT(log_power(0.0, 0.1), 0.0);
+  // Non-positive delay means "no traffic measured": power() reports 0,
+  // so the objective is the same well-defined -inf.
+  EXPECT_TRUE(std::isinf(log_power(10e6, 0.0)));
+  EXPECT_LT(log_power(10e6, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(log_power(10e6, -0.5)));
+  // Even pathological negative throughput must never yield NaN.
+  EXPECT_FALSE(std::isnan(log_power(-10e6, 0.1)));
+  EXPECT_TRUE(std::isinf(log_power(-10e6, 0.1)));
+}
+
 TEST(Metrics, HigherLossNeverIncreasesPl) {
   for (double l = 0.0; l <= 1.0; l += 0.1) {
     EXPECT_LE(lossy_power(5e6, 0.2, l + 0.05),
