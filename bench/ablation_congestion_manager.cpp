@@ -17,6 +17,7 @@
 #include "phi/client.hpp"
 #include "phi/congestion_manager.hpp"
 #include "phi/scenario.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace phi;
@@ -130,7 +131,7 @@ int main() {
     util::RunningStats fct, tput, conns;
     for (int r = 0; r < runs; ++r) {
       phis_.clear();
-      const auto o = run_mode(mode, 1400 + static_cast<std::uint64_t>(r));
+      const auto o = run_mode(mode, util::derive_seed(1400, static_cast<std::uint64_t>(r)));
       fct.add(o.median_fct_s);
       tput.add(o.tput_bps);
       conns.add(static_cast<double>(o.conns));

@@ -21,6 +21,7 @@
 #include "phi/client.hpp"
 #include "phi/secure_agg.hpp"
 #include "phi/scenario.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace phi;
@@ -132,7 +133,7 @@ int main() {
   for (int mode = 0; mode < 3; ++mode) {
     Outcome avg{};
     for (int r = 0; r < runs; ++r) {
-      const auto o = run_mode(mode, 2100 + static_cast<std::uint64_t>(r));
+      const auto o = run_mode(mode, util::derive_seed(2100, static_cast<std::uint64_t>(r)));
       avg.tput += o.tput / runs;
       avg.qdelay += o.qdelay / runs;
       avg.loss += o.loss / runs;

@@ -12,6 +12,7 @@
 
 #include "bench_common.hpp"
 #include "phi/scenario.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace phi;
@@ -81,7 +82,7 @@ int main() {
                                                  : "drop-tail FIFO";
     util::RunningStats mt, ut, mr, ur;
     for (int r = 0; r < runs; ++r) {
-      const auto o = run_mixed(queue, 1600 + static_cast<std::uint64_t>(r));
+      const auto o = run_mixed(queue, util::derive_seed(1600, static_cast<std::uint64_t>(r)));
       mt.add(o.modified_tput);
       ut.add(o.unmodified_tput);
       mr.add(o.modified_rtt);

@@ -8,11 +8,14 @@
 // reports inflate the utilization estimate with the dedup set off vs on.
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <memory>
 
 #include "bench_common.hpp"
+#include "exec/pool.hpp"
 #include "phi/fault_injection.hpp"
 #include "phi/scenario.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace phi;
@@ -54,7 +57,9 @@ double crash_gap(double crash_rate, util::Duration lease, std::uint64_t seed,
                                   live.dumbbell->config().bottleneck_rate);
         core::FaultConfig fc;
         fc.crash = crash_rate;
-        fc.seed = seed * 7 + 1;
+        // Fault-arrival stream derived from (not correlated with) the
+        // workload seed.
+        fc.seed = util::derive_seed(seed, 1);
         inj = std::make_unique<core::FaultInjector>(*sched, *server, fc);
 
         core::LiveScenario* lv = &live;  // alive for the whole run
@@ -98,7 +103,7 @@ double dup_utilization(double dup_rate, std::size_t dedup_capacity,
                                   live.dumbbell->config().bottleneck_rate);
         core::FaultConfig fc;
         fc.duplicate_report = dup_rate;
-        fc.seed = seed * 7 + 1;
+        fc.seed = util::derive_seed(seed, 1);
         inj = std::make_unique<core::FaultInjector>(*sched, *server, fc);
 
         probe = [&, sched] {
@@ -128,14 +133,43 @@ int main() {
       "ablation_liveness_crash.csv",
       {"Crash rate", "Crashes", "Gap (no lease)", "Gap (lease 20 s)"},
       {"crash_rate", "crashes", "gap_no_lease", "gap_lease"});
-  for (const double rate : crash_rates) {
+  // One task per (crash rate, repetition); each runs the no-lease and
+  // leased variants back to back on the same seed (paired comparison).
+  struct CrashJob {
+    std::size_t rate_idx;
+    int rep;
+  };
+  struct CrashOut {
+    double legacy = 0;
+    double leased = 0;
+    std::uint64_t crashes = 0;
+  };
+  std::vector<CrashJob> crash_batch;
+  for (std::size_t i = 0; i < std::size(crash_rates); ++i)
+    for (int r = 0; r < runs; ++r) crash_batch.push_back(CrashJob{i, r});
+  const auto crash_outs = exec::parallel_map(
+      crash_batch,
+      [&](const CrashJob& j) {
+        const std::uint64_t seed =
+            util::derive_seed(1800, static_cast<std::uint64_t>(j.rep));
+        CrashOut out;
+        out.legacy =
+            crash_gap(crash_rates[j.rate_idx], 0, seed, &out.crashes);
+        out.leased = crash_gap(crash_rates[j.rate_idx], util::seconds(20),
+                               seed, nullptr);
+        return out;
+      },
+      bench::jobs_from_env());
+
+  for (std::size_t ri = 0; ri < std::size(crash_rates); ++ri) {
+    const double rate = crash_rates[ri];
     util::RunningStats legacy, leased, crashes;
     for (int r = 0; r < runs; ++r) {
-      const std::uint64_t seed = 1800 + static_cast<std::uint64_t>(r);
-      std::uint64_t c = 0;
-      legacy.add(crash_gap(rate, 0, seed, &c));
-      crashes.add(static_cast<double>(c));
-      leased.add(crash_gap(rate, util::seconds(20), seed, nullptr));
+      const auto& out = crash_outs[ri * static_cast<std::size_t>(runs) +
+                                   static_cast<std::size_t>(r)];
+      legacy.add(out.legacy);
+      crashes.add(static_cast<double>(out.crashes));
+      leased.add(out.leased);
     }
     ta.row({util::TextTable::num(rate * 100, 1) + " %",
             util::TextTable::num(crashes.mean(), 0),
@@ -154,12 +188,37 @@ int main() {
       "ablation_liveness_dup.csv",
       {"Duplicate rate", "Mean u (dedup on)", "Mean u (dedup off)"},
       {"dup_rate", "u_dedup", "u_no_dedup"});
-  for (const double rate : dup_rates) {
+  struct DupJob {
+    std::size_t rate_idx;
+    int rep;
+  };
+  struct DupOut {
+    double with_dedup = 0;
+    double without = 0;
+  };
+  std::vector<DupJob> dup_batch;
+  for (std::size_t i = 0; i < std::size(dup_rates); ++i)
+    for (int r = 0; r < runs; ++r) dup_batch.push_back(DupJob{i, r});
+  const auto dup_outs = exec::parallel_map(
+      dup_batch,
+      [&](const DupJob& j) {
+        const std::uint64_t seed =
+            util::derive_seed(1900, static_cast<std::uint64_t>(j.rep));
+        DupOut out;
+        out.with_dedup = dup_utilization(dup_rates[j.rate_idx], 4096, seed);
+        out.without = dup_utilization(dup_rates[j.rate_idx], 0, seed);
+        return out;
+      },
+      bench::jobs_from_env());
+
+  for (std::size_t ri = 0; ri < std::size(dup_rates); ++ri) {
+    const double rate = dup_rates[ri];
     util::RunningStats with_dedup, without;
     for (int r = 0; r < runs; ++r) {
-      const std::uint64_t seed = 1900 + static_cast<std::uint64_t>(r);
-      with_dedup.add(dup_utilization(rate, 4096, seed));
-      without.add(dup_utilization(rate, 0, seed));
+      const auto& out = dup_outs[ri * static_cast<std::size_t>(runs) +
+                                 static_cast<std::size_t>(r)];
+      with_dedup.add(out.with_dedup);
+      without.add(out.without);
     }
     tb.row({util::TextTable::num(rate * 100, 0) + " %",
             util::TextTable::num(with_dedup.mean(), 3),

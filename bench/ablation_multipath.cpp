@@ -12,6 +12,7 @@
 #include "sim/parking_lot.hpp"
 #include "tcp/app.hpp"
 #include "tcp/sink.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace phi;
@@ -149,7 +150,7 @@ int main() {
   for (int mode = 0; mode < 3; ++mode) {
     util::RunningStats hot_t, hot_p, cold_t, cold_p;
     for (int r = 0; r < runs; ++r) {
-      const auto out = run_mode(mode, 1200 + static_cast<std::uint64_t>(r));
+      const auto out = run_mode(mode, util::derive_seed(1200, static_cast<std::uint64_t>(r)));
       hot_t.add(out.hop[0].tput);
       hot_p.add(out.hop[0].power());
       cold_t.add(out.hop[1].tput);

@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 #include "phi/coordination.hpp"
 #include "phi/scenario.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace phi;
@@ -49,7 +50,7 @@ int main() {
   util::RunningStats share[4];
   for (int r = 0; r < runs; ++r) {
     const auto m = core::run_scenario(
-        long_running(4, 600 + static_cast<std::uint64_t>(r)),
+        long_running(4, util::derive_seed(600, static_cast<std::uint64_t>(r))),
         [&](std::size_t i) -> std::unique_ptr<tcp::CongestionControl> {
           return std::make_unique<core::WeightedAimd>(
               alloc[i].increase_gain, alloc[i].decrease_factor);
@@ -76,7 +77,7 @@ int main() {
   // near 50% either way.
   util::RunningStats ensemble_share, control_share;
   for (int r = 0; r < runs; ++r) {
-    const auto seed = 700 + static_cast<std::uint64_t>(r);
+    const auto seed = util::derive_seed(700, static_cast<std::uint64_t>(r));
     const auto mixed = core::run_scenario(
         long_running(8, seed),
         [&](std::size_t i) -> std::unique_ptr<tcp::CongestionControl> {

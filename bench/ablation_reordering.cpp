@@ -14,6 +14,7 @@
 #include "bench_common.hpp"
 #include "phi/adaptation.hpp"
 #include "phi/scenario.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace phi;
@@ -92,7 +93,7 @@ int main() {
   core::DupAckThresholdAdvisor shared;
   bench::WallTimer timer;
   for (int r = 0; r < runs; ++r)
-    (void)run_with(&shared, 3, 900 + static_cast<std::uint64_t>(r));
+    (void)run_with(&shared, 3, util::derive_seed(900, static_cast<std::uint64_t>(r)));
   std::printf("\nshared learning: %zu connections reported, reordering "
               "prevalence %.0f%%, advised threshold %d (was 3)\n",
               shared.support(kPath), shared.prevalence(kPath) * 100.0,
@@ -101,7 +102,7 @@ int main() {
   // Phase 2: fixed 3 vs advised, fresh seeds.
   util::RunningStats tput3, tputA, rtx3, rtxA;
   for (int r = 0; r < runs; ++r) {
-    const auto seed = 950 + static_cast<std::uint64_t>(r);
+    const auto seed = util::derive_seed(950, static_cast<std::uint64_t>(r));
     const auto fixed = run_with(nullptr, 3, seed);
     const auto advised = run_with(&shared, 0, seed);
     tput3.add(fixed.tput);

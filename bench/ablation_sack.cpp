@@ -12,6 +12,7 @@
 #include "phi/scenario.hpp"
 #include "tcp/sender.hpp"
 #include "tcp/sink.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace phi;
@@ -72,7 +73,7 @@ int main() {
   for (const bool sack : {false, true}) {
     Row avg_default{}, avg_tuned{};
     for (int r = 0; r < runs; ++r) {
-      const auto seed = 1900 + static_cast<std::uint64_t>(r);
+      const auto seed = util::derive_seed(1900, static_cast<std::uint64_t>(r));
       const Row d = run_case(sack, tcp::CubicParams{}, seed);
       const Row u = run_case(sack, tuned, seed);
       avg_default.tput += d.tput / runs;

@@ -6,11 +6,14 @@
 // whose connection grain ranges from chatty to sluggish.
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <memory>
 
 #include "bench_common.hpp"
+#include "exec/pool.hpp"
 #include "phi/client.hpp"
 #include "phi/scenario.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace phi;
@@ -106,12 +109,34 @@ int main() {
   t.header({"Workload", "Oracle mean u", "Server RMSE", "Server bias"});
   std::vector<std::vector<std::string>> csv;
   bench::WallTimer timer;
-  for (const auto& c : cases) {
+
+  // Every (case, repetition) is an independent 90 s simulation — run the
+  // whole matrix through one parallel batch, then aggregate per case in
+  // the original loop order.
+  struct Job {
+    std::size_t case_idx;
+    int rep;
+  };
+  std::vector<Job> batch;
+  for (std::size_t c = 0; c < std::size(cases); ++c)
+    for (int r = 0; r < runs; ++r) batch.push_back(Job{c, r});
+  const auto errors = exec::parallel_map(
+      batch,
+      [&](const Job& j) {
+        const auto& c = cases[j.case_idx];
+        return run_workload(
+            c.on_bytes, c.off_s,
+            util::derive_seed(1700, static_cast<std::uint64_t>(j.rep)),
+            c.midstream);
+      },
+      bench::jobs_from_env());
+
+  for (std::size_t ci = 0; ci < std::size(cases); ++ci) {
+    const auto& c = cases[ci];
     util::RunningStats rmse, bias, omean;
     for (int r = 0; r < runs; ++r) {
-      const auto e =
-          run_workload(c.on_bytes, c.off_s,
-                       1700 + static_cast<std::uint64_t>(r), c.midstream);
+      const auto& e = errors[ci * static_cast<std::size_t>(runs) +
+                             static_cast<std::size_t>(r)];
       rmse.add(e.rmse);
       bias.add(e.bias);
       omean.add(e.oracle_mean);

@@ -30,6 +30,17 @@ inline const char* scale_name(Scale s) {
   return s == Scale::kFull ? "full" : "quick";
 }
 
+/// PHI_BENCH_JOBS caps the parallelism of every bench that runs
+/// independent simulations (sweeps, repetitions, trainer evaluations):
+/// unset or 0 = one job per hardware thread, 1 = serial. Results are
+/// bit-identical for any value — the exec::Pool contract — so this knob
+/// only trades wall-clock against the rest of the machine.
+inline int jobs_from_env() {
+  const char* j = std::getenv("PHI_BENCH_JOBS");
+  if (j == nullptr || *j == '\0') return 0;
+  return std::atoi(j);
+}
+
 /// Directory for CSV artifacts; PHI_BENCH_OUT overrides, empty disables.
 inline std::string out_dir() {
   const char* o = std::getenv("PHI_BENCH_OUT");
@@ -117,6 +128,17 @@ inline void dump_metrics(const std::string& bench_name) {
       telemetry::registry().write_prometheus(prom)) {
     std::printf("  [metrics] %s (+ .prom)\n", json.c_str());
   }
+  // Run provenance goes in a sidecar, NOT into the metrics/CSV artifacts:
+  // those must stay byte-identical across jobs values (the determinism
+  // check diffs them), while the sidecar records how this run was made.
+  std::FILE* f = std::fopen((dir + "/" + bench_name + "_run.json").c_str(),
+                            "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\"bench\":\"%s\",\"scale\":\"%s\",\"jobs\":%d}\n",
+                 bench_name.c_str(), scale_name(scale_from_env()),
+                 jobs_from_env());
+    std::fclose(f);
+  }
 }
 
 class WallTimer {
@@ -134,9 +156,9 @@ class WallTimer {
 
 inline void banner(const char* title) {
   std::printf("\n================================================================\n"
-              "%s   [scale=%s]\n"
+              "%s   [scale=%s jobs=%d]\n"
               "================================================================\n",
-              title, scale_name(scale_from_env()));
+              title, scale_name(scale_from_env()), jobs_from_env());
 }
 
 }  // namespace phi::bench

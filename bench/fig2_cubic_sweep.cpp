@@ -113,9 +113,10 @@ int main() {
   bench::banner("Figures 2a/2b/2c + Tables 1-2: Cubic parameter sweeps");
   const bench::Scale scale = bench::scale_from_env();
   const int runs = scale == bench::Scale::kFull ? 8 : 4;
-  const core::SweepSpec grid = scale == bench::Scale::kFull
-                                   ? core::SweepSpec::paper()
-                                   : core::SweepSpec::coarse();
+  core::SweepSpec grid = scale == bench::Scale::kFull
+                             ? core::SweepSpec::paper()
+                             : core::SweepSpec::coarse();
+  grid.jobs = bench::jobs_from_env();
 
   print_tables_1_and_2();
 
@@ -128,9 +129,10 @@ int main() {
   core::ScenarioConfig longrun = fig2_base(100, 1e13, 1.0);
   longrun.workload.start_with_off = false;
   longrun.duration = util::seconds(60);
+  core::SweepSpec beta_grid = core::SweepSpec::beta_only();
+  beta_grid.jobs = grid.jobs;
   run_figure("c", "100 long-running connections (beta sweep)", longrun,
-             core::SweepSpec::beta_only(),
-             scale == bench::Scale::kFull ? 4 : 2);
+             beta_grid, scale == bench::Scale::kFull ? 4 : 2);
 
   bench::dump_metrics("fig2_cubic_sweep");
   return 0;

@@ -31,9 +31,10 @@ int main() {
   bench::banner("Figure 3: stability of the optimal parameter setting");
   const bench::Scale scale = bench::scale_from_env();
   const int runs = scale == bench::Scale::kFull ? 8 : 4;
-  const core::SweepSpec grid = scale == bench::Scale::kFull
-                                   ? core::SweepSpec::paper()
-                                   : core::SweepSpec::coarse();
+  core::SweepSpec grid = scale == bench::Scale::kFull
+                             ? core::SweepSpec::paper()
+                             : core::SweepSpec::coarse();
+  grid.jobs = bench::jobs_from_env();
 
   util::TextTable t;
   t.header({"Workload", "Setting", "P_l (M)", "Tput (Mbps)", "Qdelay (ms)",

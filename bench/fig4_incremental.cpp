@@ -10,6 +10,7 @@
 
 #include "bench_common.hpp"
 #include "phi/sweep.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace phi;
@@ -82,7 +83,7 @@ int main() {
   util::RunningStats unmod_tput, unmod_rtt, unmod_rtx;
   util::RunningStats mixed_qdelay, base_qdelay;
   for (int r = 0; r < runs; ++r) {
-    const auto cfg = workload(pairs, 400 + static_cast<std::uint64_t>(r));
+    const auto cfg = workload(pairs, util::derive_seed(400, static_cast<std::uint64_t>(r)));
     const MixedResult mixed = run_mixed(cfg, tuned);
     const auto base = core::run_cubic_scenario(cfg, tcp::CubicParams{});
 

@@ -36,6 +36,54 @@ void BM_SchedulerScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerScheduleRun)->Arg(1000)->Arg(10000);
 
+// The retransmit-timer pattern: every "ack" cancels the pending timer and
+// re-arms it. This is the scheduler's allocation-sensitive path — with
+// slot recycling and SmallFn inline captures, steady state allocates
+// nothing. items_per_second here is events/sec (one schedule + one cancel
+// per item).
+void BM_SchedulerTimerChurn(benchmark::State& state) {
+  sim::Scheduler s;
+  util::Time now = 0;
+  long fired = 0;
+  sim::EventId pending = 0;
+  for (auto _ : state) {
+    if (pending != 0) s.cancel(pending);
+    now += 1000;
+    pending = s.schedule_at(now + 250'000'000, [&fired] { ++fired; });
+    benchmark::DoNotOptimize(pending);
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("events/sec");
+}
+BENCHMARK(BM_SchedulerTimerChurn);
+
+// Self-rescheduling event chain (the cbr/monitor pattern): measures
+// steady-state dispatch throughput, heap push/pop plus one SmallFn
+// invocation per event, with the slot slab warm.
+void BM_SchedulerSelfReschedule(benchmark::State& state) {
+  sim::Scheduler s;
+  const long n = state.range(0);
+  struct Chain {
+    sim::Scheduler& s;
+    long left;
+    void arm() {
+      s.schedule_in(1000, [this] {
+        if (--left > 0) arm();
+      });
+    }
+  };
+  for (auto _ : state) {
+    Chain chain{s, n};
+    chain.arm();
+    s.run_until(s.now() + n * 1000 + 1);
+    benchmark::DoNotOptimize(chain.left);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("events/sec");
+}
+BENCHMARK(BM_SchedulerSelfReschedule)->Arg(10000);
+
 void BM_DropTailQueue(benchmark::State& state) {
   sim::DropTailQueue q(1500 * 64);
   sim::Packet p;

@@ -15,6 +15,7 @@
 #include "tcp/app.hpp"
 #include "tcp/sender.hpp"
 #include "tcp/sink.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace phi;
@@ -119,7 +120,7 @@ int main() {
     util::RunningStats prec, rec;
     for (int r = 0; r < runs; ++r) {
       const auto acc =
-          run_case(hops, 3, 3000 + static_cast<std::uint64_t>(r));
+          run_case(hops, 3, util::derive_seed(3000, static_cast<std::uint64_t>(r)));
       prec.add(acc.precision);
       rec.add(acc.recall);
     }

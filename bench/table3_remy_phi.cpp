@@ -19,9 +19,11 @@
 #include <sstream>
 
 #include "bench_common.hpp"
+#include "exec/pool.hpp"
 #include "phi/scenario.hpp"
 #include "remy/trainer.hpp"
 #include "tcp/pcc.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace phi;
@@ -45,12 +47,20 @@ core::ScenarioConfig table3_scenario() {
 remy::EvalResult score_policy(const core::ScenarioConfig& scenario,
                               int runs, const core::PolicyFactory& make) {
   util::Samples tputs, qdelays, logps;
-  for (int r = 0; r < runs; ++r) {
-    core::ScenarioConfig cfg = scenario;
-    cfg.seed = scenario.seed + static_cast<std::uint64_t>(r);
-    const auto m = core::run_scenario(
-        cfg, make, nullptr,
-        [](std::size_t i) { return static_cast<int>(i); });
+  std::vector<int> reps(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) reps[static_cast<std::size_t>(r)] = r;
+  const auto metrics = exec::parallel_map(
+      reps,
+      [&](int r) {
+        core::ScenarioConfig cfg = scenario;
+        cfg.seed = util::derive_seed(scenario.seed,
+                                     static_cast<std::uint64_t>(r));
+        return core::run_scenario(
+            cfg, make, nullptr,
+            [](std::size_t i) { return static_cast<int>(i); });
+      },
+      bench::jobs_from_env());
+  for (const auto& m : metrics) {
     qdelays.add(m.mean_queue_delay_s);
     for (const auto& g : m.groups) {
       if (g.connections > 0) {
@@ -120,6 +130,7 @@ int main() {
     cfg.max_rounds = full ? 24 : 10;
     cfg.runs_per_scenario = 2;
     cfg.max_whiskers = full ? 48 : 24;
+    cfg.jobs = bench::jobs_from_env();
     return cfg;
   };
 
@@ -134,12 +145,13 @@ int main() {
 
   const core::ScenarioConfig scenario = table3_scenario();
   std::printf("\nscoring on held-out seeds (%d runs each)...\n", eval_runs);
+  const int jobs = bench::jobs_from_env();
   const auto practical = remy::Trainer::score_tree(
-      phi_tree, remy::SignalMode::kPhiPractical, scenario, eval_runs);
+      phi_tree, remy::SignalMode::kPhiPractical, scenario, eval_runs, jobs);
   const auto ideal = remy::Trainer::score_tree(
-      phi_tree, remy::SignalMode::kPhiIdeal, scenario, eval_runs);
+      phi_tree, remy::SignalMode::kPhiIdeal, scenario, eval_runs, jobs);
   const auto classic = remy::Trainer::score_tree(
-      remy_tree, remy::SignalMode::kClassic, scenario, eval_runs);
+      remy_tree, remy::SignalMode::kClassic, scenario, eval_runs, jobs);
   const auto cubic = score_policy(scenario, eval_runs, [](std::size_t) {
     return std::make_unique<tcp::Cubic>();
   });

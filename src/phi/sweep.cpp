@@ -1,6 +1,10 @@
 #include "phi/sweep.hpp"
 
 #include <algorithm>
+#include <mutex>
+
+#include "exec/pool.hpp"
+#include "util/rng.hpp"
 
 namespace phi::core {
 
@@ -77,20 +81,48 @@ SweepResult run_cubic_sweep(const ScenarioConfig& base, const SweepSpec& spec,
   result.n_runs = n_runs;
   result.points.reserve(combos.size());
   const std::size_t total = combos.size() * static_cast<std::size_t>(n_runs);
+
+  // One task per (setting, repetition): every pair is an independent
+  // simulation, so the whole grid parallelizes flat. Task order (and thus
+  // result order and telemetry fold order) is combo-major, matching the
+  // loops below; only progress callbacks happen in completion order.
+  struct Task {
+    std::size_t combo;
+    int rep;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(total);
+  for (std::size_t c = 0; c < combos.size(); ++c)
+    for (int r = 0; r < n_runs; ++r) tasks.push_back(Task{c, r});
+
+  std::mutex progress_mu;
   std::size_t done = 0;
-  for (const auto& params : combos) {
+  const auto metrics = exec::parallel_map(
+      tasks,
+      [&](const Task& t) {
+        ScenarioConfig cfg = base;
+        // Seeded by repetition only: all settings see the same workload
+        // draws at a given r (common random numbers).
+        cfg.seed = util::derive_seed(base.seed,
+                                     static_cast<std::uint64_t>(t.rep));
+        ScenarioMetrics m = run_cubic_scenario(cfg, combos[t.combo]);
+        if (progress) {
+          std::lock_guard<std::mutex> lk(progress_mu);
+          progress(++done, total);
+        }
+        return m;
+      },
+      spec.jobs);
+
+  for (std::size_t c = 0; c < combos.size(); ++c) {
     SweepPoint pt;
-    pt.params = params;
-    pt.runs.reserve(static_cast<std::size_t>(n_runs));
-    for (int r = 0; r < n_runs; ++r) {
-      ScenarioConfig cfg = base;
-      cfg.seed = base.seed + static_cast<std::uint64_t>(r);
-      pt.runs.push_back(run_cubic_scenario(cfg, params));
-      if (progress) progress(++done, total);
-    }
+    pt.params = combos[c];
+    pt.runs.assign(
+        metrics.begin() + static_cast<std::ptrdiff_t>(c * n_runs),
+        metrics.begin() + static_cast<std::ptrdiff_t>((c + 1) * n_runs));
     pt.mean = average_metrics(pt.runs);
     pt.score = mean_score(pt);
-    if (params == defaults) result.default_index = result.points.size();
+    if (pt.params == defaults) result.default_index = result.points.size();
     result.points.push_back(std::move(pt));
   }
   result.best_index = 0;

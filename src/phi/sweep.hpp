@@ -23,6 +23,13 @@ struct SweepSpec {
   std::vector<std::int64_t> winit;
   std::vector<double> betas;
 
+  /// Parallelism for run_cubic_sweep: 0 = one job per hardware thread,
+  /// 1 = serial (inline on the caller). Any value produces bit-identical
+  /// SweepResults — every (setting, repetition) pair is an independent
+  /// simulation seeded by util::derive_seed(base.seed, rep), and the
+  /// executor collects results in submission order.
+  int jobs = 0;
+
   /// Full Table-2 grid (8 x 8 x 9 = 576 settings).
   static SweepSpec paper();
   /// Reduced grid for quick runs (5 x 5 x 3 = 75 settings): same span,
@@ -59,11 +66,17 @@ struct SweepResult {
   }
 };
 
+/// Progress callback. With spec.jobs != 1 it is invoked from worker
+/// threads (serialized by a mutex, `done` strictly increasing), so it
+/// must not touch thread-unsafe state of the caller's.
 using ProgressFn = std::function<void(std::size_t done, std::size_t total)>;
 
 /// Run the sweep: every parameter combination, `n_runs` repetitions with
-/// seeds base.seed, base.seed+1, ... The default parameter setting is
-/// always included even if absent from the grid.
+/// seeds util::derive_seed(base.seed, r) — the same seed for every
+/// setting at a given r (common random numbers, so settings are compared
+/// under identical workload draws). The default parameter setting is
+/// always included even if absent from the grid. Repetitions run
+/// spec.jobs-wide in parallel; the result is independent of jobs.
 SweepResult run_cubic_sweep(const ScenarioConfig& base, const SweepSpec& spec,
                             int n_runs, const ProgressFn& progress = {});
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/pool.hpp"
 #include "phi/oracle.hpp"
 #include "remy/phi_remy.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace phi::remy {
@@ -129,27 +131,76 @@ TrainerConfig TrainerConfig::table3(SignalMode mode,
 
 Trainer::Trainer(TrainerConfig cfg) : cfg_(std::move(cfg)) {}
 
+namespace {
+
+/// What one parallel evaluation task hands back: the run's metrics plus
+/// a tree copy whose use counts hold only that run's increments.
+struct RunOut {
+  core::ScenarioMetrics metrics;
+  WhiskerTree counts;
+};
+
+/// (scenario, run) pairs in the order the serial loops visit them, so
+/// result folding preserves the serial accumulation order exactly.
+struct RunTask {
+  std::size_t scenario;
+  int run;
+};
+
+std::vector<RunTask> run_tasks(const TrainerConfig& cfg) {
+  std::vector<RunTask> tasks;
+  tasks.reserve(cfg.scenarios.size() *
+                static_cast<std::size_t>(cfg.runs_per_scenario));
+  for (std::size_t s = 0; s < cfg.scenarios.size(); ++s)
+    for (int r = 0; r < cfg.runs_per_scenario; ++r)
+      tasks.push_back(RunTask{s, r});
+  return tasks;
+}
+
+core::ScenarioConfig seeded(const core::ScenarioConfig& base, int run) {
+  core::ScenarioConfig cfg = base;
+  cfg.seed = util::derive_seed(base.seed, static_cast<std::uint64_t>(run));
+  return cfg;
+}
+
+}  // namespace
+
 EvalResult Trainer::evaluate(WhiskerTree& tree) const {
   EvalResult res;
   util::Samples tputs, qdelays, logps;
   double objective = 0;
   int runs = 0;
   util::RunningStats loss;
-  for (const auto& base : cfg_.scenarios) {
-    for (int r = 0; r < cfg_.runs_per_scenario; ++r) {
-      core::ScenarioConfig cfg = base;
-      cfg.seed = base.seed + static_cast<std::uint64_t>(r);
-      const core::ScenarioMetrics m = run_one(tree, cfg_.mode, cfg);
-      objective += run_objective(m);
-      ++runs;
-      qdelays.add(m.mean_queue_delay_s);
-      loss.add(m.loss_rate);
-      for (const auto& g : m.groups) {
-        if (g.connections > 0) {
-          tputs.add(g.throughput_bps);
-          if (g.throughput_bps > 0 && g.mean_rtt_s > 0)
-            logps.add(core::log_power(g.throughput_bps, g.mean_rtt_s));
-        }
+
+  // Runs are independent simulations; each task gets a private tree copy
+  // (zeroed counts, so it reports only its own increments) and the fold
+  // below walks results in (scenario, run) order — identical aggregates,
+  // counts, and FP rounding for any jobs value.
+  const auto tasks = run_tasks(cfg_);
+  const auto outs = exec::parallel_map(
+      tasks,
+      [&](const RunTask& t) {
+        RunOut out;
+        out.counts = tree;
+        out.counts.reset_use_counts();
+        out.metrics = run_one(out.counts, cfg_.mode,
+                              seeded(cfg_.scenarios[t.scenario], t.run));
+        return out;
+      },
+      cfg_.jobs);
+
+  for (const auto& out : outs) {
+    tree.merge_use_counts(out.counts);
+    const core::ScenarioMetrics& m = out.metrics;
+    objective += run_objective(m);
+    ++runs;
+    qdelays.add(m.mean_queue_delay_s);
+    loss.add(m.loss_rate);
+    for (const auto& g : m.groups) {
+      if (g.connections > 0) {
+        tputs.add(g.throughput_bps);
+        if (g.throughput_bps > 0 && g.mean_rtt_s > 0)
+          logps.add(core::log_power(g.throughput_bps, g.mean_rtt_s));
       }
     }
   }
@@ -181,13 +232,48 @@ WhiskerTree Trainer::train(
       bool improved = false;
       const Action base_action = tree.whisker(idx).action;
       Action best_action = base_action;
-      for (const Action& cand : neighbors(base_action)) {
-        if (cand == base_action) continue;
-        tree.whisker(idx).action = cand;
-        const double score = evaluate(tree).objective;
+
+      // Candidate evaluations are mutually independent: in the serial
+      // loop each one saw the base tree with only whisker idx swapped,
+      // and nothing downstream reads the use counts it accumulated. So
+      // score all (candidate, scenario, run) simulations flat in one
+      // parallel batch, then replay the serial first-wins selection over
+      // objectives folded in the serial accumulation order.
+      const auto cands = neighbors(base_action);
+      struct CandTask {
+        std::size_t cand;
+        RunTask run;
+      };
+      const auto runs = run_tasks(cfg_);
+      std::vector<CandTask> tasks;
+      tasks.reserve(cands.size() * runs.size());
+      for (std::size_t c = 0; c < cands.size(); ++c) {
+        if (cands[c] == base_action) continue;
+        for (const auto& r : runs) tasks.push_back(CandTask{c, r});
+      }
+      const auto mets = exec::parallel_map(
+          tasks,
+          [&](const CandTask& t) {
+            WhiskerTree copy = tree;
+            copy.whisker(idx).action = cands[t.cand];
+            return run_one(copy, cfg_.mode,
+                           seeded(cfg_.scenarios[t.run.scenario],
+                                  t.run.run));
+          },
+          cfg_.jobs);
+
+      std::size_t next = 0;
+      for (std::size_t c = 0; c < cands.size(); ++c) {
+        if (cands[c] == base_action) continue;
+        double objective = 0;
+        for (std::size_t r = 0; r < runs.size(); ++r)
+          objective += run_objective(mets[next++]);
+        const double score = runs.empty()
+                                 ? kStarvedPenalty
+                                 : objective / static_cast<double>(runs.size());
         if (score > best + 1e-9) {
           best = score;
-          best_action = cand;
+          best_action = cands[c];
           improved = true;
         }
       }
@@ -205,11 +291,12 @@ WhiskerTree Trainer::train(
 
 EvalResult Trainer::score_tree(const WhiskerTree& tree, SignalMode mode,
                                const core::ScenarioConfig& scenario,
-                               int runs) {
+                               int runs, int jobs) {
   TrainerConfig cfg;
   cfg.mode = mode;
   cfg.scenarios = {scenario};
   cfg.runs_per_scenario = runs;
+  cfg.jobs = jobs;
   WhiskerTree copy = tree;
   return Trainer(cfg).evaluate(copy);
 }

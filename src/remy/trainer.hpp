@@ -36,6 +36,12 @@ struct TrainerConfig {
   SignalMode mode = SignalMode::kClassic;
   Action initial_action{};
 
+  /// Parallelism for evaluations: 0 = one job per hardware thread, 1 =
+  /// serial. Evaluation runs and hill-climb candidates are independent
+  /// simulations (each task works on its own tree copy; use counts fold
+  /// back additively), so training is identical for any jobs value.
+  int jobs = 0;
+
   /// A canonical training setup mirroring Table 3's topology with
   /// link-speed variation (the original Remy trained over a range of
   /// network parameters).
@@ -72,7 +78,7 @@ class Trainer {
   /// benches/tests can score trained trees on held-out seeds.
   static EvalResult score_tree(const WhiskerTree& tree, SignalMode mode,
                                const core::ScenarioConfig& scenario,
-                               int runs);
+                               int runs, int jobs = 0);
 
  private:
   TrainerConfig cfg_;

@@ -6,6 +6,7 @@
 // 2^d children (bisecting every active dimension).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -76,6 +77,17 @@ class WhiskerTree {
   /// Whisker with the highest use count; nullopt when never used.
   std::optional<std::size_t> most_used() const noexcept;
   void reset_use_counts() noexcept;
+
+  /// Fold the use counts of a structurally identical tree (same whisker
+  /// order) into this one. Counts are additive, so merging the per-task
+  /// copies of a parallel evaluation — in any order — reproduces the
+  /// counts a serial evaluation would have accumulated.
+  void merge_use_counts(const WhiskerTree& other) noexcept {
+    const std::size_t n =
+        std::min(whiskers_.size(), other.whiskers_.size());
+    for (std::size_t i = 0; i < n; ++i)
+      whiskers_[i].use_count += other.whiskers_[i].use_count;
+  }
 
   /// Bitmask of signal dimensions the tree may split on. Unmodified Remy
   /// uses 0b0111 (the three classic signals); Remy-Phi adds utilization

@@ -23,33 +23,43 @@ Scheduler::Scheduler()
           &telemetry::registry().counter("sim.scheduler.compactions")),
       heap_gauge_(&telemetry::registry().gauge("sim.scheduler.heap_size")) {}
 
-EventId Scheduler::schedule_at(Time t, std::function<void()> fn) {
+EventId Scheduler::schedule_at(Time t, util::SmallFn fn) {
   if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
-  const EventId id = next_id_++;
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.live = true;
+  ++live_count_;
+  const EventId id = make_id(s.gen, slot);
   heap_.push_back(Entry{t, next_seq_++, id});
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  callbacks_.emplace(id, std::move(fn));
   ctr_scheduled_->add();
   heap_gauge_->set(static_cast<double>(heap_.size()));
   return id;
 }
 
 bool Scheduler::cancel(EventId id) {
-  if (callbacks_.erase(id) == 0) return false;
+  if (slot_of(id) == nullptr) return false;
+  release(static_cast<std::uint32_t>(id));
   ctr_cancelled_->add();
   maybe_compact();
   return true;
 }
 
 void Scheduler::maybe_compact() {
-  // Every heap entry without a callback is dead (cancelled or already
-  // popped entries leave the heap immediately, so "dead" == cancelled).
-  const std::size_t live = callbacks_.size();
-  if (heap_.size() < kCompactFloor || heap_.size() <= 3 * live) return;
+  // Every heap entry whose generation no longer matches its slot is dead
+  // (entries for executed events leave the heap immediately, so "dead"
+  // == cancelled).
+  if (heap_.size() < kCompactFloor || heap_.size() <= 3 * live_count_) return;
   const std::size_t before = heap_.size();
-  auto dead = [this](const Entry& e) {
-    return callbacks_.find(e.id) == callbacks_.end();
-  };
+  auto dead = [this](const Entry& e) { return slot_of(e.id) == nullptr; };
   heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
   std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
   ctr_compactions_->add();
@@ -67,11 +77,12 @@ bool Scheduler::step() {
     const Entry e = heap_.front();
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     heap_.pop_back();
-    auto it = callbacks_.find(e.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    // Move the callback out before erasing so it may reschedule itself.
-    auto fn = std::move(it->second);
-    callbacks_.erase(it);
+    Slot* s = slot_of(e.id);
+    if (s == nullptr) continue;  // cancelled
+    // Move the callback out and vacate the slot before invoking so the
+    // callback may reschedule (and even land in the same slot).
+    util::SmallFn fn = std::move(s->fn);
+    release(static_cast<std::uint32_t>(e.id));
     assert(e.time >= now_);
     now_ = e.time;
     ++executed_;
@@ -87,7 +98,7 @@ std::uint64_t Scheduler::run_until(Time horizon) {
   while (!heap_.empty()) {
     // Skip over cancelled entries to find the true next event time.
     const Entry e = heap_.front();
-    if (callbacks_.find(e.id) == callbacks_.end()) {
+    if (slot_of(e.id) == nullptr) {
       std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
       heap_.pop_back();
       continue;

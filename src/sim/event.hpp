@@ -5,11 +5,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
+#include "util/small_fn.hpp"
 #include "util/units.hpp"
 
 namespace phi::sim {
@@ -17,7 +17,9 @@ namespace phi::sim {
 using util::Duration;
 using util::Time;
 
-/// Opaque handle for cancelling a scheduled event.
+/// Opaque handle for cancelling a scheduled event. Internally
+/// (generation << 32) | slot; generations start at 1 so a value of 0 is
+/// never issued and can mean "no event" at call sites.
 using EventId = std::uint64_t;
 
 /// Priority-queue based event scheduler.
@@ -27,12 +29,15 @@ using EventId = std::uint64_t;
 ///   s.schedule_in(util::milliseconds(10), [&]{ ... });
 ///   s.run_until(util::seconds(30));
 ///
-/// Cancellation is O(1) (the callback is dropped from a side map and the
-/// heap entry is skipped when popped). Cancelled entries are compacted
-/// out of the heap once they outnumber live ones 2:1, so timer-heavy
-/// workloads (e.g. a retransmit timer re-armed on every ACK) keep the
-/// heap proportional to the number of *pending* events rather than the
-/// number ever scheduled.
+/// Callbacks live in a slab of generation-tagged slots recycled through a
+/// free list: scheduling is a slot reuse plus a heap push (no per-event
+/// node or hash-map allocation — captures up to util::SmallFn::kInlineBytes
+/// are stored in place), cancellation is an O(1) generation bump, and
+/// stale EventIds are recognized by their generation rather than by
+/// membership in a map. Cancelled entries are compacted out of the heap
+/// once they outnumber live ones 2:1, so timer-heavy workloads (e.g. a
+/// retransmit timer re-armed on every ACK) keep the heap proportional to
+/// the number of *pending* events rather than the number ever scheduled.
 class Scheduler {
  public:
   Scheduler();
@@ -40,10 +45,10 @@ class Scheduler {
   Time now() const noexcept { return now_; }
 
   /// Schedule `fn` at absolute time `t` (must be >= now()).
-  EventId schedule_at(Time t, std::function<void()> fn);
+  EventId schedule_at(Time t, util::SmallFn fn);
 
   /// Schedule `fn` after a delay relative to now().
-  EventId schedule_in(Duration d, std::function<void()> fn) {
+  EventId schedule_in(Duration d, util::SmallFn fn) {
     return schedule_at(now_ + d, std::move(fn));
   }
 
@@ -51,7 +56,7 @@ class Scheduler {
   /// cancelled before.
   bool cancel(EventId id);
 
-  bool pending(EventId id) const { return callbacks_.count(id) != 0; }
+  bool pending(EventId id) const noexcept { return slot_of(id) != nullptr; }
 
   /// Run events until the queue is empty or the next event is after
   /// `horizon`. Returns the number of events executed. The clock is left at
@@ -62,7 +67,7 @@ class Scheduler {
   /// Run a single event if one is pending; returns false when empty.
   bool step();
 
-  std::size_t pending_count() const noexcept { return callbacks_.size(); }
+  std::size_t pending_count() const noexcept { return live_count_; }
   std::uint64_t executed_count() const noexcept { return executed_; }
   /// Heap entries currently held, live + cancelled-but-unpopped. Bounded
   /// at ~3x pending_count() (plus a small floor) by compaction.
@@ -78,15 +83,53 @@ class Scheduler {
     }
   };
 
+  /// One callback slot. `gen` is bumped every time the slot is vacated
+  /// (run or cancelled), which atomically invalidates every outstanding
+  /// EventId minted for the previous occupant.
+  struct Slot {
+    util::SmallFn fn;
+    std::uint32_t gen = 1;
+    bool live = false;
+  };
+
+  static constexpr EventId make_id(std::uint32_t gen,
+                                   std::uint32_t slot) noexcept {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  /// The slot `id` refers to, or nullptr if that event already ran or was
+  /// cancelled (generation mismatch).
+  const Slot* slot_of(EventId id) const noexcept {
+    const std::uint32_t slot = static_cast<std::uint32_t>(id);
+    if (slot >= slots_.size()) return nullptr;
+    const Slot& s = slots_[slot];
+    return s.live && s.gen == static_cast<std::uint32_t>(id >> 32) ? &s
+                                                                   : nullptr;
+  }
+  Slot* slot_of(EventId id) noexcept {
+    return const_cast<Slot*>(std::as_const(*this).slot_of(id));
+  }
+
+  /// Vacate a live slot: bump the generation and recycle the index.
+  void release(std::uint32_t slot) noexcept {
+    Slot& s = slots_[slot];
+    s.fn.reset();
+    s.live = false;
+    ++s.gen;
+    free_.push_back(slot);
+    --live_count_;
+  }
+
   void maybe_compact();
 
   // Min-heap (via std::*_heap with greater<>) kept in a plain vector so
   // compaction can filter dead entries in place.
   std::vector<Entry> heap_;
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  // vacated slot indices, LIFO
+  std::size_t live_count_ = 0;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
 
   // Telemetry handles, resolved once at construction; updates on the hot

@@ -170,6 +170,21 @@ void Histogram::reset() noexcept {
   p99_ = util::P2Quantile(0.99);
 }
 
+void Histogram::merge(const Histogram& o) noexcept {
+  if (o.count_ == 0) return;
+  if (bounds_ == o.bounds_) {
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+      counts_[i] += o.counts_[i];
+  }
+  min_ = count_ == 0 ? o.min_ : std::min(min_, o.min_);
+  max_ = count_ == 0 ? o.max_ : std::max(max_, o.max_);
+  count_ += o.count_;
+  sum_ += o.sum_;
+  p50_.merge(o.p50_);
+  p90_.merge(o.p90_);
+  p99_.merge(o.p99_);
+}
+
 std::string MetricRegistry::key_of(const std::string& name,
                                    const Labels& labels) {
   std::string key = name;
@@ -341,10 +356,38 @@ bool MetricRegistry::write_csv(const std::string& path) const {
   return write_text(path, csv());
 }
 
+void MetricRegistry::merge(const MetricRegistry& other) {
+  // std::map iteration is key-ordered, so the instruments created here
+  // land in the same positions regardless of merge history.
+  for (const auto& [key, e] : other.counters_)
+    counter(e.name, e.labels).merge(*e.instrument);
+  for (const auto& [key, e] : other.gauges_)
+    gauge(e.name, e.labels).merge(*e.instrument);
+  for (const auto& [key, e] : other.histograms_)
+    histogram(e.name, e.labels, e.instrument->options())
+        .merge(*e.instrument);
+}
+
 MetricRegistry& MetricRegistry::global() {
   static MetricRegistry r;
   return r;
 }
+
+namespace {
+/// The innermost ScopedRegistry on this thread; null = use global().
+thread_local MetricRegistry* t_current = nullptr;
+}  // namespace
+
+MetricRegistry& MetricRegistry::current() noexcept {
+  return t_current != nullptr ? *t_current : global();
+}
+
+ScopedRegistry::ScopedRegistry(MetricRegistry& r) noexcept
+    : prev_(t_current) {
+  t_current = &r;
+}
+
+ScopedRegistry::~ScopedRegistry() { t_current = prev_; }
 
 #else  // PHI_TELEMETRY_OFF
 

@@ -41,13 +41,17 @@ struct HistogramOptions {
 
 #ifndef PHI_TELEMETRY_OFF
 
-/// Monotonically increasing event count. Single-threaded like the
-/// simulator itself: updates are plain integer adds.
+/// Monotonically increasing event count. Updates are plain integer adds:
+/// instruments are never shared across threads — parallel tasks publish
+/// into their own ScopedRegistry and the executor folds the task
+/// registries together afterwards (see merge()).
 class Counter {
  public:
   void add(std::uint64_t n = 1) noexcept { v_ += n; }
   std::uint64_t value() const noexcept { return v_; }
   void reset() noexcept { v_ = 0; }
+  /// Fold a task-scoped counter into this one (event counts add).
+  void merge(const Counter& o) noexcept { v_ += o.v_; }
 
  private:
   std::uint64_t v_ = 0;
@@ -60,6 +64,9 @@ class Gauge {
   void add(double d) noexcept { v_ += d; }
   double value() const noexcept { return v_; }
   void reset() noexcept { v_ = 0.0; }
+  /// Fold a task-scoped gauge into this one: last write wins, exactly as
+  /// if the merged task had run serially after everything already folded.
+  void merge(const Gauge& o) noexcept { v_ = o.v_; }
 
  private:
   double v_ = 0.0;
@@ -93,7 +100,15 @@ class Histogram {
     return counts_;
   }
 
+  const HistogramOptions& options() const noexcept { return opt_; }
+
   void reset() noexcept;
+
+  /// Fold a task-scoped histogram into this one: bucket counts, count,
+  /// sum add; min/max combine; quantile estimators fold via
+  /// P2Quantile::merge (deterministic, approximate). Histograms with a
+  /// different bucket layout merge everything except the buckets.
+  void merge(const Histogram& o) noexcept;
 
  private:
   HistogramOptions opt_;
@@ -138,9 +153,21 @@ class MetricRegistry {
   bool write_json(const std::string& path) const;
   bool write_csv(const std::string& path) const;
 
+  /// Fold another registry into this one, instrument by instrument
+  /// (matched on name + labels; missing instruments are created). The
+  /// fold is a deterministic function of the two registries, so folding
+  /// a fixed sequence — e.g. the per-task registries of a parallel run,
+  /// in submission order — always produces bit-identical contents
+  /// regardless of how many threads executed the tasks.
+  void merge(const MetricRegistry& other);
+
   /// The process-wide default registry every built-in component
   /// publishes into.
   static MetricRegistry& global();
+
+  /// The registry new instruments resolve against on this thread:
+  /// the innermost ScopedRegistry, or global() when none is active.
+  static MetricRegistry& current() noexcept;
 
  private:
   template <typename T>
@@ -158,6 +185,26 @@ class MetricRegistry {
   std::map<std::string, Entry<Histogram>> histograms_;
 };
 
+/// RAII scope that routes this thread's registry() lookups into `r`
+/// instead of the process-wide global. This is how parallel tasks get
+/// private telemetry: the executor installs a fresh registry around each
+/// task, components constructed inside cache handles into it, and the
+/// pool folds the task registries back into the submitter's registry
+/// (in submission order) once the batch completes. Scopes nest; the
+/// previous registry is restored on destruction. Thread-local: a scope
+/// installed on one thread is invisible to every other.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(MetricRegistry& r) noexcept;
+  ~ScopedRegistry();
+
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  MetricRegistry* prev_;
+};
+
 #else  // PHI_TELEMETRY_OFF — the whole API as empty inline stubs.
 
 class Counter {
@@ -165,6 +212,7 @@ class Counter {
   void add(std::uint64_t = 1) noexcept {}
   std::uint64_t value() const noexcept { return 0; }
   void reset() noexcept {}
+  void merge(const Counter&) noexcept {}
 };
 
 class Gauge {
@@ -173,11 +221,12 @@ class Gauge {
   void add(double) noexcept {}
   double value() const noexcept { return 0.0; }
   void reset() noexcept {}
+  void merge(const Gauge&) noexcept {}
 };
 
 class Histogram {
  public:
-  explicit Histogram(HistogramOptions = {}) {}
+  explicit Histogram(HistogramOptions opt = {}) : opt_(opt) {}
   void observe(double) noexcept {}
   std::uint64_t count() const noexcept { return 0; }
   double sum() const noexcept { return 0.0; }
@@ -189,7 +238,12 @@ class Histogram {
   double p99() const { return 0.0; }
   const std::vector<double>& bucket_bounds() const noexcept;
   const std::vector<std::uint64_t>& bucket_counts() const noexcept;
+  const HistogramOptions& options() const noexcept { return opt_; }
   void reset() noexcept {}
+  void merge(const Histogram&) noexcept {}
+
+ private:
+  HistogramOptions opt_;
 };
 
 class MetricRegistry {
@@ -208,7 +262,9 @@ class MetricRegistry {
   bool write_prometheus(const std::string& path) const;
   bool write_json(const std::string& path) const;
   bool write_csv(const std::string& path) const;
+  void merge(const MetricRegistry&) noexcept {}
   static MetricRegistry& global();
+  static MetricRegistry& current() noexcept { return global(); }
 
  private:
   Counter c_;
@@ -216,9 +272,17 @@ class MetricRegistry {
   Histogram h_;
 };
 
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(MetricRegistry&) noexcept {}
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+};
+
 #endif  // PHI_TELEMETRY_OFF
 
-/// Shorthand for MetricRegistry::global().
-inline MetricRegistry& registry() { return MetricRegistry::global(); }
+/// Shorthand for MetricRegistry::current(): the calling thread's scoped
+/// registry when one is installed (see ScopedRegistry), else the global.
+inline MetricRegistry& registry() { return MetricRegistry::current(); }
 
 }  // namespace phi::telemetry

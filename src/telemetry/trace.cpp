@@ -23,7 +23,10 @@ const char* category_name(Category c) noexcept {
 
 namespace {
 
-TraceSink* g_tracer = nullptr;
+// Thread-local so parallel tasks never race on one sink: a sink
+// installed on the main thread is invisible to executor workers (their
+// tasks run untraced unless they install their own), and vice versa.
+thread_local TraceSink* g_tracer = nullptr;
 
 std::string escape(const std::string& s) {
   std::string out;

@@ -114,10 +114,14 @@ class TraceSink {
   std::size_t dropped_ = 0;
 };
 
-/// The process-wide sink components emit into; nullptr = tracing off.
+/// The calling thread's sink; nullptr = tracing off. Thread-local so
+/// parallel simulation tasks (exec::Pool workers) never contend on one
+/// sink: a sink installed on the main thread covers main-thread activity
+/// only, and tasks run untraced unless they install their own. TraceSink
+/// itself is not thread-safe — never share one across threads.
 TraceSink* tracer() noexcept;
-/// Install (or, with nullptr, remove) the global sink. The caller keeps
-/// ownership and must outlive any traced activity.
+/// Install (or, with nullptr, remove) this thread's sink. The caller
+/// keeps ownership and must outlive any traced activity.
 void set_tracer(TraceSink* sink) noexcept;
 
 #else  // PHI_TELEMETRY_OFF

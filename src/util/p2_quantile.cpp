@@ -69,6 +69,50 @@ void P2Quantile::add(double x) {
   }
 }
 
+void P2Quantile::merge(const P2Quantile& other) {
+  assert(q_ == other.q_);
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.count_ < 5) {
+    // The other side still buffers raw samples in heights_[0..count_):
+    // replay them in buffer order.
+    for (std::size_t i = 0; i < other.count_; ++i) add(other.heights_[i]);
+    return;
+  }
+  if (count_ < 5) {
+    // Swap roles so the established estimator absorbs the raw samples.
+    P2Quantile merged = other;
+    for (std::size_t i = 0; i < count_; ++i) merged.add(heights_[i]);
+    *this = merged;
+    return;
+  }
+  // Both established. Extreme markers are the running min/max; interior
+  // marker heights combine count-weighted (associative: the weighted mean
+  // of weighted means with summed weights). Marker positions are ranks in
+  // the merged stream, so interior ranks add (minus the double-counted
+  // rank-1 base) and desired positions are recomputed from the closed
+  // form desired_i(n) = initial_i + (n - 5) * increment_i.
+  const auto w1 = static_cast<double>(count_);
+  const auto w2 = static_cast<double>(other.count_);
+  heights_[0] = std::min(heights_[0], other.heights_[0]);
+  heights_[4] = std::max(heights_[4], other.heights_[4]);
+  for (int i = 1; i <= 3; ++i) {
+    heights_[i] = (heights_[i] * w1 + other.heights_[i] * w2) / (w1 + w2);
+    positions_[i] += other.positions_[i] - 1;
+  }
+  count_ += other.count_;
+  positions_[0] = 1;
+  positions_[4] = static_cast<double>(count_);
+  const std::array<double, 5> initial = {1, 1 + 2 * q_, 1 + 4 * q_,
+                                         3 + 2 * q_, 5};
+  for (int i = 0; i < 5; ++i)
+    desired_[i] =
+        initial[i] + static_cast<double>(count_ - 5) * increments_[i];
+}
+
 double P2Quantile::value() const {
   if (count_ == 0) return 0.0;
   if (count_ < 5) {

@@ -16,6 +16,16 @@ class P2Quantile {
 
   void add(double x);
 
+  /// Fold another estimator of the same quantile into this one. The
+  /// combine is a deterministic function of the two states (buffered
+  /// samples are replayed; established marker heights combine
+  /// count-weighted, extremes by min/max), so folding a fixed sequence of
+  /// estimators always yields bit-identical results — the property the
+  /// parallel executor's telemetry merge relies on. The estimate is
+  /// approximate, like P² itself; the combine is associative up to
+  /// floating-point rounding once both sides hold >= 5 samples.
+  void merge(const P2Quantile& other);
+
   /// Current estimate; exact until five samples have arrived (returns the
   /// sample quantile of what has been seen), then P²-approximate.
   double value() const;

@@ -22,6 +22,20 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+/// Seed for sub-stream `stream` of `base`: the (stream+1)-th output of
+/// splitmix64 seeded with `base` (the generator's state advances by a
+/// fixed gamma per step, so stream k is reachable in O(1)). Use this —
+/// never `base + k` — wherever one experiment seed fans out into
+/// repetitions or per-task streams: consecutive raw seeds feed highly
+/// correlated xoshiro initial states, and ad-hoc arithmetic ties the
+/// stream a task sees to loop structure, which parallel execution or
+/// loop reordering would silently change.
+constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                    std::uint64_t stream) noexcept {
+  std::uint64_t state = base + stream * 0x9E3779B97F4A7C15ULL;
+  return splitmix64(state);
+}
+
 /// xoshiro256++ 1.0 (Blackman & Vigna) — fast, high-quality, 2^256-1 period.
 /// Satisfies UniformRandomBitGenerator.
 class Rng {

@@ -1,0 +1,114 @@
+// small_fn.hpp — a move-only void() callable with small-buffer storage.
+//
+// std::function heap-allocates for any capture larger than two pointers
+// (libstdc++'s inline buffer is 16 bytes), which makes it the dominant
+// allocation on the scheduler hot path: every timer re-arm and packet
+// delivery constructs one. SmallFn stores captures up to kInlineBytes in
+// place — sized for the simulator's worst callbacks (a handful of
+// pointers plus a couple of values) — and falls back to the heap only
+// beyond that, so steady-state event scheduling allocates nothing.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace phi::util {
+
+class SmallFn {
+ public:
+  /// Inline capacity. 48 bytes holds six pointers or the odd lambda with
+  /// a shared_ptr plus context; bench/micro_components tracks how often
+  /// real workloads fit (they all do today).
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                    // std::function at every schedule_* call site
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      *reinterpret_cast<D**>(buf_) = new D(std::forward<F>(f));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  SmallFn(SmallFn&& o) noexcept { move_from(o); }
+
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* buf);
+    void (*move)(void* dst, void* src) noexcept;
+    void (*destroy)(void* buf) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops inline_ops{
+      [](void* buf) { (*std::launder(reinterpret_cast<D*>(buf)))(); },
+      [](void* dst, void* src) noexcept {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* buf) noexcept {
+        std::launder(reinterpret_cast<D*>(buf))->~D();
+      }};
+
+  template <typename D>
+  static constexpr Ops heap_ops{
+      [](void* buf) { (**std::launder(reinterpret_cast<D**>(buf)))(); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<D**>(dst) =
+            *std::launder(reinterpret_cast<D**>(src));
+      },
+      [](void* buf) noexcept {
+        delete *std::launder(reinterpret_cast<D**>(buf));
+      }};
+
+  void move_from(SmallFn& o) noexcept {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace phi::util

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "phi/client.hpp"
+#include "util/rng.hpp"
 #include "phi/scenario.hpp"
 #include "phi/sweep.hpp"
 
@@ -31,7 +32,7 @@ double mean_pl(const ScenarioConfig& base, tcp::CubicParams params,
   double total = 0;
   for (int r = 0; r < runs; ++r) {
     ScenarioConfig cfg = base;
-    cfg.seed = base.seed + static_cast<std::uint64_t>(r);
+    cfg.seed = util::derive_seed(base.seed, static_cast<std::uint64_t>(r));
     total += run_cubic_scenario(cfg, params).power_l();
   }
   return total / runs;

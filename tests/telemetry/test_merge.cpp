@@ -1,0 +1,241 @@
+// Merge semantics for the parallel-telemetry fold: instrument merges are
+// identity-preserving and associative (exactly for counts/sums, within
+// estimator tolerance for P² quantiles), and ScopedRegistry routes a
+// thread's instruments into the scoped registry and back out again.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+#include "util/p2_quantile.hpp"
+#include "util/rng.hpp"
+
+namespace phi::telemetry {
+namespace {
+
+// --- P2Quantile::merge (real in every build mode) ----------------------
+
+TEST(P2Merge, EmptyIsIdentity) {
+  util::P2Quantile a(0.5), empty(0.5);
+  for (const double v : {3.0, 1.0, 2.0}) a.add(v);
+  const double before = a.value();
+  a.merge(empty);
+  EXPECT_EQ(a.value(), before);
+  EXPECT_EQ(a.count(), 3u);
+
+  util::P2Quantile b(0.5);
+  b.merge(a);
+  EXPECT_EQ(b.value(), a.value());
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(P2Merge, SmallBuffersMergeExactly) {
+  // Both sides under the 5-sample bootstrap: merge must equal replaying
+  // the right side's samples into the left (the exact definition).
+  util::P2Quantile merged(0.9), serial(0.9);
+  util::P2Quantile right(0.9);
+  for (const double v : {1.0, 2.0}) {
+    merged.add(v);
+    serial.add(v);
+  }
+  for (const double v : {10.0, 20.0}) right.add(v);
+  merged.merge(right);
+  for (const double v : {10.0, 20.0}) serial.add(v);
+  EXPECT_EQ(merged.count(), serial.count());
+  EXPECT_EQ(merged.value(), serial.value());
+}
+
+TEST(P2Merge, Deterministic) {
+  auto build = [](std::uint64_t seed) {
+    util::Rng r(seed);
+    util::P2Quantile q(0.5);
+    for (int i = 0; i < 200; ++i) q.add(r.uniform());
+    return q;
+  };
+  const auto a1 = build(1), b1 = build(2);
+  auto m1 = a1;
+  m1.merge(b1);
+  auto m2 = build(1);
+  m2.merge(build(2));
+  EXPECT_EQ(m1.value(), m2.value());
+  EXPECT_EQ(m1.count(), m2.count());
+}
+
+TEST(P2Merge, TracksTrueQuantile) {
+  util::Rng rng(5);
+  util::P2Quantile whole(0.5);
+  std::vector<util::P2Quantile> parts(4, util::P2Quantile(0.5));
+  for (int p = 0; p < 4; ++p) {
+    for (int i = 0; i < 500; ++i) {
+      const double v = rng.uniform();
+      whole.add(v);
+      parts[static_cast<std::size_t>(p)].add(v);
+    }
+  }
+  util::P2Quantile folded(0.5);
+  for (const auto& p : parts) folded.merge(p);
+  EXPECT_EQ(folded.count(), 2000u);
+  // Uniform(0,1): both the streaming and the folded estimate should sit
+  // near 0.5; the merge interpolation loosens but must not break it.
+  EXPECT_NEAR(folded.value(), 0.5, 0.08);
+  EXPECT_NEAR(folded.value(), whole.value(), 0.1);
+}
+
+#ifndef PHI_TELEMETRY_OFF
+
+// --- Instrument merges -------------------------------------------------
+
+TEST(CounterMerge, AddsAndIdentity) {
+  Counter a, b, zero;
+  a.add(3);
+  b.add(4);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 7u);
+  a.merge(zero);
+  EXPECT_EQ(a.value(), 7u);
+}
+
+TEST(GaugeMerge, LastWriteWins) {
+  Gauge a, b;
+  a.set(1.5);
+  b.set(-2.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value(), -2.0);
+}
+
+TEST(HistogramMerge, CountsSumMinMaxExact) {
+  Histogram a, b;
+  for (const double v : {0.001, 0.01, 0.1}) a.observe(v);
+  for (const double v : {0.5, 5.0}) b.observe(v);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.001 + 0.01 + 0.1 + 0.5 + 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.001);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  std::uint64_t bucket_total = 0;
+  for (const auto c : a.bucket_counts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, 5u);
+}
+
+TEST(HistogramMerge, EmptyIsIdentityBothWays) {
+  Histogram a, empty;
+  a.observe(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+
+  Histogram b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.min(), 2.0);
+  EXPECT_DOUBLE_EQ(b.max(), 2.0);
+}
+
+TEST(HistogramMerge, AssociativeOnCounts) {
+  auto make = [](double base) {
+    Histogram h;
+    for (int i = 1; i <= 8; ++i) h.observe(base * i);
+    return h;
+  };
+  // (a + b) + c vs a + (b + c): bucket counts, count, sum, min, max are
+  // plain sums/extrema and must agree exactly.
+  Histogram left = make(0.01);
+  Histogram mid = make(0.1);
+  left.merge(mid);
+  left.merge(make(1.0));
+
+  Histogram right_tail = make(0.1);
+  right_tail.merge(make(1.0));
+  Histogram right = make(0.01);
+  right.merge(right_tail);
+
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_DOUBLE_EQ(left.sum(), right.sum());
+  EXPECT_DOUBLE_EQ(left.min(), right.min());
+  EXPECT_DOUBLE_EQ(left.max(), right.max());
+  EXPECT_EQ(left.bucket_counts(), right.bucket_counts());
+}
+
+// --- Registry merge ----------------------------------------------------
+
+TEST(RegistryMerge, CreatesMissingAndFoldsExisting) {
+  MetricRegistry dst, src;
+  dst.counter("shared").add(1);
+  src.counter("shared").add(2);
+  src.counter("only.src", {{"k", "v"}}).add(5);
+  src.gauge("g").set(9.0);
+  src.histogram("h").observe(0.25);
+
+  dst.merge(src);
+  EXPECT_EQ(dst.counter("shared").value(), 3u);
+  EXPECT_EQ(dst.counter("only.src", {{"k", "v"}}).value(), 5u);
+  EXPECT_DOUBLE_EQ(dst.gauge("g").value(), 9.0);
+  EXPECT_EQ(dst.histogram("h").count(), 1u);
+}
+
+TEST(RegistryMerge, FoldIsDeterministic) {
+  auto part = [](std::uint64_t seed) {
+    MetricRegistry r;
+    util::Rng rng(seed);
+    for (int i = 0; i < 50; ++i) {
+      r.counter("events").add(1 + rng.below(3));
+      r.histogram("lat").observe(rng.uniform());
+    }
+    return r;
+  };
+  auto fold = [&] {
+    MetricRegistry acc;
+    for (const std::uint64_t s : {1, 2, 3}) acc.merge(part(s));
+    return acc.json();
+  };
+  EXPECT_EQ(fold(), fold());
+}
+
+// --- ScopedRegistry ----------------------------------------------------
+
+TEST(ScopedRegistry, RoutesAndRestores) {
+  const std::string name = "test.scoped.ctr";
+  MetricRegistry mine;
+  EXPECT_EQ(&registry(), &MetricRegistry::global());
+  {
+    ScopedRegistry scope(mine);
+    EXPECT_EQ(&registry(), &mine);
+    registry().counter(name).add();
+  }
+  EXPECT_EQ(&registry(), &MetricRegistry::global());
+  EXPECT_EQ(mine.counter(name).value(), 1u);
+  EXPECT_EQ(MetricRegistry::global().counter(name).value(), 0u);
+}
+
+TEST(ScopedRegistry, Nests) {
+  MetricRegistry outer, inner;
+  ScopedRegistry s1(outer);
+  {
+    ScopedRegistry s2(inner);
+    registry().counter("n").add();
+    EXPECT_EQ(&registry(), &inner);
+  }
+  EXPECT_EQ(&registry(), &outer);
+  EXPECT_EQ(inner.counter("n").value(), 1u);
+  EXPECT_EQ(outer.counter("n").value(), 0u);
+}
+
+#else  // PHI_TELEMETRY_OFF — merges must exist and be harmless no-ops.
+
+TEST(MergeStubs, CompileAndDoNothing) {
+  MetricRegistry a, b;
+  b.counter("c").add(5);
+  a.merge(b);
+  EXPECT_EQ(a.counter("c").value(), 0u);
+  Histogram h;
+  h.merge(Histogram{});
+  EXPECT_EQ(h.count(), 0u);
+  ScopedRegistry scope(a);
+  EXPECT_EQ(&registry(), &MetricRegistry::global());
+}
+
+#endif  // PHI_TELEMETRY_OFF
+
+}  // namespace
+}  // namespace phi::telemetry

@@ -1,0 +1,113 @@
+// SmallFn: the scheduler's allocation-free callback storage. Pins down
+// the ownership contract (single destruction, move transfers, reset) for
+// both the inline and the heap-fallback representations.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "util/small_fn.hpp"
+
+namespace phi::util {
+namespace {
+
+struct Counted {
+  static int alive;
+  Counted() { ++alive; }
+  Counted(const Counted&) { ++alive; }
+  Counted(Counted&&) noexcept { ++alive; }
+  ~Counted() { --alive; }
+};
+int Counted::alive = 0;
+
+TEST(SmallFn, InvokesInlineCapture) {
+  int hits = 0;
+  SmallFn fn([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFn, DefaultIsEmpty) {
+  SmallFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(SmallFn, HeapFallbackForLargeCaptures) {
+  // Way past kInlineBytes — forces the heap representation.
+  std::array<double, 32> big{};
+  big[0] = 1.5;
+  big[31] = 2.5;
+  double sum = 0;
+  SmallFn fn([big, &sum] { sum = big[0] + big[31]; });
+  fn();
+  EXPECT_DOUBLE_EQ(sum, 4.0);
+}
+
+TEST(SmallFn, MoveOnlyCaptures) {
+  // std::function rejects this; SmallFn is move-only and must not.
+  auto p = std::make_unique<int>(41);
+  int got = 0;
+  SmallFn fn([p = std::move(p), &got] { got = *p + 1; });
+  fn();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(SmallFn, MoveTransfersOwnership) {
+  int hits = 0;
+  SmallFn a([&hits] { ++hits; });
+  SmallFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  SmallFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFn, DestroysCaptureExactlyOnceInline) {
+  {
+    Counted tag;
+    SmallFn a([tag] {});
+    SmallFn b(std::move(a));
+    b();
+  }
+  EXPECT_EQ(Counted::alive, 0);
+}
+
+TEST(SmallFn, DestroysCaptureExactlyOnceHeap) {
+  {
+    Counted tag;
+    std::array<char, SmallFn::kInlineBytes + 1> pad{};
+    SmallFn a([tag, pad] { (void)pad; });
+    SmallFn b(std::move(a));
+    b = SmallFn([] {});  // assignment over a live heap capture
+  }
+  EXPECT_EQ(Counted::alive, 0);
+}
+
+TEST(SmallFn, ResetReleasesAndEmpties) {
+  Counted tag;
+  SmallFn fn([tag] {});
+  EXPECT_EQ(Counted::alive, 2);
+  fn.reset();
+  EXPECT_EQ(Counted::alive, 1);
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(SmallFn, ReassignmentReplacesCallable) {
+  int which = 0;
+  SmallFn fn([&which] { which = 1; });
+  fn = SmallFn([&which] { which = 2; });
+  fn();
+  EXPECT_EQ(which, 2);
+}
+
+}  // namespace
+}  // namespace phi::util

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "remy/trainer.hpp"
+#include "util/rng.hpp"
 
 using namespace phi;
 
@@ -105,7 +106,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   core::ScenarioConfig holdout = cfg.scenarios.front();
-  holdout.seed += 1000;
+  holdout.seed = util::derive_seed(holdout.seed, 1000);
   const auto score = remy::Trainer::score_tree(*parsed, mode, holdout, 2);
   std::printf("held-out: median tput %.2f Mbps, median qdelay %.1f ms, "
               "median log-power %.2f\n",
