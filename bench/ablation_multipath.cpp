@@ -4,14 +4,17 @@
 // conservative parameters on the hot hop and aggressive ones on the cold
 // hop. This ablation measures (a) that the server's per-path contexts
 // actually diverge, and (b) the P_l gain of per-path over one-size-fits-all.
+//
+// Runs on the scenario engine's parking-hotcold preset; the advisors and
+// context server ride in through the setup hook.
 #include <cstdio>
 #include <memory>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "phi/client.hpp"
-#include "sim/parking_lot.hpp"
-#include "tcp/app.hpp"
-#include "tcp/sink.hpp"
+#include "phi/presets.hpp"
+#include "phi/scenario.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -38,89 +41,73 @@ struct RunOutcome {
 /// uniform tuned (one compromise setting everywhere). Mode 2: Phi
 /// per-path via context-server lookups.
 RunOutcome run_mode(int mode, std::uint64_t seed) {
-  sim::ParkingLotConfig cfg;
-  cfg.hops = 2;
-  cfg.cross_per_hop = 8;
-  cfg.long_flows = 2;
-  sim::ParkingLot lot(cfg);
-  sim::Scheduler* sched = &lot.scheduler();
-
-  core::ContextServer server({}, [sched] { return sched->now(); });
-  server.set_path_capacity(kHot, cfg.hop_rate);
-  server.set_path_capacity(kCold, cfg.hop_rate);
-  core::RecommendationTable table;
-  // Conservative for hot contexts, front-loaded for cold ones (the
-  // fig2-style mapping, condensed to two entries).
-  for (int n = 0; n < 8; ++n) {
-    table.set(core::ContextBucket{4, n}, tcp::CubicParams{8, 2, 0.5});
-    table.set(core::ContextBucket{3, n}, tcp::CubicParams{32, 8, 0.5});
-    table.set(core::ContextBucket{0, n}, tcp::CubicParams{64, 64, 0.2});
-    table.set(core::ContextBucket{1, n}, tcp::CubicParams{64, 32, 0.2});
-    table.set(core::ContextBucket{2, n}, tcp::CubicParams{64, 16, 0.2});
-  }
-  server.set_recommendations(std::move(table));
+  core::ScenarioSpec spec = core::presets::hotcold_parking_lot();
+  spec.seed = seed;
+  const auto& net = std::get<sim::ParkingLotConfig>(spec.topology);
 
   const tcp::CubicParams uniform{32, 8, 0.2};  // the global compromise
 
-  std::vector<std::unique_ptr<tcp::TcpSender>> senders;
-  std::vector<std::unique_ptr<tcp::TcpSink>> sinks;
-  std::vector<std::unique_ptr<tcp::OnOffApp>> apps;
-  std::vector<std::unique_ptr<tcp::ConnectionAdvisor>> advisors;
-  std::vector<int> app_hop;
+  RunOutcome out;
+  std::optional<core::ContextServer> server;
 
-  util::Rng seeder(seed);
-  sim::FlowId next_flow = 1;
-  auto add_flow = [&](sim::Node& tx, sim::Node& rx, int hop,
-                      double on_bytes, double off_s) {
-    const sim::FlowId flow = next_flow++;
-    senders.push_back(std::make_unique<tcp::TcpSender>(
-        *sched, tx, rx.id(), flow,
-        std::make_unique<tcp::Cubic>(mode == 1 ? uniform
-                                               : tcp::CubicParams{})));
-    sinks.push_back(std::make_unique<tcp::TcpSink>(*sched, rx, flow));
-    tcp::OnOffConfig oc;
-    oc.mean_on_bytes = on_bytes;
-    oc.mean_off_s = off_s;
-    apps.push_back(std::make_unique<tcp::OnOffApp>(
-        *sched, *senders.back(), oc, seeder()));
-    app_hop.push_back(hop);
-    if (mode == 2 && hop >= 0) {
-      advisors.push_back(std::make_unique<core::PhiCubicAdvisor>(
-          server, hop == 0 ? kHot : kCold, flow,
-          [sched] { return sched->now(); }));
-      apps.back()->set_advisor(advisors.back().get());
-    } else if (hop >= 0) {
-      // Even non-Phi modes report, so the final context is observable.
-      advisors.push_back(std::make_unique<core::ReportOnlyAdvisor>(
-          server, hop == 0 ? kHot : kCold, flow));
-      apps.back()->set_advisor(advisors.back().get());
+  core::SetupHook setup =
+      [&](core::LiveScenario& live) -> core::AdvisorFactory {
+    sim::Scheduler* sched = &live.topology->scheduler();
+    server.emplace(core::ContextServerConfig{},
+                   [sched] { return sched->now(); });
+    server->set_path_capacity(kHot, net.hop_rate);
+    server->set_path_capacity(kCold, net.hop_rate);
+    core::RecommendationTable table;
+    // Conservative for hot contexts, front-loaded for cold ones (the
+    // fig2-style mapping, condensed to two entries).
+    for (int n = 0; n < 8; ++n) {
+      table.set(core::ContextBucket{4, n}, tcp::CubicParams{8, 2, 0.5});
+      table.set(core::ContextBucket{3, n}, tcp::CubicParams{32, 8, 0.5});
+      table.set(core::ContextBucket{0, n}, tcp::CubicParams{64, 64, 0.2});
+      table.set(core::ContextBucket{1, n}, tcp::CubicParams{64, 32, 0.2});
+      table.set(core::ContextBucket{2, n}, tcp::CubicParams{64, 16, 0.2});
     }
+    server->set_recommendations(std::move(table));
+
+    live.on_complete = [&] {
+      out.ctx[0] = server->context(kHot);
+      out.ctx[1] = server->context(kCold);
+    };
+
+    const core::ScenarioSpec& sp = *live.spec;
+    return [&, sched,
+            sp](std::size_t i) -> std::unique_ptr<tcp::ConnectionAdvisor> {
+      const int hop = sp.senders[i].group;  // 0 hot, 1 cold, -1 long
+      if (hop < 0) return nullptr;          // long flows are unmanaged
+      const sim::FlowId flow = sp.senders[i].flow;
+      if (mode == 2)
+        return std::make_unique<core::PhiCubicAdvisor>(
+            *server, hop == 0 ? kHot : kCold, flow,
+            [sched] { return sched->now(); });
+      // Even non-Phi modes report, so the final context is observable.
+      return std::make_unique<core::ReportOnlyAdvisor>(
+          *server, hop == 0 ? kHot : kCold, flow);
+    };
   };
 
-  // Hot hop: 8 busy cross flows. Cold hop: 8 mostly-idle cross flows.
-  for (std::size_t i = 0; i < cfg.cross_per_hop; ++i) {
-    add_flow(lot.cross_sender(0, i), lot.cross_receiver(0, i), 0, 800e3,
-             0.5);
-    add_flow(lot.cross_sender(1, i), lot.cross_receiver(1, i), 1, 200e3,
-             6.0);
-  }
-  // Long background flows keep both hops honest (not Phi-managed).
-  for (std::size_t i = 0; i < cfg.long_flows; ++i)
-    add_flow(lot.long_sender(i), lot.long_receiver(i), -1, 500e3, 2.0);
+  const auto metrics = core::run_scenario_with_setup(
+      spec,
+      [&](std::size_t) -> std::unique_ptr<tcp::CongestionControl> {
+        return std::make_unique<tcp::Cubic>(mode == 1 ? uniform
+                                                      : tcp::CubicParams{});
+      },
+      setup);
 
-  for (auto& a : apps) a->start();
-  lot.net().run_until(util::seconds(60));
-
-  RunOutcome out;
+  // Per-hop aggregation with the ablation's own (connection-weighted)
+  // RTT mean, off the engine's per-sender rows.
   double bits[2] = {0, 0}, on_time[2] = {0, 0}, rtt_w[2] = {0, 0};
-  for (std::size_t i = 0; i < apps.size(); ++i) {
-    const int h = app_hop[i];
+  for (const auto& sm : metrics.per_sender) {
+    const int h = sm.group;
     if (h < 0) continue;
-    bits[h] += apps[i]->total_bits();
-    on_time[h] += apps[i]->total_on_time_s();
-    rtt_w[h] += apps[i]->rtt_stats().mean() *
-                static_cast<double>(apps[i]->connections_completed());
-    out.hop[h].conns += apps[i]->connections_completed();
+    bits[h] += sm.bits;
+    on_time[h] += sm.on_time_s;
+    rtt_w[h] += sm.rtt_mean_s * static_cast<double>(sm.connections);
+    out.hop[h].conns += sm.connections;
   }
   for (int h = 0; h < 2; ++h) {
     out.hop[h].tput = on_time[h] > 0 ? bits[h] / on_time[h] : 0;
@@ -128,8 +115,6 @@ RunOutcome run_mode(int mode, std::uint64_t seed) {
                          ? rtt_w[h] / static_cast<double>(out.hop[h].conns)
                          : 0;
   }
-  out.ctx[0] = server.context(kHot);
-  out.ctx[1] = server.context(kCold);
   return out;
 }
 

@@ -20,10 +20,18 @@ enum class Scale { kQuick, kFull };
 
 /// PHI_BENCH_SCALE=full selects the paper-sized grids/run counts;
 /// the default "quick" keeps every bench in tens of seconds on one core.
+/// Anything else is a typo that would otherwise silently run quick (and
+/// ruin an overnight "ful" run), so it aborts loudly instead.
 inline Scale scale_from_env() {
   const char* s = std::getenv("PHI_BENCH_SCALE");
-  return (s != nullptr && std::string(s) == "full") ? Scale::kFull
-                                                    : Scale::kQuick;
+  if (s == nullptr || *s == '\0' || std::string(s) == "quick")
+    return Scale::kQuick;
+  if (std::string(s) == "full") return Scale::kFull;
+  std::fprintf(stderr,
+               "PHI_BENCH_SCALE='%s' is not recognized; use 'quick' or "
+               "'full' (unset defaults to quick)\n",
+               s);
+  std::exit(2);
 }
 
 inline const char* scale_name(Scale s) {
@@ -34,11 +42,21 @@ inline const char* scale_name(Scale s) {
 /// independent simulations (sweeps, repetitions, trainer evaluations):
 /// unset or 0 = one job per hardware thread, 1 = serial. Results are
 /// bit-identical for any value — the exec::Pool contract — so this knob
-/// only trades wall-clock against the rest of the machine.
+/// only trades wall-clock against the rest of the machine. Non-numeric
+/// or negative values abort loudly rather than silently meaning 0.
 inline int jobs_from_env() {
   const char* j = std::getenv("PHI_BENCH_JOBS");
   if (j == nullptr || *j == '\0') return 0;
-  return std::atoi(j);
+  char* end = nullptr;
+  const long v = std::strtol(j, &end, 10);
+  if (end == j || *end != '\0' || v < 0 || v > 4096) {
+    std::fprintf(stderr,
+                 "PHI_BENCH_JOBS='%s' is not a job count; use an integer "
+                 ">= 0 (0 or unset = one job per hardware thread)\n",
+                 j);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
 }
 
 /// Directory for CSV artifacts; PHI_BENCH_OUT overrides, empty disables.
@@ -134,9 +152,16 @@ inline void dump_metrics(const std::string& bench_name) {
   std::FILE* f = std::fopen((dir + "/" + bench_name + "_run.json").c_str(),
                             "w");
   if (f != nullptr) {
-    std::fprintf(f, "{\"bench\":\"%s\",\"scale\":\"%s\",\"jobs\":%d}\n",
+    // Both the resolved settings and the raw environment values (the
+    // latter are validated at startup, so they embed safely).
+    const char* scale_env = std::getenv("PHI_BENCH_SCALE");
+    const char* jobs_env = std::getenv("PHI_BENCH_JOBS");
+    std::fprintf(f,
+                 "{\"bench\":\"%s\",\"scale\":\"%s\",\"jobs\":%d,"
+                 "\"scale_env\":\"%s\",\"jobs_env\":\"%s\"}\n",
                  bench_name.c_str(), scale_name(scale_from_env()),
-                 jobs_from_env());
+                 jobs_from_env(), scale_env != nullptr ? scale_env : "",
+                 jobs_env != nullptr ? jobs_env : "");
     std::fclose(f);
   }
 }

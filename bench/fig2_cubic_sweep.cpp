@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "phi/presets.hpp"
 #include "phi/sweep.hpp"
 #include "util/table.hpp"
 
@@ -13,15 +14,11 @@ using namespace phi;
 
 namespace {
 
-core::ScenarioConfig fig2_base(std::size_t pairs, double on_bytes,
-                               double off_s) {
-  core::ScenarioConfig cfg;
-  cfg.net.pairs = pairs;
-  cfg.net.bottleneck_rate = 15.0 * util::kMbps;
-  cfg.net.rtt = util::milliseconds(150);
+core::ScenarioSpec fig2_base(std::size_t pairs, double on_bytes,
+                             double off_s) {
+  core::ScenarioSpec cfg = core::presets::paper_dumbbell(pairs);
   cfg.workload.mean_on_bytes = on_bytes;
   cfg.workload.mean_off_s = off_s;
-  cfg.duration = util::seconds(60);
   cfg.seed = 11;
   return cfg;
 }
@@ -56,7 +53,7 @@ std::vector<std::string> point_row(const char* label,
 }
 
 void run_figure(const char* fig, const char* title,
-                const core::ScenarioConfig& cfg, const core::SweepSpec& spec,
+                const core::ScenarioSpec& cfg, const core::SweepSpec& spec,
                 int runs) {
   std::printf("\n--- Figure %s: %s ---\n", fig, title);
   bench::WallTimer timer;
@@ -126,7 +123,7 @@ int main() {
              fig2_base(16, 500e3, 2.0), grid, runs);
 
   // Figure 2c: 100 long-running connections; only beta matters.
-  core::ScenarioConfig longrun = fig2_base(100, 1e13, 1.0);
+  core::ScenarioSpec longrun = fig2_base(100, 1e13, 1.0);
   longrun.workload.start_with_off = false;
   longrun.duration = util::seconds(60);
   core::SweepSpec beta_grid = core::SweepSpec::beta_only();

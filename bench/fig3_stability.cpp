@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "phi/presets.hpp"
 #include "phi/sweep.hpp"
 #include "util/table.hpp"
 
@@ -13,14 +14,8 @@ using namespace phi;
 
 namespace {
 
-core::ScenarioConfig workload(std::size_t pairs) {
-  core::ScenarioConfig cfg;
-  cfg.net.pairs = pairs;
-  cfg.net.bottleneck_rate = 15.0 * util::kMbps;
-  cfg.net.rtt = util::milliseconds(150);
-  cfg.workload.mean_on_bytes = 500e3;
-  cfg.workload.mean_off_s = 2.0;
-  cfg.duration = util::seconds(60);
+core::ScenarioSpec workload(std::size_t pairs) {
+  core::ScenarioSpec cfg = core::presets::paper_dumbbell(pairs);
   cfg.seed = 21;
   return cfg;
 }

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "bench_common.hpp"
+#include "phi/presets.hpp"
 #include "phi/sweep.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -17,14 +18,8 @@ using namespace phi;
 
 namespace {
 
-core::ScenarioConfig workload(std::size_t pairs, std::uint64_t seed) {
-  core::ScenarioConfig cfg;
-  cfg.net.pairs = pairs;
-  cfg.net.bottleneck_rate = 15.0 * util::kMbps;
-  cfg.net.rtt = util::milliseconds(150);
-  cfg.workload.mean_on_bytes = 500e3;
-  cfg.workload.mean_off_s = 2.0;
-  cfg.duration = util::seconds(60);
+core::ScenarioSpec workload(std::size_t pairs, std::uint64_t seed) {
+  core::ScenarioSpec cfg = core::presets::paper_dumbbell(pairs);
   cfg.seed = seed;
   return cfg;
 }
@@ -35,7 +30,7 @@ struct MixedResult {
   core::ScenarioMetrics all;
 };
 
-MixedResult run_mixed(const core::ScenarioConfig& cfg,
+MixedResult run_mixed(const core::ScenarioSpec& cfg,
                       tcp::CubicParams tuned) {
   // Even sender indices are modified, odd keep defaults.
   auto metrics = core::run_scenario(

@@ -3,18 +3,18 @@
 // needed to establish whether a set of flows share a bottleneck link."
 //
 // Ground truth comes from the simulator: flows pinned to hops of a
-// parking lot. Passive delay-correlation clusters them; we report
-// pairwise precision/recall of the recovered grouping across loads.
+// parking lot (the engine's parking-probes preset — per-hop bulk probes
+// plus bursty load). Passive delay-correlation clusters the probes; we
+// report pairwise precision/recall of the recovered grouping.
 #include <cstdio>
 #include <functional>
 #include <memory>
 
 #include "bench_common.hpp"
 #include "flow/bottleneck.hpp"
-#include "sim/parking_lot.hpp"
-#include "tcp/app.hpp"
+#include "phi/presets.hpp"
+#include "phi/scenario.hpp"
 #include "tcp/sender.hpp"
-#include "tcp/sink.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -29,55 +29,46 @@ struct Accuracy {
 
 Accuracy run_case(std::size_t hops, std::size_t probes_per_hop,
                   std::uint64_t seed) {
-  sim::ParkingLotConfig cfg;
-  cfg.hops = hops;
-  cfg.cross_per_hop = probes_per_hop + 3;  // probes + bursty load flows
-  sim::ParkingLot lot(cfg);
+  core::ScenarioSpec spec =
+      core::presets::probe_parking_lot(hops, probes_per_hop);
+  spec.seed = seed;
+
   flow::SharedBottleneckDetector det;
-
-  std::vector<std::unique_ptr<tcp::TcpSender>> senders;
-  std::vector<std::unique_ptr<tcp::TcpSink>> sinks;
-  std::vector<std::unique_ptr<tcp::OnOffApp>> apps;
   std::vector<std::pair<std::uint64_t, std::size_t>> probes;  // id, hop
-  std::vector<tcp::TcpSender*> probe_senders;
+  std::function<void()> sample;  // owns the recursive sampler
 
-  util::Rng seeder(seed);
-  for (std::size_t h = 0; h < hops; ++h) {
-    for (std::size_t i = 0; i < cfg.cross_per_hop; ++i) {
-      const sim::FlowId flow = 1000 * (h + 1) + i;
-      senders.push_back(std::make_unique<tcp::TcpSender>(
-          lot.scheduler(), lot.cross_sender(h, i),
-          lot.cross_receiver(h, i).id(), flow,
-          std::make_unique<tcp::Cubic>(tcp::CubicParams{64, 8, 0.2})));
-      sinks.push_back(std::make_unique<tcp::TcpSink>(
-          lot.scheduler(), lot.cross_receiver(h, i), flow));
-      if (i < probes_per_hop) {
-        senders.back()->start_connection(10'000'000,
-                                         [](const tcp::ConnStats&) {});
-        probes.emplace_back(flow, h);
-        probe_senders.push_back(senders.back().get());
-      } else {
-        tcp::OnOffConfig oc;
-        oc.mean_on_bytes = 600e3;
-        oc.mean_off_s = 1.2;
-        apps.push_back(std::make_unique<tcp::OnOffApp>(
-            lot.scheduler(), *senders.back(), oc, seeder()));
-        apps.back()->start();
+  core::SetupHook setup =
+      [&](core::LiveScenario& live) -> core::AdvisorFactory {
+    // The probes are the bulk senders; everything else is load.
+    std::vector<tcp::TcpSender*> probe_senders;
+    for (std::size_t i = 0; i < live.spec->senders.size(); ++i) {
+      const core::SenderSpec& ss = live.spec->senders[i];
+      if (ss.bulk_segments <= 0) continue;
+      probes.emplace_back(ss.flow, static_cast<std::size_t>(ss.group));
+      probe_senders.push_back(live.senders[i]);
+    }
+    sim::Topology* lot = live.topology;
+    const util::Duration until = spec.duration;
+    sample = [&det, &probes, probe_senders, lot, until, &sample] {
+      for (std::size_t k = 0; k < probe_senders.size(); ++k) {
+        const auto& rtt = probe_senders[k]->rtt();
+        if (rtt.has_sample())
+          det.record(probes[k].first, lot->scheduler().now(),
+                     util::to_seconds(rtt.srtt() - rtt.min_rtt()));
       }
-    }
-  }
-  std::function<void()> sample = [&] {
-    for (std::size_t k = 0; k < probe_senders.size(); ++k) {
-      const auto& rtt = probe_senders[k]->rtt();
-      if (rtt.has_sample())
-        det.record(probes[k].first, lot.scheduler().now(),
-                   util::to_seconds(rtt.srtt() - rtt.min_rtt()));
-    }
-    if (lot.scheduler().now() < util::seconds(60))
-      lot.scheduler().schedule_in(util::milliseconds(100), sample);
+      if (lot->scheduler().now() < until)
+        lot->scheduler().schedule_in(util::milliseconds(100), sample);
+    };
+    lot->scheduler().schedule_in(util::milliseconds(100), sample);
+    return nullptr;
   };
-  lot.scheduler().schedule_in(util::milliseconds(100), sample);
-  lot.net().run_until(util::seconds(60));
+
+  core::run_scenario_with_setup(
+      spec,
+      [](std::size_t) -> std::unique_ptr<tcp::CongestionControl> {
+        return std::make_unique<tcp::Cubic>(tcp::CubicParams{64, 8, 0.2});
+      },
+      setup);
 
   // Pairwise accuracy of the clustering against hop ground truth.
   const auto clusters = det.cluster();

@@ -44,7 +44,7 @@ int main() {
   spec.ssthresh = {8, 32, 64, 256};
   spec.winit = {2, 16, 64};
   spec.betas = {0.2, 0.5};
-  const auto workloads = std::vector<core::ScenarioConfig>{
+  const auto workloads = std::vector<core::ScenarioSpec>{
       metro_workload(6, 100), metro_workload(12, 200)};
   const auto table =
       core::build_recommendation_table(workloads, spec, /*runs=*/2);

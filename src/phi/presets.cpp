@@ -1,0 +1,342 @@
+#include "phi/presets.hpp"
+
+#include <cstdlib>
+
+namespace phi::core::presets {
+
+namespace {
+
+tcp::OnOffConfig onoff(double on_bytes, double off_s) {
+  tcp::OnOffConfig oc;
+  oc.mean_on_bytes = on_bytes;
+  oc.mean_off_s = off_s;
+  return oc;
+}
+
+}  // namespace
+
+ScenarioSpec paper_dumbbell(std::size_t pairs) {
+  ScenarioSpec s;
+  sim::DumbbellConfig net;
+  net.pairs = pairs;
+  net.bottleneck_rate = 15.0 * util::kMbps;
+  net.rtt = util::milliseconds(150);
+  s.topology = net;
+  s.workload = onoff(500e3, 2.0);
+  s.duration = util::seconds(60);
+  return s;
+}
+
+ScenarioSpec hotcold_parking_lot() {
+  ScenarioSpec s;
+  sim::ParkingLotConfig net;
+  net.hops = 2;
+  net.cross_per_hop = 8;
+  net.long_flows = 2;
+  s.topology = net;
+  s.duration = util::seconds(60);
+  // Interleaved hot/cold, then the long flows — the construction (and
+  // seed-draw) order the multipath ablation established.
+  sim::FlowId flow = 1;
+  for (std::size_t i = 0; i < net.cross_per_hop; ++i) {
+    SenderSpec hot;
+    hot.endpoint = i;  // hop-0 cross pair i
+    hot.flow = flow++;
+    hot.workload = onoff(800e3, 0.5);
+    hot.group = 0;
+    s.senders.push_back(hot);
+    SenderSpec cold;
+    cold.endpoint = net.cross_per_hop + i;  // hop-1 cross pair i
+    cold.flow = flow++;
+    cold.workload = onoff(200e3, 6.0);
+    cold.group = 1;
+    s.senders.push_back(cold);
+  }
+  for (std::size_t j = 0; j < net.long_flows; ++j) {
+    SenderSpec lng;
+    lng.endpoint = net.hops * net.cross_per_hop + j;
+    lng.flow = flow++;
+    lng.workload = onoff(500e3, 2.0);
+    s.senders.push_back(lng);
+  }
+  return s;
+}
+
+ScenarioSpec probe_parking_lot(std::size_t hops, std::size_t probes) {
+  ScenarioSpec s;
+  sim::ParkingLotConfig net;
+  net.hops = hops;
+  net.cross_per_hop = probes + 3;  // probes + bursty load flows
+  s.topology = net;
+  s.duration = util::seconds(60);
+  for (std::size_t h = 0; h < hops; ++h) {
+    for (std::size_t i = 0; i < net.cross_per_hop; ++i) {
+      SenderSpec ss;
+      ss.endpoint = h * net.cross_per_hop + i;
+      ss.flow = 1000 * (h + 1) + i;
+      ss.group = static_cast<int>(h);
+      if (i < probes) {
+        ss.bulk_segments = 10'000'000;  // effectively endless
+      } else {
+        ss.workload = onoff(600e3, 1.2);
+      }
+      s.senders.push_back(ss);
+    }
+  }
+  return s;
+}
+
+const std::vector<Preset>& registry() {
+  static const std::vector<Preset> presets = [] {
+    std::vector<Preset> v;
+    v.push_back({"dumbbell-paper",
+                 "Figure-1 canon: 8 on/off senders, 15 Mbps / 150 ms",
+                 paper_dumbbell(8)});
+    v.push_back({"dumbbell-low-util",
+                 "Figure 2a operating point: 4 on/off senders",
+                 paper_dumbbell(4)});
+    v.push_back({"dumbbell-high-util",
+                 "Figure 2b operating point: 16 on/off senders",
+                 paper_dumbbell(16)});
+    {
+      ScenarioSpec s = paper_dumbbell(100);
+      s.workload = onoff(1e13, 1.0);
+      s.workload.start_with_off = false;
+      Preset p{"dumbbell-longrun",
+               "Figure 2c: 100 long-running connections", s};
+      v.push_back(p);
+    }
+    {
+      ScenarioSpec s = paper_dumbbell(8);
+      auto& net = std::get<sim::DumbbellConfig>(s.topology);
+      net.queue = sim::DumbbellConfig::Queue::kRedEcn;
+      s.ecn = true;
+      v.push_back({"dumbbell-ecn",
+                   "canon dumbbell with RED+ECN at the bottleneck", s});
+    }
+    {
+      ScenarioSpec s = paper_dumbbell(8);
+      for (std::size_t i = 0; i < 8; ++i) {
+        SenderSpec ss;
+        ss.endpoint = i;
+        ss.group = static_cast<int>(i % 2);  // Fig-4 split: even=modified
+        s.senders.push_back(ss);
+      }
+      v.push_back({"dumbbell-incremental",
+                   "Figure-4 population: alternate senders grouped 0/1", s});
+    }
+    v.push_back({"parking-hotcold",
+                 "two-hop lot, busy hop 0 vs idle hop 1 + long flows",
+                 hotcold_parking_lot()});
+    v.push_back({"parking-probes",
+                 "per-hop bulk probes + bursty load (the §2.1 study)",
+                 probe_parking_lot()});
+    return v;
+  }();
+  return presets;
+}
+
+const Preset* find(const std::string& name) {
+  for (const auto& p : registry())
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+namespace {
+
+bool fail(std::string* err, const std::string& msg) {
+  if (err != nullptr) *err = msg;
+  return false;
+}
+
+bool parse_double(const std::string& v, double* out) {
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') return false;
+  *out = d;
+  return true;
+}
+
+bool parse_size(const std::string& v, std::size_t* out) {
+  double d = 0;
+  if (!parse_double(v, &d) || d < 0 || d != static_cast<double>(
+                                            static_cast<std::size_t>(d)))
+    return false;
+  *out = static_cast<std::size_t>(d);
+  return true;
+}
+
+bool parse_bool(const std::string& v, bool* out) {
+  if (v == "1" || v == "true" || v == "on") {
+    *out = true;
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool apply_override(ScenarioSpec& spec, const std::string& assignment,
+                    std::string* err) {
+  const auto eq = assignment.find('=');
+  if (eq == std::string::npos || eq == 0)
+    return fail(err, "override '" + assignment + "' is not key=value");
+  const std::string key = assignment.substr(0, eq);
+  const std::string val = assignment.substr(eq + 1);
+
+  double d = 0;
+  std::size_t z = 0;
+  bool b = false;
+
+  // Scenario-wide keys.
+  if (key == "seed") {
+    if (!parse_double(val, &d) || d < 0)
+      return fail(err, "seed wants a non-negative number, got '" + val + "'");
+    spec.seed = static_cast<std::uint64_t>(d);
+    return true;
+  }
+  if (key == "duration_s") {
+    if (!parse_double(val, &d) || d <= 0)
+      return fail(err, "duration_s wants seconds > 0, got '" + val + "'");
+    spec.duration = util::from_seconds(d);
+    return true;
+  }
+  if (key == "warmup_s") {
+    if (!parse_double(val, &d) || d < 0)
+      return fail(err, "warmup_s wants seconds >= 0, got '" + val + "'");
+    spec.warmup = util::from_seconds(d);
+    return true;
+  }
+  if (key == "ecn") {
+    if (!parse_bool(val, &b))
+      return fail(err, "ecn wants a boolean, got '" + val + "'");
+    spec.ecn = b;
+    return true;
+  }
+  if (key == "on_bytes" || key == "off_s" || key == "start_with_off") {
+    // The default workload; per-sender workloads in a pinned population
+    // are part of the preset's identity and keep their values.
+    if (key == "on_bytes") {
+      if (!parse_double(val, &d) || d <= 0)
+        return fail(err, "on_bytes wants bytes > 0, got '" + val + "'");
+      spec.workload.mean_on_bytes = d;
+    } else if (key == "off_s") {
+      if (!parse_double(val, &d) || d < 0)
+        return fail(err, "off_s wants seconds >= 0, got '" + val + "'");
+      spec.workload.mean_off_s = d;
+    } else {
+      if (!parse_bool(val, &b))
+        return fail(err, "start_with_off wants a boolean, got '" + val + "'");
+      spec.workload.start_with_off = b;
+    }
+    return true;
+  }
+
+  // Population-shape keys change endpoint numbering; refuse them when
+  // the preset pins an explicit sender list built for the old shape.
+  const bool shape_key = key == "pairs" || key == "hops" ||
+                         key == "cross_per_hop" || key == "long_flows";
+  if (shape_key && !spec.senders.empty())
+    return fail(err, "'" + key +
+                         "' would re-shape a preset with a pinned sender "
+                         "population; pick a preset without explicit "
+                         "senders or derive a new preset in code");
+
+  if (auto* dumb = std::get_if<sim::DumbbellConfig>(&spec.topology)) {
+    if (key == "pairs") {
+      if (!parse_size(val, &z) || z == 0)
+        return fail(err, "pairs wants an integer >= 1, got '" + val + "'");
+      dumb->pairs = z;
+      return true;
+    }
+    if (key == "rate_mbps") {
+      if (!parse_double(val, &d) || d <= 0)
+        return fail(err, "rate_mbps wants Mbps > 0, got '" + val + "'");
+      dumb->bottleneck_rate = d * util::kMbps;
+      return true;
+    }
+    if (key == "rtt_ms") {
+      if (!parse_double(val, &d) || d <= 0)
+        return fail(err, "rtt_ms wants ms > 0, got '" + val + "'");
+      dumb->rtt = util::milliseconds(d);
+      return true;
+    }
+    if (key == "queue") {
+      if (val == "droptail")
+        dumb->queue = sim::DumbbellConfig::Queue::kDropTail;
+      else if (val == "red-ecn")
+        dumb->queue = sim::DumbbellConfig::Queue::kRedEcn;
+      else if (val == "fq")
+        dumb->queue = sim::DumbbellConfig::Queue::kFq;
+      else
+        return fail(err, "queue wants droptail|red-ecn|fq, got '" + val + "'");
+      return true;
+    }
+    if (key == "jitter_ms") {
+      if (!parse_double(val, &d) || d < 0)
+        return fail(err, "jitter_ms wants ms >= 0, got '" + val + "'");
+      dumb->bottleneck_jitter = util::milliseconds(d);
+      return true;
+    }
+    if (key == "buffer_bdp") {
+      if (!parse_double(val, &d) || d <= 0)
+        return fail(err, "buffer_bdp wants a multiple > 0, got '" + val + "'");
+      dumb->buffer_bdp_multiple = d;
+      return true;
+    }
+    if (key == "hops" || key == "cross_per_hop" || key == "long_flows" ||
+        key == "hop_rate_mbps" || key == "hop_delay_ms")
+      return fail(err, "'" + key + "' applies to parking-lot presets, and "
+                                   "this preset is a dumbbell");
+  } else {
+    auto& lot = std::get<sim::ParkingLotConfig>(spec.topology);
+    if (key == "hops") {
+      if (!parse_size(val, &z) || z == 0)
+        return fail(err, "hops wants an integer >= 1, got '" + val + "'");
+      lot.hops = z;
+      return true;
+    }
+    if (key == "cross_per_hop") {
+      if (!parse_size(val, &z))
+        return fail(err,
+                    "cross_per_hop wants an integer >= 0, got '" + val + "'");
+      lot.cross_per_hop = z;
+      return true;
+    }
+    if (key == "long_flows") {
+      if (!parse_size(val, &z))
+        return fail(err, "long_flows wants an integer >= 0, got '" + val + "'");
+      lot.long_flows = z;
+      return true;
+    }
+    if (key == "hop_rate_mbps") {
+      if (!parse_double(val, &d) || d <= 0)
+        return fail(err, "hop_rate_mbps wants Mbps > 0, got '" + val + "'");
+      lot.hop_rate = d * util::kMbps;
+      return true;
+    }
+    if (key == "hop_delay_ms") {
+      if (!parse_double(val, &d) || d <= 0)
+        return fail(err, "hop_delay_ms wants ms > 0, got '" + val + "'");
+      lot.hop_delay = util::milliseconds(d);
+      return true;
+    }
+    if (key == "buffer_bdp") {
+      if (!parse_double(val, &d) || d <= 0)
+        return fail(err, "buffer_bdp wants a multiple > 0, got '" + val + "'");
+      lot.buffer_bdp_multiple = d;
+      return true;
+    }
+    if (key == "pairs" || key == "rate_mbps" || key == "rtt_ms" ||
+        key == "queue" || key == "jitter_ms")
+      return fail(err, "'" + key + "' applies to dumbbell presets, and this "
+                                   "preset is a parking lot");
+  }
+  return fail(err, "unknown override key '" + key + "'");
+}
+
+}  // namespace phi::core::presets

@@ -1,0 +1,54 @@
+// presets.hpp — named, runnable scenario specs. The paper's workloads
+// (and the parking-lot patterns the ablations use) are declared once
+// here instead of being re-typed in every bench; `tools/run_scenario`
+// exposes the registry on the command line with `key=value` overrides.
+// See docs/SCENARIOS.md for the full grammar.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "phi/scenario.hpp"
+
+namespace phi::core::presets {
+
+/// The paper's canonical Figure-1 workload: `pairs` on/off senders of
+/// 500 KB mean on / 2 s mean off across a 15 Mbps, 150 ms-RTT dumbbell,
+/// measured for 60 s. Every figure bench starts from this block.
+ScenarioSpec paper_dumbbell(std::size_t pairs = 8);
+
+/// The two-hop hot/cold parking lot from the multipath ablation: 8 busy
+/// cross senders on hop 0 (group 0), 8 mostly-idle ones on hop 1
+/// (group 1), 2 ungrouped long background flows, built in the
+/// interleaved hot/cold order with wire flow ids 1..18.
+ScenarioSpec hotcold_parking_lot();
+
+/// The §2.1 probe pattern: per hop, `probes` long bulk transfers plus 3
+/// bursty on/off load senders, flows numbered 1000*(hop+1)+i, each hop a
+/// reporting group.
+ScenarioSpec probe_parking_lot(std::size_t hops = 2, std::size_t probes = 3);
+
+struct Preset {
+  std::string name;
+  std::string summary;
+  ScenarioSpec spec;
+};
+
+/// All named presets, covering both topology classes.
+const std::vector<Preset>& registry();
+
+/// Preset by name; nullptr when unknown.
+const Preset* find(const std::string& name);
+
+/// Apply one `key=value` override to a spec. Keys: seed, duration_s,
+/// warmup_s, ecn, on_bytes, off_s, start_with_off and, per topology,
+/// pairs / rate_mbps / rtt_ms / queue / jitter_ms / buffer_bdp
+/// (dumbbell) or hops / cross_per_hop / long_flows / hop_rate_mbps /
+/// hop_delay_ms / buffer_bdp (parking lot). Returns false with a
+/// message in `err` on unknown keys, malformed values, keys for the
+/// other topology class, or population-shape changes to a preset that
+/// pins an explicit sender list.
+bool apply_override(ScenarioSpec& spec, const std::string& assignment,
+                    std::string* err);
+
+}  // namespace phi::core::presets

@@ -21,37 +21,94 @@ struct GroupAccum {
   util::RunningStats srtt;
 };
 
+/// Completed-connection accounting for bulk senders, mirroring
+/// OnOffApp's aggregates so metrics read the same for either traffic
+/// shape.
+struct BulkAccum {
+  std::int64_t completed = 0;
+  double on_time_s = 0;
+  double bits = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t timeouts = 0;
+  util::RunningStats rtt;
+
+  void absorb(const tcp::ConnStats& s) {
+    ++completed;
+    on_time_s += s.duration_s();
+    bits += static_cast<double>(s.segments) * sim::kDefaultMss * 8.0;
+    retransmits += s.retransmits;
+    packets += s.packets_sent;
+    timeouts += s.timeouts;
+    if (s.rtt_samples > 0) rtt.add(s.mean_rtt_s);
+  }
+};
+
 }  // namespace
 
-ScenarioMetrics run_scenario_with_setup(const ScenarioConfig& cfg,
+ScenarioMetrics run_scenario_with_setup(const ScenarioSpec& spec,
                                         PolicyFactory policy,
                                         const SetupHook& setup,
                                         GroupFn groups) {
-  sim::Dumbbell d(cfg.net);
-  const std::size_t n = cfg.net.pairs;
+  std::unique_ptr<sim::Topology> topo = sim::make_topology(spec.topology);
+  sim::Topology& t = *topo;
+
+  // Effective population: an explicit sender list, or the canonical one
+  // on/off sender per endpoint (the paper's setup).
+  std::vector<SenderSpec> defaults;
+  const std::vector<SenderSpec>* sspecs = &spec.senders;
+  if (spec.senders.empty()) {
+    defaults.resize(t.endpoint_count());
+    for (std::size_t i = 0; i < defaults.size(); ++i)
+      defaults[i].endpoint = i;
+    sspecs = &defaults;
+  }
+  const std::size_t n = sspecs->size();
+
+  // Without an explicit GroupFn, SenderSpec group assignments (if any)
+  // drive group accounting.
+  bool spec_groups = false;
+  for (const SenderSpec& ss : *sspecs) spec_groups |= ss.group >= 0;
+  auto group_of = [&](std::size_t i) -> int {
+    if (groups) return groups(i);
+    return spec_groups ? (*sspecs)[i].group : -1;
+  };
 
   std::vector<std::unique_ptr<tcp::TcpSender>> senders;
   std::vector<std::unique_ptr<tcp::TcpSink>> sinks;
-  std::vector<std::unique_ptr<tcp::OnOffApp>> apps;
+  std::vector<std::unique_ptr<tcp::OnOffApp>> apps;  ///< null for bulk
   std::vector<std::unique_ptr<tcp::ConnectionAdvisor>> advisors;
+  std::vector<BulkAccum> bulk(n);
+  std::vector<sim::FlowId> flows(n, 0);
   senders.reserve(n);
   sinks.reserve(n);
   apps.reserve(n);
 
-  util::Rng seeder(cfg.seed);
+  util::Rng seeder(spec.seed);
   for (std::size_t i = 0; i < n; ++i) {
-    const sim::FlowId flow = 1000 + i;
+    const SenderSpec& ss = (*sspecs)[i];
+    const sim::Topology::Endpoint ep = t.endpoint(ss.endpoint);
+    const sim::FlowId flow = ss.flow != 0 ? ss.flow : 1000 + i;
+    flows[i] = flow;
     senders.push_back(std::make_unique<tcp::TcpSender>(
-        d.scheduler(), d.sender(i), d.receiver(i).id(), flow, policy(i)));
-    if (cfg.ecn) senders.back()->set_ecn(true);
+        t.scheduler(), *ep.tx, ep.rx->id(), flow, policy(i)));
+    if (spec.ecn) senders.back()->set_ecn(true);
     sinks.push_back(
-        std::make_unique<tcp::TcpSink>(d.scheduler(), d.receiver(i), flow));
-    apps.push_back(std::make_unique<tcp::OnOffApp>(
-        d.scheduler(), *senders.back(), cfg.workload, seeder()));
+        std::make_unique<tcp::TcpSink>(t.scheduler(), *ep.rx, flow));
+    if (ss.bulk_segments > 0) {
+      apps.push_back(nullptr);  // started below, in population order
+    } else {
+      apps.push_back(std::make_unique<tcp::OnOffApp>(
+          t.scheduler(), *senders.back(),
+          ss.workload ? *ss.workload : spec.workload, seeder()));
+    }
   }
 
   LiveScenario live;
-  live.dumbbell = &d;
+  live.topology = &t;
+  live.dumbbell = dynamic_cast<sim::Dumbbell*>(&t);
+  live.parking_lot = dynamic_cast<sim::ParkingLot*>(&t);
+  live.spec = &spec;
   for (auto& s : senders) live.senders.push_back(s.get());
   for (auto& s : sinks) live.sinks.push_back(s.get());
   live.active_count = [&senders] {
@@ -60,78 +117,161 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioConfig& cfg,
       if (s->busy()) ++c;
     return c;
   };
+  std::unique_ptr<FaultInjector> injector;
+  if (spec.faults) {
+    live.fault_injector = [&t, &injector,
+                           &spec](ContextServer& server) -> FaultInjector* {
+      if (!injector)
+        injector = std::make_unique<FaultInjector>(t.scheduler(), server,
+                                                   *spec.faults);
+      return injector.get();
+    };
+  } else {
+    // Always callable, per the LiveScenario contract: no fault plan
+    // simply means no injector to hand out.
+    live.fault_injector = [](ContextServer&) -> FaultInjector* {
+      return nullptr;
+    };
+  }
 
   if (setup) {
     AdvisorFactory af = setup(live);
     if (af) {
       for (std::size_t i = 0; i < n; ++i) {
         advisors.push_back(af(i));
-        if (advisors.back()) apps[i]->set_advisor(advisors.back().get());
+        if (advisors.back() && apps[i])
+          apps[i]->set_advisor(advisors.back().get());
       }
     }
   }
 
-  for (auto& a : apps) a->start();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (apps[i]) {
+      apps[i]->start();
+    } else {
+      BulkAccum* acc = &bulk[i];
+      senders[i]->start_connection(
+          (*sspecs)[i].bulk_segments,
+          [acc](const tcp::ConnStats& s) { acc->absorb(s); });
+    }
+  }
 
   std::vector<std::int64_t> acked_at_warmup(n, 0);
-  if (cfg.warmup > 0) {
-    d.net().run_until(cfg.warmup);
-    d.bottleneck().reset_stats();
-    d.monitor().reset_series();
-    for (auto& a : apps) a->reset_aggregates();
+  if (spec.warmup > 0) {
+    t.net().run_until(spec.warmup);
+    for (std::size_t p = 0; p < t.path_count(); ++p) {
+      t.path_link(p).reset_stats();
+      t.path_monitor(p).reset_series();
+    }
+    for (auto& a : apps)
+      if (a) a->reset_aggregates();
+    for (auto& b : bulk) b = BulkAccum{};
     for (std::size_t i = 0; i < n; ++i)
       acked_at_warmup[i] = senders[i]->lifetime_acked_segments();
   }
-  d.net().run_until(cfg.warmup + cfg.duration);
+  t.net().run_until(spec.warmup + spec.duration);
 
+  const double dur_s = util::to_seconds(spec.duration);
   ScenarioMetrics m;
   double bits = 0, on_time = 0;
   util::RunningStats rtt;
   double min_rtt = 0;
   bool have_min = false;
   std::map<int, GroupAccum> gacc;
+  m.per_sender.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& a = *apps[i];
-    bits += a.total_bits();
-    on_time += a.total_on_time_s();
-    m.connections += a.connections_completed();
-    m.timeouts += a.total_timeouts();
-    rtt.merge(a.rtt_stats());
-    if (a.rtt_stats().count() > 0) {
-      const double mn = a.rtt_stats().min();
+    const bool is_bulk = apps[i] == nullptr;
+    const double a_bits = is_bulk ? bulk[i].bits : apps[i]->total_bits();
+    const double a_on =
+        is_bulk ? bulk[i].on_time_s : apps[i]->total_on_time_s();
+    const std::int64_t a_conns =
+        is_bulk ? bulk[i].completed : apps[i]->connections_completed();
+    const std::uint64_t a_rtx =
+        is_bulk ? bulk[i].retransmits : apps[i]->total_retransmits();
+    const std::uint64_t a_pkts =
+        is_bulk ? bulk[i].packets : apps[i]->total_packets_sent();
+    const std::uint64_t a_timeouts =
+        is_bulk ? bulk[i].timeouts : apps[i]->total_timeouts();
+    const util::RunningStats& a_rtt =
+        is_bulk ? bulk[i].rtt : apps[i]->rtt_stats();
+
+    bits += a_bits;
+    on_time += a_on;
+    m.connections += a_conns;
+    m.timeouts += a_timeouts;
+    rtt.merge(a_rtt);
+    if (a_rtt.count() > 0) {
+      const double mn = a_rtt.min();
       if (!have_min || mn < min_rtt) {
         min_rtt = mn;
         have_min = true;
       }
     }
-    if (groups) {
-      GroupAccum& g = gacc[groups(i)];
-      g.bits += a.total_bits();
-      g.on_time_s += a.total_on_time_s();
-      g.rtt_weighted += a.rtt_stats().mean() *
-                        static_cast<double>(a.rtt_stats().count());
-      g.conns += a.connections_completed();
-      g.rtx += a.total_retransmits();
-      g.pkts += a.total_packets_sent();
-      g.live_bits += static_cast<double>(
-                         senders[i]->lifetime_acked_segments() -
-                         acked_at_warmup[i]) *
-                     sim::kDefaultMss * 8.0;
-      if (senders[i]->rtt().has_sample())
-        g.srtt.add(util::to_seconds(senders[i]->rtt().srtt()));
+
+    SenderMetrics sm;
+    sm.endpoint = (*sspecs)[i].endpoint;
+    sm.flow = flows[i];
+    sm.group = group_of(i);
+    sm.bits = a_bits;
+    sm.on_time_s = a_on;
+    sm.connections = a_conns;
+    sm.rtt_mean_s = a_rtt.mean();
+    sm.rtt_count = static_cast<std::int64_t>(a_rtt.count());
+    sm.rtt_min_s = a_rtt.count() > 0 ? a_rtt.min() : 0.0;
+    sm.retransmits = a_rtx;
+    sm.packets_sent = a_pkts;
+    sm.timeouts = a_timeouts;
+    sm.live_bits = static_cast<double>(senders[i]->lifetime_acked_segments() -
+                                       acked_at_warmup[i]) *
+                   sim::kDefaultMss * 8.0;
+    sm.has_srtt = senders[i]->rtt().has_sample();
+    sm.srtt_s =
+        sm.has_srtt ? util::to_seconds(senders[i]->rtt().srtt()) : 0.0;
+    m.per_sender.push_back(sm);
+
+    if (sm.group >= 0) {
+      GroupAccum& g = gacc[sm.group];
+      g.bits += a_bits;
+      g.on_time_s += a_on;
+      g.rtt_weighted += a_rtt.mean() * static_cast<double>(a_rtt.count());
+      g.conns += a_conns;
+      g.rtx += a_rtx;
+      g.pkts += a_pkts;
+      g.live_bits += sm.live_bits;
+      if (sm.has_srtt) g.srtt.add(sm.srtt_s);
     }
   }
   m.throughput_bps = on_time > 0 ? bits / on_time : 0.0;
-  m.mean_queue_delay_s = d.bottleneck().queueing_delay().mean();
-  m.loss_rate = d.monitor().loss_rate();
-  m.utilization = d.monitor().utilization_series().mean();
+
+  const std::size_t paths = t.path_count();
+  double qd = 0, loss = 0, util_sum = 0;
+  std::uint64_t link_bytes = 0;
+  m.paths.reserve(paths);
+  for (std::size_t p = 0; p < paths; ++p) {
+    PathMetrics pm;
+    pm.mean_queue_delay_s = t.path_link(p).queueing_delay().mean();
+    pm.loss_rate = t.path_monitor(p).loss_rate();
+    pm.utilization = t.path_monitor(p).utilization_series().mean();
+    pm.bytes_transmitted = t.path_link(p).bytes_transmitted();
+    qd += pm.mean_queue_delay_s;
+    loss += pm.loss_rate;
+    util_sum += pm.utilization;
+    link_bytes += pm.bytes_transmitted;
+    m.paths.push_back(pm);
+  }
+  // Scalar link metrics are the mean across paths (exactly the single
+  // bottleneck's values on the dumbbell).
+  m.mean_queue_delay_s = qd / static_cast<double>(paths);
+  m.loss_rate = loss / static_cast<double>(paths);
+  m.utilization = util_sum / static_cast<double>(paths);
+
   m.mean_rtt_s = rtt.mean();
   m.min_rtt_s = have_min ? min_rtt : 0.0;
   if (m.connections == 0) {
     // Long-running flows never complete (Fig. 2c): fall back to link
     // counters for goodput and to the live RTT estimators for delay.
-    m.throughput_bps = static_cast<double>(d.bottleneck().bytes_transmitted()) *
-                       8.0 / util::to_seconds(cfg.duration);
+    m.throughput_bps =
+        dur_s > 0 ? static_cast<double>(link_bytes) * 8.0 / dur_s : 0.0;
     util::RunningStats srtt;
     for (const auto& s : senders)
       if (s->rtt().has_sample())
@@ -142,13 +282,13 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioConfig& cfg,
     GroupMetrics gm;
     gm.group = gid;
     gm.throughput_bps = g.on_time_s > 0 ? g.bits / g.on_time_s : 0.0;
-    gm.mean_rtt_s = g.conns > 0
-                        ? g.rtt_weighted / static_cast<double>(g.conns)
-                        : 0.0;
+    gm.mean_rtt_s =
+        g.conns > 0 ? g.rtt_weighted / static_cast<double>(g.conns) : 0.0;
     if (g.conns == 0) {
       // Long-running flows: goodput from live ACK progress, delay from
-      // the live RTT estimators.
-      gm.throughput_bps = g.live_bits / util::to_seconds(cfg.duration);
+      // the live RTT estimators. A group with no traffic at all (or a
+      // zero-length measurement window) reads as an all-zero row.
+      gm.throughput_bps = dur_s > 0 ? g.live_bits / dur_s : 0.0;
       gm.mean_rtt_s = g.srtt.mean();
     }
     gm.retransmit_rate =
@@ -157,22 +297,23 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioConfig& cfg,
     gm.connections = g.conns;
     m.groups.push_back(gm);
   }
+  if (live.on_complete) live.on_complete();
   return m;
 }
 
-ScenarioMetrics run_scenario(const ScenarioConfig& cfg, PolicyFactory policy,
+ScenarioMetrics run_scenario(const ScenarioSpec& spec, PolicyFactory policy,
                              AdvisorFactory advisor, GroupFn groups) {
   SetupHook hook;
   if (advisor) {
     hook = [&advisor](LiveScenario&) { return advisor; };
   }
-  return run_scenario_with_setup(cfg, std::move(policy), hook,
+  return run_scenario_with_setup(spec, std::move(policy), hook,
                                  std::move(groups));
 }
 
-ScenarioMetrics run_cubic_scenario(const ScenarioConfig& cfg,
+ScenarioMetrics run_cubic_scenario(const ScenarioSpec& spec,
                                    tcp::CubicParams params) {
-  return run_scenario(cfg, [params](std::size_t) {
+  return run_scenario(spec, [params](std::size_t) {
     return std::make_unique<tcp::Cubic>(params);
   });
 }

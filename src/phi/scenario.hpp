@@ -1,14 +1,21 @@
-// scenario.hpp — the experiment engine: builds the Figure-1 dumbbell,
-// attaches N on/off Cubic senders (with per-sender policies and optional
-// Phi advisors), runs for a configured duration, and extracts the metrics
-// the paper plots: aggregate throughput during on-times, bottleneck
-// queueing delay, loss rate, utilization, and the P_l power objective.
+// scenario.hpp — the experiment engine. A ScenarioSpec declares a whole
+// experiment: which topology (Figure-1 dumbbell or multi-hop parking
+// lot), which sender population (per-sender workload, flow id, reporting
+// group), how long to run, and optional control-plane fault injection.
+// run_scenario builds it, attaches the senders (with per-sender policies
+// and optional Phi advisors), runs for the configured duration, and
+// extracts the metrics the paper plots: aggregate throughput during
+// on-times, bottleneck queueing delay, loss rate, utilization, and the
+// P_l power objective — plus per-sender and per-path breakdowns for
+// multi-bottleneck topologies. See docs/SCENARIOS.md.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "phi/fault_injection.hpp"
 #include "phi/metrics.hpp"
 #include "sim/topology.hpp"
 #include "tcp/app.hpp"
@@ -17,9 +24,31 @@
 
 namespace phi::core {
 
-struct ScenarioConfig {
-  sim::DumbbellConfig net{};
-  tcp::OnOffConfig workload{};
+/// One sender in a scenario: which topology endpoint it occupies, what
+/// traffic it offers, and how it is reported.
+struct SenderSpec {
+  std::size_t endpoint = 0;  ///< index into Topology::endpoint()
+  /// Flow id on the wire; 0 = auto (1000 + position in the sender list).
+  sim::FlowId flow = 0;
+  /// Per-sender on/off workload; nullopt = the spec-wide default.
+  std::optional<tcp::OnOffConfig> workload;
+  /// > 0: a single bulk transfer of this many segments (started at t=0)
+  /// instead of the on/off cycle — the §2.1 probe-flow pattern. Bulk
+  /// senders draw nothing from the scenario seed and take no advisor.
+  std::int64_t bulk_segments = 0;
+  /// Reporting group (>= 0); -1 = excluded from group accounting.
+  int group = -1;
+};
+
+/// A declarative experiment: topology variant + sender population +
+/// duration/seed + optional fault plan. The topology-generic successor
+/// of ScenarioConfig (which remains as a dumbbell-only shim below).
+struct ScenarioSpec {
+  sim::TopologySpec topology = sim::DumbbellConfig{};
+  /// Sender population. Empty = the canonical one on/off sender per
+  /// topology endpoint, all using `workload` (the paper's setup).
+  std::vector<SenderSpec> senders;
+  tcp::OnOffConfig workload{};  ///< default workload for senders
   util::Duration duration = util::seconds(120);
   /// Statistics are reset after this much simulated time, excluding the
   /// cold-start transient. 0 = measure everything (the paper's on/off
@@ -28,10 +57,44 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
   /// Senders negotiate ECN (pair with DumbbellConfig::Queue::kRedEcn).
   bool ecn = false;
+  /// When set, the engine offers a FaultInjector built from this config
+  /// to the setup hook (LiveScenario::fault_injector) so Phi advisors
+  /// can be wired through a hostile control-plane channel.
+  std::optional<FaultConfig> faults;
+
+  /// Number of senders the engine will attach.
+  std::size_t sender_count() const noexcept {
+    return senders.empty() ? sim::endpoint_count(topology) : senders.size();
+  }
 };
 
-/// Creates the congestion-control policy for sender `i`. The incremental-
-/// deployment experiment (Fig. 4) returns different parameters per sender.
+/// Back-compat shim: the original dumbbell-only configuration. Converts
+/// implicitly to a ScenarioSpec, so existing call sites keep working and
+/// migrate mechanically.
+struct ScenarioConfig {
+  sim::DumbbellConfig net{};
+  tcp::OnOffConfig workload{};
+  util::Duration duration = util::seconds(120);
+  util::Duration warmup = 0;
+  std::uint64_t seed = 1;
+  bool ecn = false;
+
+  ScenarioSpec spec() const {
+    ScenarioSpec s;
+    s.topology = net;
+    s.workload = workload;
+    s.duration = duration;
+    s.warmup = warmup;
+    s.seed = seed;
+    s.ecn = ecn;
+    return s;
+  }
+  operator ScenarioSpec() const { return spec(); }  // NOLINT(google-explicit-constructor)
+};
+
+/// Creates the congestion-control policy for sender `i` (the position in
+/// the effective sender list). The incremental-deployment experiment
+/// (Fig. 4) returns different parameters per sender.
 using PolicyFactory =
     std::function<std::unique_ptr<tcp::CongestionControl>(std::size_t i)>;
 
@@ -40,7 +103,9 @@ using AdvisorFactory =
     std::function<std::unique_ptr<tcp::ConnectionAdvisor>(std::size_t i)>;
 
 /// Maps sender index -> reporting group (Fig. 4 reports modified vs
-/// unmodified separately). Return values must be small non-negative ints.
+/// unmodified separately). Return values must be small ints; negative
+/// values exclude the sender from group accounting. When no GroupFn is
+/// passed, SenderSpec::group assignments (if any) take its place.
 using GroupFn = std::function<int(std::size_t i)>;
 
 struct GroupMetrics {
@@ -49,6 +114,39 @@ struct GroupMetrics {
   double mean_rtt_s = 0;      ///< connection-weighted
   double retransmit_rate = 0;
   std::int64_t connections = 0;
+};
+
+/// Per-sender breakdown: everything the engine knows about one sender's
+/// traffic, in sender-list order. Lets benches aggregate with their own
+/// weighting (e.g. per-hop means) without re-running the simulation.
+struct SenderMetrics {
+  std::size_t endpoint = 0;
+  sim::FlowId flow = 0;
+  int group = -1;                 ///< effective reporting group
+  double bits = 0;                ///< completed-connection bits
+  double on_time_s = 0;
+  std::int64_t connections = 0;   ///< completed connections
+  double rtt_mean_s = 0;          ///< mean of per-connection mean RTTs
+  std::int64_t rtt_count = 0;     ///< connections with RTT samples
+  double rtt_min_s = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t timeouts = 0;
+  double live_bits = 0;           ///< ACKed bits incl. running connections
+  double srtt_s = 0;              ///< live smoothed RTT (0 if no sample)
+  bool has_srtt = false;
+  double throughput_bps() const noexcept {
+    return on_time_s > 0 ? bits / on_time_s : 0.0;
+  }
+};
+
+/// Per-path breakdown (one row per Topology path, e.g. per parking-lot
+/// hop). The dumbbell has exactly one.
+struct PathMetrics {
+  double mean_queue_delay_s = 0;
+  double loss_rate = 0;
+  double utilization = 0;
+  std::uint64_t bytes_transmitted = 0;
 };
 
 struct ScenarioMetrics {
@@ -61,6 +159,8 @@ struct ScenarioMetrics {
   std::int64_t connections = 0;
   std::uint64_t timeouts = 0;
   std::vector<GroupMetrics> groups;
+  std::vector<SenderMetrics> per_sender;  ///< sender-list order
+  std::vector<PathMetrics> paths;         ///< Topology path order
 
   /// The sweep objective P_l = r (1-l) / d with d = mean RTT. Using RTT
   /// (propagation + queueing) keeps the metric finite on empty queues and
@@ -73,31 +173,45 @@ struct ScenarioMetrics {
   }
 };
 
-/// Run one dumbbell scenario. All senders use `policy(i)`; when `advisor`
-/// is given, each app gets advisor(i) wired in; `groups` splits reporting.
-ScenarioMetrics run_scenario(const ScenarioConfig& cfg, PolicyFactory policy,
+/// Run one scenario. All senders use `policy(i)`; when `advisor` is
+/// given, each app gets advisor(i) wired in; `groups` splits reporting.
+ScenarioMetrics run_scenario(const ScenarioSpec& spec, PolicyFactory policy,
                              AdvisorFactory advisor = nullptr,
                              GroupFn groups = nullptr);
 
 /// Convenience: every sender runs Cubic with the same parameters.
-ScenarioMetrics run_cubic_scenario(const ScenarioConfig& cfg,
+ScenarioMetrics run_cubic_scenario(const ScenarioSpec& spec,
                                    tcp::CubicParams params);
 
-/// Like run_scenario but gives the caller access to the live dumbbell
-/// (monitor, context sources) during the run via a setup hook that may
+/// Like run_scenario but gives the caller access to the live topology
+/// (monitors, context sources) during the run via a setup hook that may
 /// also return advisors.
 struct LiveScenario;
 using SetupHook = std::function<AdvisorFactory(LiveScenario&)>;
 
 struct LiveScenario {
+  sim::Topology* topology = nullptr;
+  /// Concrete views; exactly one is non-null, matching the spec's
+  /// topology variant. Dumbbell-only hooks keep reading `dumbbell`.
   sim::Dumbbell* dumbbell = nullptr;
+  sim::ParkingLot* parking_lot = nullptr;
+  const ScenarioSpec* spec = nullptr;
   std::vector<tcp::TcpSender*> senders;
   std::vector<tcp::TcpSink*> sinks;
   /// Number of senders whose connection is currently active ("on").
   std::function<double()> active_count;
+  /// When the spec carries a fault plan, builds (once) and returns the
+  /// engine-owned FaultInjector wrapping `server`; nullptr when the spec
+  /// has no faults. Valid for the whole run.
+  std::function<FaultInjector*(ContextServer& server)> fault_injector;
+  /// Optional: set by the setup hook; the engine invokes it after the
+  /// simulation finishes but before teardown, so benches can read final
+  /// state (e.g. a context server's per-path weather) while the topology
+  /// and its scheduler are still alive.
+  std::function<void()> on_complete;
 };
 
-ScenarioMetrics run_scenario_with_setup(const ScenarioConfig& cfg,
+ScenarioMetrics run_scenario_with_setup(const ScenarioSpec& spec,
                                         PolicyFactory policy,
                                         const SetupHook& setup,
                                         GroupFn groups = nullptr);

@@ -70,7 +70,7 @@ double mean_score(const SweepPoint& p) {
 
 }  // namespace
 
-SweepResult run_cubic_sweep(const ScenarioConfig& base, const SweepSpec& spec,
+SweepResult run_cubic_sweep(const ScenarioSpec& base, const SweepSpec& spec,
                             int n_runs, const ProgressFn& progress) {
   auto combos = spec.combos();
   const tcp::CubicParams defaults{};
@@ -100,7 +100,7 @@ SweepResult run_cubic_sweep(const ScenarioConfig& base, const SweepSpec& spec,
   const auto metrics = exec::parallel_map(
       tasks,
       [&](const Task& t) {
-        ScenarioConfig cfg = base;
+        ScenarioSpec cfg = base;
         // Seeded by repetition only: all settings see the same workload
         // draws at a given r (common random numbers).
         cfg.seed = util::derive_seed(base.seed,
@@ -185,7 +185,7 @@ StabilityResult leave_one_out(const SweepResult& sweep) {
 }
 
 RecommendationTable build_recommendation_table(
-    const std::vector<ScenarioConfig>& workloads, const SweepSpec& spec,
+    const std::vector<ScenarioSpec>& workloads, const SweepSpec& spec,
     int n_runs, const ContextBucketer& bucketer, const ProgressFn& progress) {
   RecommendationTable table;
   std::size_t done = 0;
@@ -195,7 +195,7 @@ RecommendationTable build_recommendation_table(
     CongestionContext ctx;
     ctx.utilization = base.utilization;
     ctx.queue_delay_s = base.mean_queue_delay_s;
-    ctx.competing_senders = static_cast<double>(w.net.pairs);
+    ctx.competing_senders = static_cast<double>(w.sender_count());
     ctx.loss_rate = base.loss_rate;
 
     const SweepResult sweep = run_cubic_sweep(w, spec, n_runs);
@@ -204,5 +204,4 @@ RecommendationTable build_recommendation_table(
   }
   return table;
 }
-
 }  // namespace phi::core

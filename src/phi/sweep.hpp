@@ -77,7 +77,7 @@ using ProgressFn = std::function<void(std::size_t done, std::size_t total)>;
 /// under identical workload draws). The default parameter setting is
 /// always included even if absent from the grid. Repetitions run
 /// spec.jobs-wide in parallel; the result is independent of jobs.
-SweepResult run_cubic_sweep(const ScenarioConfig& base, const SweepSpec& spec,
+SweepResult run_cubic_sweep(const ScenarioSpec& base, const SweepSpec& spec,
                             int n_runs, const ProgressFn& progress = {});
 
 /// Figure 3: leave-one-out validation. For each run r, select the best
@@ -100,9 +100,10 @@ ScenarioMetrics average_metrics(const std::vector<ScenarioMetrics>& runs);
 
 /// Build the recommendation table: for each workload, measure the
 /// congestion context under default parameters (the pre-Phi "weather"),
-/// sweep for the optimum, and file it under the context's bucket.
+/// sweep for the optimum, and file it under the context's bucket. The
+/// context's competing_senders is the spec's sender count.
 RecommendationTable build_recommendation_table(
-    const std::vector<ScenarioConfig>& workloads, const SweepSpec& spec,
+    const std::vector<ScenarioSpec>& workloads, const SweepSpec& spec,
     int n_runs, const ContextBucketer& bucketer = {},
     const ProgressFn& progress = {});
 

@@ -26,14 +26,14 @@ struct ProbeState {
 
 /// One simulation run of `tree` under `mode`; per-sender groups filled.
 core::ScenarioMetrics run_one(WhiskerTree& tree, SignalMode mode,
-                              const core::ScenarioConfig& cfg) {
+                              const core::ScenarioSpec& cfg) {
   // Non-owning alias: the tree outlives the run and keeps its use counts.
   auto shared = std::shared_ptr<WhiskerTree>(&tree, [](WhiskerTree*) {});
   auto probe_state = std::make_shared<ProbeState>();
   core::ContextServer server;
   std::vector<std::shared_ptr<CachedUtilization>> caches;
-  caches.reserve(cfg.net.pairs);
-  for (std::size_t i = 0; i < cfg.net.pairs; ++i)
+  caches.reserve(cfg.sender_count());
+  for (std::size_t i = 0; i < cfg.sender_count(); ++i)
     caches.push_back(std::make_shared<CachedUtilization>());
 
   core::PolicyFactory policy =
@@ -60,10 +60,12 @@ core::ScenarioMetrics run_one(WhiskerTree& tree, SignalMode mode,
 
   core::SetupHook setup =
       [&](core::LiveScenario& live) -> core::AdvisorFactory {
-    probe_state->monitor = &live.dumbbell->monitor();
+    // Path 0's monitor/link: on the dumbbell this is the bottleneck; on
+    // any other topology the trainer watches the first hop.
+    probe_state->monitor = &live.topology->path_monitor(0);
     if (mode != SignalMode::kPhiPractical) return nullptr;
-    server.set_path_capacity(kPath, live.dumbbell->config().bottleneck_rate);
-    sim::Scheduler* sched = &live.dumbbell->scheduler();
+    server.set_path_capacity(kPath, live.topology->path_link(0).rate());
+    sim::Scheduler* sched = &live.topology->scheduler();
     return [&server, sched,
             &caches](std::size_t i) -> std::unique_ptr<tcp::ConnectionAdvisor> {
       return std::make_unique<PhiRemyAdvisor>(
@@ -157,8 +159,8 @@ std::vector<RunTask> run_tasks(const TrainerConfig& cfg) {
   return tasks;
 }
 
-core::ScenarioConfig seeded(const core::ScenarioConfig& base, int run) {
-  core::ScenarioConfig cfg = base;
+core::ScenarioSpec seeded(const core::ScenarioSpec& base, int run) {
+  core::ScenarioSpec cfg = base;
   cfg.seed = util::derive_seed(base.seed, static_cast<std::uint64_t>(run));
   return cfg;
 }
@@ -290,7 +292,7 @@ WhiskerTree Trainer::train(
 }
 
 EvalResult Trainer::score_tree(const WhiskerTree& tree, SignalMode mode,
-                               const core::ScenarioConfig& scenario,
+                               const core::ScenarioSpec& scenario,
                                int runs, int jobs) {
   TrainerConfig cfg;
   cfg.mode = mode;

@@ -28,7 +28,7 @@ enum class SignalMode {
 };
 
 struct TrainerConfig {
-  std::vector<core::ScenarioConfig> scenarios;  ///< training workloads
+  std::vector<core::ScenarioSpec> scenarios;  ///< training workloads
   int runs_per_scenario = 2;   ///< seeds per scenario per evaluation
   int max_rounds = 24;         ///< optimize/split cycles
   int max_hill_climb_iters = 2;
@@ -77,7 +77,7 @@ class Trainer {
   /// returning per-sender medians — the Table 3 measurement. Exposed so
   /// benches/tests can score trained trees on held-out seeds.
   static EvalResult score_tree(const WhiskerTree& tree, SignalMode mode,
-                               const core::ScenarioConfig& scenario,
+                               const core::ScenarioSpec& scenario,
                                int runs, int jobs = 0);
 
  private:

@@ -8,10 +8,12 @@
 
 #include <cstddef>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/monitor.hpp"
 #include "sim/network.hpp"
+#include "sim/topology_iface.hpp"
 
 namespace phi::sim {
 
@@ -27,15 +29,43 @@ struct ParkingLotConfig {
   util::Duration monitor_interval = util::milliseconds(100);
 };
 
-class ParkingLot {
+class ParkingLot : public Topology {
  public:
   explicit ParkingLot(const ParkingLotConfig& cfg);
 
-  Network& net() noexcept { return net_; }
+  Network& net() noexcept override { return net_; }
   Scheduler& scheduler() noexcept { return net_.scheduler(); }
   const ParkingLotConfig& config() const noexcept { return cfg_; }
 
   std::size_t hops() const noexcept { return cfg_.hops; }
+
+  // Topology interface. Endpoints are numbered hop-major: cross pair
+  // (h, i) is endpoint h * cross_per_hop + i, and the long flows follow
+  // at hops * cross_per_hop + j. Paths are the hops.
+  std::size_t endpoint_count() const noexcept override {
+    return cfg_.hops * cfg_.cross_per_hop + cfg_.long_flows;
+  }
+  Endpoint endpoint(std::size_t i) override {
+    const std::size_t crosses = cfg_.hops * cfg_.cross_per_hop;
+    if (i < crosses) {
+      const std::size_t h = i / cfg_.cross_per_hop;
+      const std::size_t k = i % cfg_.cross_per_hop;
+      return Endpoint{cross_senders_.at(h).at(k),
+                      cross_receivers_.at(h).at(k)};
+    }
+    const std::size_t j = i - crosses;
+    return Endpoint{long_senders_.at(j), long_receivers_.at(j)};
+  }
+  std::size_t path_count() const noexcept override { return cfg_.hops; }
+  Link& path_link(std::size_t p) override { return *hop_links_.at(p); }
+  LinkMonitor& path_monitor(std::size_t p) override {
+    return *monitors_.at(p);
+  }
+  std::size_t endpoint_path(std::size_t i) const override {
+    const std::size_t crosses = cfg_.hops * cfg_.cross_per_hop;
+    if (i >= endpoint_count()) throw std::out_of_range("endpoint index");
+    return i < crosses ? i / cfg_.cross_per_hop : kAllPaths;
+  }
 
   Node& long_sender(std::size_t i) { return *long_senders_.at(i); }
   Node& long_receiver(std::size_t i) { return *long_receivers_.at(i); }

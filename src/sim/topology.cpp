@@ -80,4 +80,48 @@ Dumbbell::Dumbbell(const DumbbellConfig& cfg) : cfg_(cfg) {
                                            cfg.monitor_interval);
 }
 
+std::unique_ptr<Topology> make_topology(const TopologySpec& spec) {
+  return std::visit(
+      [](const auto& cfg) -> std::unique_ptr<Topology> {
+        using T = std::decay_t<decltype(cfg)>;
+        if constexpr (std::is_same_v<T, DumbbellConfig>) {
+          return std::make_unique<Dumbbell>(cfg);
+        } else {
+          return std::make_unique<ParkingLot>(cfg);
+        }
+      },
+      spec);
+}
+
+std::size_t endpoint_count(const TopologySpec& spec) noexcept {
+  return std::visit(
+      [](const auto& cfg) -> std::size_t {
+        using T = std::decay_t<decltype(cfg)>;
+        if constexpr (std::is_same_v<T, DumbbellConfig>) {
+          return cfg.pairs;
+        } else {
+          return cfg.hops * cfg.cross_per_hop + cfg.long_flows;
+        }
+      },
+      spec);
+}
+
+std::size_t path_count(const TopologySpec& spec) noexcept {
+  return std::visit(
+      [](const auto& cfg) -> std::size_t {
+        using T = std::decay_t<decltype(cfg)>;
+        if constexpr (std::is_same_v<T, DumbbellConfig>) {
+          return 1;
+        } else {
+          return cfg.hops;
+        }
+      },
+      spec);
+}
+
+const char* topology_class(const TopologySpec& spec) noexcept {
+  return std::holds_alternative<DumbbellConfig>(spec) ? "dumbbell"
+                                                      : "parking-lot";
+}
+
 }  // namespace phi::sim

@@ -1,14 +1,21 @@
 // topology.hpp — canned topologies. The paper's experiments all run on the
 // Figure-1 dumbbell: N sender/receiver pairs across a single bottleneck
-// whose buffer is 5x the bottleneck bandwidth-delay product.
+// whose buffer is 5x the bottleneck bandwidth-delay product. Both the
+// dumbbell and the multi-hop parking lot implement the sim::Topology
+// interface, and a TopologySpec variant constructs either — the scenario
+// engine is topology-generic (see docs/SCENARIOS.md).
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <stdexcept>
+#include <variant>
 #include <vector>
 
 #include "sim/monitor.hpp"
 #include "sim/network.hpp"
+#include "sim/parking_lot.hpp"
+#include "sim/topology_iface.hpp"
 
 namespace phi::sim {
 
@@ -33,11 +40,11 @@ struct DumbbellConfig {
 /// The Figure-1 dumbbell. Senders index 0..pairs-1; sender i talks to
 /// receiver i. Routing is fully installed; flows just need agents attached
 /// and packets addressed sender(i) -> receiver(i).
-class Dumbbell {
+class Dumbbell : public Topology {
  public:
   explicit Dumbbell(const DumbbellConfig& cfg);
 
-  Network& net() noexcept { return net_; }
+  Network& net() noexcept override { return net_; }
   Scheduler& scheduler() noexcept { return net_.scheduler(); }
 
   Node& sender(std::size_t i) { return *senders_.at(i); }
@@ -46,6 +53,28 @@ class Dumbbell {
 
   Link& bottleneck() noexcept { return *bottleneck_; }
   LinkMonitor& monitor() noexcept { return *monitor_; }
+
+  // Topology interface: pair i is endpoint i; the single path is the
+  // forward bottleneck.
+  std::size_t endpoint_count() const noexcept override {
+    return senders_.size();
+  }
+  Endpoint endpoint(std::size_t i) override {
+    return Endpoint{senders_.at(i), receivers_.at(i)};
+  }
+  std::size_t path_count() const noexcept override { return 1; }
+  Link& path_link(std::size_t p) override {
+    if (p != 0) throw std::out_of_range("dumbbell has one path");
+    return *bottleneck_;
+  }
+  LinkMonitor& path_monitor(std::size_t p) override {
+    if (p != 0) throw std::out_of_range("dumbbell has one path");
+    return *monitor_;
+  }
+  std::size_t endpoint_path(std::size_t i) const override {
+    if (i >= senders_.size()) throw std::out_of_range("endpoint index");
+    return 0;
+  }
 
   const DumbbellConfig& config() const noexcept { return cfg_; }
 
@@ -67,5 +96,19 @@ class Dumbbell {
   std::int64_t buffer_bytes_ = 0;
   std::unique_ptr<LinkMonitor> monitor_;
 };
+
+/// Declarative topology choice: one variant constructs either canned
+/// topology. Scenario specs carry this instead of a concrete class.
+using TopologySpec = std::variant<DumbbellConfig, ParkingLotConfig>;
+
+/// Build the topology a spec describes.
+std::unique_ptr<Topology> make_topology(const TopologySpec& spec);
+
+/// Endpoint/path counts implied by a spec, without building it.
+std::size_t endpoint_count(const TopologySpec& spec) noexcept;
+std::size_t path_count(const TopologySpec& spec) noexcept;
+
+/// Human-readable topology class: "dumbbell" or "parking-lot".
+const char* topology_class(const TopologySpec& spec) noexcept;
 
 }  // namespace phi::sim

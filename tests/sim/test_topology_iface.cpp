@@ -1,0 +1,100 @@
+// The Topology interface contract: both canned topologies expose the
+// same endpoint/path addressing, and a TopologySpec variant constructs
+// either without the caller naming a concrete class.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/topology.hpp"
+
+namespace phi::sim {
+namespace {
+
+TEST(TopologyIface, DumbbellEndpointsMirrorPairs) {
+  DumbbellConfig cfg;
+  cfg.pairs = 3;
+  Dumbbell d(cfg);
+  Topology& t = d;
+
+  ASSERT_EQ(t.endpoint_count(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Topology::Endpoint ep = t.endpoint(i);
+    EXPECT_EQ(ep.tx, &d.sender(i));
+    EXPECT_EQ(ep.rx, &d.receiver(i));
+    EXPECT_EQ(t.endpoint_path(i), 0u);
+  }
+  ASSERT_EQ(t.path_count(), 1u);
+  EXPECT_EQ(&t.path_link(0), &d.bottleneck());
+  EXPECT_EQ(&t.path_monitor(0), &d.monitor());
+  EXPECT_EQ(&t.scheduler(), &d.net().scheduler());
+}
+
+TEST(TopologyIface, DumbbellRangeChecks) {
+  Dumbbell d(DumbbellConfig{.pairs = 2});
+  Topology& t = d;
+  EXPECT_THROW(t.endpoint(2), std::out_of_range);
+  EXPECT_THROW(t.path_link(1), std::out_of_range);
+  EXPECT_THROW(t.path_monitor(1), std::out_of_range);
+  EXPECT_THROW((void)t.endpoint_path(2), std::out_of_range);
+}
+
+TEST(TopologyIface, ParkingLotEndpointsAreHopMajor) {
+  ParkingLotConfig cfg;
+  cfg.hops = 3;
+  cfg.cross_per_hop = 2;
+  cfg.long_flows = 2;
+  ParkingLot pl(cfg);
+  Topology& t = pl;
+
+  ASSERT_EQ(t.endpoint_count(), 3u * 2u + 2u);
+  ASSERT_EQ(t.path_count(), 3u);
+  for (std::size_t h = 0; h < 3; ++h) {
+    EXPECT_EQ(&t.path_link(h), &pl.hop_link(h));
+    EXPECT_EQ(&t.path_monitor(h), &pl.hop_monitor(h));
+    for (std::size_t k = 0; k < 2; ++k) {
+      const std::size_t i = h * 2 + k;
+      const Topology::Endpoint ep = t.endpoint(i);
+      EXPECT_EQ(ep.tx, &pl.cross_sender(h, k));
+      EXPECT_EQ(ep.rx, &pl.cross_receiver(h, k));
+      EXPECT_EQ(t.endpoint_path(i), h);
+    }
+  }
+  // Long flows follow the crosses and traverse every path.
+  for (std::size_t j = 0; j < 2; ++j) {
+    const std::size_t i = 6 + j;
+    const Topology::Endpoint ep = t.endpoint(i);
+    EXPECT_EQ(ep.tx, &pl.long_sender(j));
+    EXPECT_EQ(ep.rx, &pl.long_receiver(j));
+    EXPECT_EQ(t.endpoint_path(i), Topology::kAllPaths);
+  }
+  EXPECT_THROW(t.endpoint(8), std::out_of_range);
+  EXPECT_THROW((void)t.endpoint_path(8), std::out_of_range);
+}
+
+TEST(TopologyIface, MakeTopologyBuildsEitherVariant) {
+  TopologySpec dumb = DumbbellConfig{.pairs = 5};
+  TopologySpec lot = ParkingLotConfig{.hops = 2, .cross_per_hop = 3,
+                                      .long_flows = 1};
+
+  EXPECT_STREQ(topology_class(dumb), "dumbbell");
+  EXPECT_STREQ(topology_class(lot), "parking-lot");
+  EXPECT_EQ(endpoint_count(dumb), 5u);
+  EXPECT_EQ(path_count(dumb), 1u);
+  EXPECT_EQ(endpoint_count(lot), 7u);
+  EXPECT_EQ(path_count(lot), 2u);
+
+  // The built instances agree with the spec-level counts.
+  auto td = make_topology(dumb);
+  auto tl = make_topology(lot);
+  ASSERT_NE(td, nullptr);
+  ASSERT_NE(tl, nullptr);
+  EXPECT_EQ(td->endpoint_count(), 5u);
+  EXPECT_EQ(td->path_count(), 1u);
+  EXPECT_EQ(tl->endpoint_count(), 7u);
+  EXPECT_EQ(tl->path_count(), 2u);
+  EXPECT_NE(dynamic_cast<Dumbbell*>(td.get()), nullptr);
+  EXPECT_NE(dynamic_cast<ParkingLot*>(tl.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace phi::sim

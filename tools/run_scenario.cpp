@@ -1,0 +1,149 @@
+// run_scenario — the unified bench driver: run any named scenario preset
+// (dumbbell or parking lot) under all-Cubic senders and emit the standard
+// CSV + metrics artifacts. Usage:
+//
+//   run_scenario --list
+//   run_scenario <preset> [key=value ...] [--runs N]
+//
+// `key=value` overrides tweak the preset (seed, duration_s, pairs,
+// rate_mbps, hops, ... — see docs/SCENARIOS.md); repetitions are seeded
+// with util::derive_seed(seed, rep) and run PHI_BENCH_JOBS-wide.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exec/pool.hpp"
+#include "phi/presets.hpp"
+#include "phi/scenario.hpp"
+#include "phi/sweep.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace phi;
+
+namespace {
+
+int list_presets() {
+  std::printf("available scenario presets:\n\n");
+  for (const auto& p : core::presets::registry()) {
+    std::printf("  %-22s [%s, %zu senders]  %s\n", p.name.c_str(),
+                sim::topology_class(p.spec.topology), p.spec.sender_count(),
+                p.summary.c_str());
+  }
+  std::printf(
+      "\nrun one with: run_scenario <preset> [key=value ...] [--runs N]\n"
+      "overrides: seed duration_s warmup_s ecn on_bytes off_s "
+      "start_with_off\n"
+      "  dumbbell: pairs rate_mbps rtt_ms queue jitter_ms buffer_bdp\n"
+      "  parking lot: hops cross_per_hop long_flows hop_rate_mbps "
+      "hop_delay_ms buffer_bdp\n");
+  return 0;
+}
+
+std::vector<std::string> metrics_row(const std::string& label,
+                                     const core::ScenarioMetrics& m) {
+  return {label,
+          util::TextTable::num(m.throughput_bps, 0),
+          util::TextTable::num(m.mean_queue_delay_s * 1e3, 2),
+          util::TextTable::num(m.loss_rate, 5),
+          util::TextTable::num(m.utilization, 3),
+          util::TextTable::num(m.mean_rtt_s * 1e3, 2),
+          std::to_string(m.connections),
+          std::to_string(m.timeouts),
+          util::TextTable::num(m.power_l(), 0)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+    std::fprintf(stderr,
+                 "usage: run_scenario --list | <preset> [key=value ...] "
+                 "[--runs N]\n");
+    return argc < 2 ? 2 : 0;
+  }
+  if (std::strcmp(argv[1], "--list") == 0) return list_presets();
+
+  const std::string name = argv[1];
+  const core::presets::Preset* preset = core::presets::find(name);
+  if (preset == nullptr) {
+    std::fprintf(stderr,
+                 "unknown preset '%s'; run_scenario --list shows them\n",
+                 name.c_str());
+    return 2;
+  }
+
+  core::ScenarioSpec spec = preset->spec;
+  int runs = bench::scale_from_env() == bench::Scale::kFull ? 4 : 2;
+  for (int a = 2; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--runs") == 0 && a + 1 < argc) {
+      runs = std::atoi(argv[++a]);
+      if (runs < 1) {
+        std::fprintf(stderr, "--runs wants an integer >= 1\n");
+        return 2;
+      }
+      continue;
+    }
+    std::string err;
+    if (!core::presets::apply_override(spec, argv[a], &err)) {
+      std::fprintf(stderr, "bad override: %s\n", err.c_str());
+      return 2;
+    }
+  }
+
+  bench::banner(("Scenario driver: " + name).c_str());
+  std::printf("topology %s, %zu senders, %zu path(s), %d repetition(s)\n",
+              sim::topology_class(spec.topology), spec.sender_count(),
+              sim::path_count(spec.topology), runs);
+
+  // Repetitions are independent simulations under common-random-number
+  // seeding; parallel_map keeps results in submission order, so the
+  // artifacts are identical for any PHI_BENCH_JOBS.
+  std::vector<int> reps(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) reps[static_cast<std::size_t>(r)] = r;
+  bench::WallTimer timer;
+  const auto all = exec::parallel_map(
+      reps,
+      [&](int r) {
+        core::ScenarioSpec run_spec = spec;
+        run_spec.seed =
+            util::derive_seed(spec.seed, static_cast<std::uint64_t>(r));
+        return core::run_cubic_scenario(run_spec, tcp::CubicParams{});
+      },
+      bench::jobs_from_env());
+
+  bench::ResultTable t("run_scenario_" + name + ".csv",
+                       {"rep", "tput_bps", "qdelay_ms", "loss", "util",
+                        "rtt_ms", "conns", "timeouts", "power_l"});
+  core::ScenarioMetrics mean;
+  {
+    std::vector<core::ScenarioMetrics> copy(all.begin(), all.end());
+    mean = core::average_metrics(copy);
+  }
+  for (std::size_t r = 0; r < all.size(); ++r)
+    t.row(metrics_row(std::to_string(r), all[r]));
+  t.row(metrics_row("mean", mean));
+  t.print_and_dump();
+
+  // Per-group breakdown when the population defines reporting groups.
+  if (!all.empty() && !all.front().groups.empty()) {
+    bench::ResultTable g("run_scenario_" + name + "_groups.csv",
+                         {"rep", "group", "tput_bps", "rtt_ms", "rtx_rate",
+                          "conns"});
+    for (std::size_t r = 0; r < all.size(); ++r) {
+      for (const auto& gm : all[r].groups) {
+        g.row({std::to_string(r), std::to_string(gm.group),
+               util::TextTable::num(gm.throughput_bps, 0),
+               util::TextTable::num(gm.mean_rtt_s * 1e3, 2),
+               util::TextTable::num(gm.retransmit_rate, 4),
+               std::to_string(gm.connections)});
+      }
+    }
+    g.print_and_dump();
+  }
+  std::printf("  (%d runs in %.1f s)\n", runs, timer.seconds());
+  bench::dump_metrics("run_scenario_" + name);
+  return 0;
+}

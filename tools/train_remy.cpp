@@ -105,7 +105,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "round-trip parse failed\n");
     return 1;
   }
-  core::ScenarioConfig holdout = cfg.scenarios.front();
+  core::ScenarioSpec holdout = cfg.scenarios.front();
   holdout.seed = util::derive_seed(holdout.seed, 1000);
   const auto score = remy::Trainer::score_tree(*parsed, mode, holdout, 2);
   std::printf("held-out: median tput %.2f Mbps, median qdelay %.1f ms, "
