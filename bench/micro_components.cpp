@@ -14,9 +14,12 @@
 #include "phi/secure_agg.hpp"
 #include "remy/remycc.hpp"
 #include "sim/event.hpp"
+#include "sim/network.hpp"
 #include "sim/queue.hpp"
 #include "sim/queue_disc.hpp"
 #include "tcp/cc.hpp"
+#include "tcp/sender.hpp"
+#include "tcp/sink.hpp"
 #include "util/rng.hpp"
 
 using namespace phi;
@@ -85,15 +88,87 @@ void BM_SchedulerSelfReschedule(benchmark::State& state) {
 BENCHMARK(BM_SchedulerSelfReschedule)->Arg(10000);
 
 void BM_DropTailQueue(benchmark::State& state) {
+  sim::PacketPool pool;
   sim::DropTailQueue q(1500 * 64);
-  sim::Packet p;
+  const sim::PacketHandle h = pool.acquire(sim::Packet{});
   for (auto _ : state) {
-    q.enqueue(p, 0);
+    q.enqueue(pool, h, 0);
     benchmark::DoNotOptimize(q.dequeue());
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DropTailQueue);
+
+// The per-packet datapath in isolation: a saturated link serializing
+// back-to-back segments into a counting agent. Every packet costs one
+// delivery event and one transmit-complete event, so items/sec here is
+// the simulator's raw packet-transit throughput (the PR 5 tentpole
+// metric, recorded before/after in BENCH_PR5.json).
+void BM_LinkPacketTransit(benchmark::State& state) {
+  sim::Network net;
+  sim::Node& a = net.add_node("a");
+  sim::Node& b = net.add_node("b");
+  sim::Link& l = net.add_link(a, b, 1.0 * util::kGbps,
+                              util::microseconds(10), 64 * 1024 * 1024);
+  a.add_route(b.id(), &l);
+  struct Count : sim::Agent {
+    std::uint64_t n = 0;
+    void on_packet(const sim::Packet&) override { ++n; }
+  } sink;
+  b.attach(1, &sink);
+  sim::Packet p;
+  p.src = a.id();
+  p.dst = b.id();
+  p.flow = 1;
+  constexpr int kBatch = 512;
+  // 512 x 1500 B at 1 Gbps is ~6.1 ms of serialization per batch.
+  const util::Duration batch_horizon = util::milliseconds(10);
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      p.seq = i;
+      a.send(p);
+    }
+    net.run_until(net.now() + batch_horizon);
+  }
+  benchmark::DoNotOptimize(sink.n);
+  b.detach(1);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.SetLabel("packets/sec");
+}
+BENCHMARK(BM_LinkPacketTransit);
+
+// End-to-end packets/sec: a full TCP transfer (Cubic sender, per-packet
+// ACKs) over a duplex pair of links, counting every data packet and ACK
+// that crossed the network. Exercises the whole per-packet path: send ->
+// queue -> serialize -> deliver -> agent -> reverse path.
+void BM_EndToEndPacketTransit(benchmark::State& state) {
+  sim::Network net;
+  sim::Node& a = net.add_node("a");
+  sim::Node& b = net.add_node("b");
+  auto [fwd, rev] = net.add_duplex(a, b, 100.0 * util::kMbps,
+                                   util::milliseconds(1), 1'000'000, "e2e");
+  a.add_route(b.id(), fwd);
+  b.add_route(a.id(), rev);
+  tcp::TcpSender sender(net.scheduler(), a, b.id(), 1,
+                        std::make_unique<tcp::Cubic>());
+  tcp::TcpSink sink(net.scheduler(), b, 1);
+  std::uint64_t packets = 0;
+  constexpr std::int64_t kSegments = 2000;
+  for (auto _ : state) {
+    bool done = false;
+    tcp::ConnStats stats;
+    sender.start_connection(kSegments, [&](const tcp::ConnStats& s) {
+      done = true;
+      stats = s;
+    });
+    while (!done) net.run_until(net.now() + util::seconds(1));
+    packets += stats.packets_sent;
+  }
+  packets += sink.acks_sent();
+  state.SetItemsProcessed(static_cast<std::int64_t>(packets));
+  state.SetLabel("packets/sec");
+}
+BENCHMARK(BM_EndToEndPacketTransit)->Unit(benchmark::kMillisecond);
 
 void BM_CubicOnAck(benchmark::State& state) {
   tcp::Cubic cc;
@@ -159,6 +234,7 @@ void BM_IpfixSampling(benchmark::State& state) {
 BENCHMARK(BM_IpfixSampling);
 
 void BM_RedQueueEnqueue(benchmark::State& state) {
+  sim::PacketPool pool;
   sim::RedQueue::Config cfg;
   cfg.capacity_bytes = 64 * sim::kSegmentBytes;
   sim::RedQueue q(cfg);
@@ -166,8 +242,13 @@ void BM_RedQueueEnqueue(benchmark::State& state) {
   p.ect = true;
   util::Time now = 0;
   for (auto _ : state) {
-    q.enqueue(p, now += 1000);
-    if (q.packets() > 32) benchmark::DoNotOptimize(q.dequeue());
+    const sim::PacketHandle h = pool.acquire(p);
+    if (!q.enqueue(pool, h, now += 1000)) pool.release(h);
+    if (q.packets() > 32) {
+      const sim::Queued d = q.dequeue();
+      if (d.handle != sim::kNullPacket) pool.release(d.handle);
+      benchmark::DoNotOptimize(d.size_bytes);
+    }
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/packet_pool.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/small_fn.hpp"
 #include "util/units.hpp"
@@ -16,6 +17,15 @@ namespace phi::sim {
 
 using util::Duration;
 using util::Time;
+
+class Link;
+
+namespace detail {
+/// Out-of-line trampolines for the scheduler's per-packet fast path,
+/// defined in link.cpp (the scheduler cannot see Link's definition).
+void link_deliver(Link& link, PacketHandle h);
+void link_tx_complete(Link& link);
+}  // namespace detail
 
 /// Opaque handle for cancelling a scheduled event. Internally
 /// (generation << 32) | slot; generations start at 1 so a value of 0 is
@@ -52,6 +62,24 @@ class Scheduler {
     return schedule_at(now_ + d, std::move(fn));
   }
 
+  /// Per-packet fast path: deliver pool packet `h` to `link`'s far end
+  /// after `d`. Equivalent to scheduling a {&link, h} lambda, but the
+  /// pair rides directly in the heap entry — no type erasure, no slot
+  /// claim/release, nothing to destroy. Such events are ordered exactly
+  /// like callbacks (time, then insertion sequence) but are not
+  /// cancellable (the packet handle would leak): the returned id is
+  /// always 0, the "no event" value.
+  EventId schedule_delivery_in(Duration d, Link& link, PacketHandle h);
+
+  /// Per-packet fast path: `link`'s transmitter frees up after `d`.
+  EventId schedule_tx_complete_in(Duration d, Link& link);
+
+  /// Slab of in-flight packets for this run's datapath. Owned by the
+  /// scheduler because it shares the packets' lifetime: a handle is
+  /// acquired when a link accepts a packet and released when the
+  /// delivery event fires.
+  PacketPool& packet_pool() noexcept { return pool_; }
+
   /// Cancel a pending event. Returns false if it already ran or was
   /// cancelled before.
   bool cancel(EventId id);
@@ -83,12 +111,20 @@ class Scheduler {
     }
   };
 
+  /// How a slot's payload is dispatched: a type-erased callback, or one
+  /// of the per-packet fast-path kinds that call into a Link directly.
+  enum class EventKind : std::uint8_t { kCallback, kDelivery, kTxComplete };
+
   /// One callback slot. `gen` is bumped every time the slot is vacated
   /// (run or cancelled), which atomically invalidates every outstanding
-  /// EventId minted for the previous occupant.
+  /// EventId minted for the previous occupant. Fast-path events leave
+  /// `fn` empty and use `link`/`packet` instead.
   struct Slot {
     util::SmallFn fn;
+    Link* link = nullptr;
+    PacketHandle packet = kNullPacket;
     std::uint32_t gen = 1;
+    EventKind kind = EventKind::kCallback;
     bool live = false;
   };
 
@@ -114,6 +150,9 @@ class Scheduler {
   void release(std::uint32_t slot) noexcept {
     Slot& s = slots_[slot];
     s.fn.reset();
+    s.link = nullptr;
+    s.packet = kNullPacket;
+    s.kind = EventKind::kCallback;
     s.live = false;
     ++s.gen;
     free_.push_back(slot);
@@ -122,12 +161,17 @@ class Scheduler {
 
   void maybe_compact();
 
+  /// Claim a slot (recycled or fresh), mint its EventId, and push the
+  /// heap entry for time `t`. The caller fills in the payload.
+  std::pair<Slot*, EventId> claim_slot(Time t);
+
   // Min-heap (via std::*_heap with greater<>) kept in a plain vector so
   // compaction can filter dead entries in place.
   std::vector<Entry> heap_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;  // vacated slot indices, LIFO
   std::size_t live_count_ = 0;
+  PacketPool pool_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -12,68 +12,70 @@ FlowId DrrQueue::longest_flow() const {
   FlowId worst = 0;
   std::int64_t worst_bytes = -1;
   for (const auto& [id, fq] : flows_) {
-    std::int64_t b = 0;
-    for (const auto& p : fq.packets) b += p.size_bytes;
-    if (b > worst_bytes) {
-      worst_bytes = b;
+    if (fq.bytes > worst_bytes) {
+      worst_bytes = fq.bytes;
       worst = id;
     }
   }
   return worst;
 }
 
-bool DrrQueue::enqueue(const Packet& p, util::Time now) {
-  if (bytes_ + p.size_bytes > cfg_.capacity_bytes) {
+bool DrrQueue::enqueue(PacketPool& pool, PacketHandle h, util::Time now) {
+  const std::int32_t size = pool.get(h).size_bytes;
+  const FlowId flow = pool.get(h).flow;
+  if (bytes_ + size > cfg_.capacity_bytes) {
     // Push-out from the longest queue: the overloaded flow pays, not the
     // arriving (possibly well-behaved) one — unless the arriver IS the
-    // longest flow, in which case it's a plain drop.
+    // longest flow, in which case it's a plain drop. Pushed-out packets
+    // are owned by the queue, so their handles are released here.
     const FlowId victim = longest_flow();
-    if (victim == p.flow || flows_.empty()) {
+    if (victim == flow || flows_.empty()) {
       ++stats_.dropped;
-      stats_.bytes_dropped += static_cast<std::uint64_t>(p.size_bytes);
+      stats_.bytes_dropped += static_cast<std::uint64_t>(size);
       return false;
     }
     auto vit = flows_.find(victim);
     while (vit != flows_.end() && !vit->second.packets.empty() &&
-           bytes_ + p.size_bytes > cfg_.capacity_bytes) {
-      const Packet& dropped = vit->second.packets.back();
+           bytes_ + size > cfg_.capacity_bytes) {
+      const Queued dropped = vit->second.packets.back();
+      vit->second.packets.pop_back();
+      vit->second.bytes -= dropped.size_bytes;
       bytes_ -= dropped.size_bytes;
       --packets_;
       ++stats_.dropped;
       stats_.bytes_dropped += static_cast<std::uint64_t>(dropped.size_bytes);
-      vit->second.packets.pop_back();
+      pool.release(dropped.handle);
     }
-    if (bytes_ + p.size_bytes > cfg_.capacity_bytes) {
+    if (bytes_ + size > cfg_.capacity_bytes) {
       ++stats_.dropped;
-      stats_.bytes_dropped += static_cast<std::uint64_t>(p.size_bytes);
+      stats_.bytes_dropped += static_cast<std::uint64_t>(size);
       return false;
     }
   }
-  auto [it, inserted] = flows_.try_emplace(p.flow);
+  auto [it, inserted] = flows_.try_emplace(flow);
   if (it->second.packets.empty() && inserted) {
-    round_robin_.push_back(p.flow);
+    round_robin_.push_back(flow);
   } else if (it->second.packets.empty()) {
     // Flow exists but idle: it may have been removed from the ring.
     bool in_ring = false;
     for (const FlowId f : round_robin_) {
-      if (f == p.flow) {
+      if (f == flow) {
         in_ring = true;
         break;
       }
     }
-    if (!in_ring) round_robin_.push_back(p.flow);
+    if (!in_ring) round_robin_.push_back(flow);
   }
-  Packet copy = p;
-  copy.enqueued_at = now;
-  it->second.packets.push_back(copy);
-  bytes_ += p.size_bytes;
+  it->second.packets.push_back(Queued{h, size, now});
+  it->second.bytes += size;
+  bytes_ += size;
   ++packets_;
   ++stats_.enqueued;
-  stats_.bytes_enqueued += static_cast<std::uint64_t>(p.size_bytes);
+  stats_.bytes_enqueued += static_cast<std::uint64_t>(size);
   return true;
 }
 
-std::optional<Packet> DrrQueue::dequeue() {
+Queued DrrQueue::dequeue() {
   // DRR: visit flows in round-robin order; a flow may send while its
   // deficit covers its head packet, gaining one quantum per visit.
   std::size_t visits = 0;
@@ -96,19 +98,20 @@ std::optional<Packet> DrrQueue::dequeue() {
                           round_robin_.begin());
       continue;
     }
-    Packet p = fq.packets.front();
+    const Queued d = fq.packets.front();
     fq.packets.pop_front();
-    fq.deficit -= p.size_bytes;
-    bytes_ -= p.size_bytes;
+    fq.deficit -= d.size_bytes;
+    fq.bytes -= d.size_bytes;
+    bytes_ -= d.size_bytes;
     --packets_;
     ++stats_.dequeued;
     if (fq.packets.empty()) {
       round_robin_.pop_front();
       flows_.erase(it);
     }
-    return p;
+    return d;
   }
-  return std::nullopt;
+  return {};
 }
 
 }  // namespace phi::sim

@@ -7,11 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <list>
 #include <unordered_map>
 
 #include "sim/queue_disc.hpp"
+#include "util/ring.hpp"
 
 namespace phi::sim {
 
@@ -24,8 +24,8 @@ class DrrQueue final : public QueueDisc {
 
   explicit DrrQueue(Config cfg);
 
-  bool enqueue(const Packet& p, util::Time now) override;
-  std::optional<Packet> dequeue() override;
+  bool enqueue(PacketPool& pool, PacketHandle h, util::Time now) override;
+  Queued dequeue() override;
 
   bool empty() const noexcept override { return bytes_ == 0; }
   std::size_t packets() const noexcept override { return packets_; }
@@ -40,8 +40,9 @@ class DrrQueue final : public QueueDisc {
 
  private:
   struct FlowQueue {
-    std::deque<Packet> packets;
+    util::RingDeque<Queued> packets;
     std::int64_t deficit = 0;
+    std::int64_t bytes = 0;  ///< sum of queued sizes, kept incrementally
   };
 
   /// Longest per-flow queue (drop-from-longest on overflow keeps heavy

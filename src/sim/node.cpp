@@ -4,9 +4,9 @@
 
 namespace phi::sim {
 
-void Node::send(Packet p) {
-  auto it = routes_.find(p.dst);
-  Link* link = it != routes_.end() ? it->second : default_route_;
+void Node::send(const Packet& p) {
+  Link* const* route = routes_.find(p.dst);
+  Link* link = route != nullptr ? *route : default_route_;
   if (link == nullptr) {
     ++no_route_drops_;
     return;
@@ -19,12 +19,12 @@ void Node::deliver(const Packet& p) {
     send(p);
     return;
   }
-  auto it = agents_.find(p.flow);
-  if (it == agents_.end()) {
+  Agent* const* agent = agents_.find(p.flow);
+  if (agent == nullptr) {
     ++unclaimed_;
     return;
   }
-  it->second->on_packet(p);
+  (*agent)->on_packet(p);
 }
 
 }  // namespace phi::sim

@@ -3,15 +3,54 @@
 // static routes (per-destination entry or default).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sim/packet.hpp"
 
 namespace phi::sim {
 
 class Link;
+
+namespace detail {
+/// Tiny association list for the per-packet lookups (route by
+/// destination, agent by flow). Nodes hold at most a few dozen entries,
+/// where a linear scan of a contiguous vector beats hashing — and it is
+/// the forwarding hot path, hit once per packet per hop.
+template <typename K, typename V>
+class FlatMap {
+ public:
+  V* find(K key) noexcept {
+    for (auto& [k, v] : entries_)
+      if (k == key) return &v;
+    return nullptr;
+  }
+
+  void assign(K key, V value) {
+    if (V* v = find(key)) {
+      *v = std::move(value);
+      return;
+    }
+    entries_.emplace_back(key, std::move(value));
+  }
+
+  void erase(K key) {
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [key](const auto& e) {
+                                    return e.first == key;
+                                  }),
+                   entries_.end());
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<K, V>> entries_;
+};
+}  // namespace detail
 
 /// A protocol endpoint (TCP sender, sink, Remy sender, ...). Agents are
 /// non-owning observers registered on a Node per flow id.
@@ -33,18 +72,19 @@ class Node {
   const std::string& name() const noexcept { return name_; }
 
   /// Static route: packets for `dst` leave via `link`.
-  void add_route(NodeId dst, Link* link) { routes_[dst] = link; }
+  void add_route(NodeId dst, Link* link) { routes_.assign(dst, link); }
   void set_default_route(Link* link) { default_route_ = link; }
 
   /// Originate or forward a packet from this node. Packets with no
   /// matching route are counted in `no_route_drops()` and discarded.
-  void send(Packet p);
+  /// Taken by reference: the link copies it into the packet pool once.
+  void send(const Packet& p);
 
   /// A packet has arrived at this node. If addressed here it is handed to
   /// the flow's Agent (or counted as unclaimed); otherwise forwarded.
   void deliver(const Packet& p);
 
-  void attach(FlowId flow, Agent* agent) { agents_[flow] = agent; }
+  void attach(FlowId flow, Agent* agent) { agents_.assign(flow, agent); }
   void detach(FlowId flow) { agents_.erase(flow); }
 
   std::uint64_t no_route_drops() const noexcept { return no_route_drops_; }
@@ -53,9 +93,9 @@ class Node {
  private:
   NodeId id_;
   std::string name_;
-  std::unordered_map<NodeId, Link*> routes_;
+  detail::FlatMap<NodeId, Link*> routes_;
   Link* default_route_ = nullptr;
-  std::unordered_map<FlowId, Agent*> agents_;
+  detail::FlatMap<FlowId, Agent*> agents_;
   std::uint64_t no_route_drops_ = 0;
   std::uint64_t unclaimed_ = 0;
 };

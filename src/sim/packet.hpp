@@ -3,6 +3,12 @@
 // Like ns-2, TCP here is segment-granular: `seq`/`ack` count MSS-sized
 // segments, not bytes. Packets carry a sender timestamp that the receiver
 // echoes, giving exact per-packet RTT samples (the timestamp option).
+//
+// Layout matters: in-flight packets live in the PacketPool slab and are
+// copied once per hop, so fields are ordered widest-first (the six
+// 8-byte words, then the 4-byte words, then the flag bytes grouped with
+// sack_count) to avoid interior padding. The static_assert at the bottom
+// makes padding regressions a compile error.
 #pragma once
 
 #include <array>
@@ -20,24 +26,27 @@ inline constexpr std::int32_t kSegmentBytes = 1500;      // on-the-wire size
 inline constexpr std::int32_t kAckBytes = 40;            // header-only ACK
 
 struct Packet {
-  NodeId src = 0;
-  NodeId dst = 0;
   FlowId flow = 0;
-  std::uint32_t conn = 0;       ///< connection epoch within the flow
   std::int64_t seq = 0;         ///< data: segment number; ACK: unused
   std::int64_t ack = -1;        ///< cumulative ACK (next expected segment)
-  bool is_ack = false;
-  bool fin = false;             ///< last segment of the connection
-  std::int32_t size_bytes = kSegmentBytes;
   util::Time sent_at = 0;       ///< stamped by the sender
   util::Time echo = 0;          ///< receiver echoes data packet's sent_at
-  std::uint32_t priority = 0;   ///< phi §3.3 coordination weight class
-  util::Time enqueued_at = 0;   ///< set by queues to measure queueing delay
+
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t conn = 0;       ///< connection epoch within the flow
+  std::int32_t size_bytes = kSegmentBytes;
+
+  std::uint16_t priority = 0;   ///< phi §3.3 coordination weight class
+  bool is_ack = false;
+  bool fin = false;             ///< last segment of the connection
 
   // Explicit Congestion Notification (RFC 3168), for the AQM ablation.
   bool ect = false;  ///< sender is ECN-capable (ECT codepoint)
   bool ce = false;   ///< congestion experienced (set by AQM)
   bool ece = false;  ///< receiver echoes CE back to the sender (on ACKs)
+
+  std::uint8_t sack_count = 0;
 
   /// Selective acknowledgment blocks (RFC 2018): up to 3 [start, end)
   /// ranges of segments received above the cumulative ACK.
@@ -46,7 +55,12 @@ struct Packet {
     std::int64_t end = 0;  ///< exclusive
   };
   std::array<SackBlock, 3> sack{};
-  std::uint8_t sack_count = 0;
 };
+
+// 40 bytes of 8-byte words + 16 of 4-byte words + priority + five flag
+// bytes + sack_count == 64, then 3 x 16-byte SACK blocks. Growing a field
+// (or re-introducing interior padding) breaks the packet-pool copy budget,
+// so it fails the build instead of silently slowing every hop.
+static_assert(sizeof(Packet) <= 112, "Packet outgrew its 112-byte budget");
 
 }  // namespace phi::sim

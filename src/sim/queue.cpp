@@ -2,28 +2,28 @@
 
 namespace phi::sim {
 
-bool DropTailQueue::enqueue(const Packet& p, util::Time now) {
-  if (bytes_ + p.size_bytes > capacity_bytes_) {
+bool DropTailQueue::enqueue(const PacketPool& pool, PacketHandle h,
+                            util::Time now) {
+  const std::int32_t size = pool.get(h).size_bytes;
+  if (bytes_ + size > capacity_bytes_) {
     ++stats_.dropped;
-    stats_.bytes_dropped += static_cast<std::uint64_t>(p.size_bytes);
+    stats_.bytes_dropped += static_cast<std::uint64_t>(size);
     return false;
   }
-  Packet copy = p;
-  copy.enqueued_at = now;
-  bytes_ += copy.size_bytes;
+  bytes_ += size;
   ++stats_.enqueued;
-  stats_.bytes_enqueued += static_cast<std::uint64_t>(copy.size_bytes);
-  q_.push_back(copy);
+  stats_.bytes_enqueued += static_cast<std::uint64_t>(size);
+  q_.push_back(Queued{h, size, now});
   return true;
 }
 
-std::optional<Packet> DropTailQueue::dequeue() {
-  if (q_.empty()) return std::nullopt;
-  Packet p = q_.front();
+Queued DropTailQueue::dequeue() {
+  if (q_.empty()) return {};
+  const Queued d = q_.front();
   q_.pop_front();
-  bytes_ -= p.size_bytes;
+  bytes_ -= d.size_bytes;
   ++stats_.dequeued;
-  return p;
+  return d;
 }
 
 }  // namespace phi::sim

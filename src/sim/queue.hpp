@@ -1,12 +1,18 @@
 // queue.hpp — drop-tail FIFO buffering, the queueing discipline whose
 // incentive-incompatibility motivates Phi's coordination story (§3.1).
+//
+// Queues buffer PacketPool handles, not Packet values: the ring entry
+// carries the handle plus the size and enqueue time the hot path needs,
+// so enqueue/dequeue never copy the 112-byte packet and never allocate
+// (the ring is a power-of-two buffer that only grows at a new high-water
+// mark). See docs/DATAPATH.md for the ownership rules.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <optional>
 
 #include "sim/packet.hpp"
+#include "sim/packet_pool.hpp"
+#include "util/ring.hpp"
 #include "util/units.hpp"
 
 namespace phi::sim {
@@ -35,12 +41,15 @@ class DropTailQueue {
   explicit DropTailQueue(std::int64_t capacity_bytes)
       : capacity_bytes_(capacity_bytes) {}
 
-  /// Attempt to enqueue. Returns false (and counts a drop) when the packet
-  /// does not fit. `now` is recorded to measure per-packet queueing delay.
-  bool enqueue(const Packet& p, util::Time now);
+  /// Attempt to enqueue the pooled packet `h`. Returns false (and counts
+  /// a drop) when the packet does not fit — the caller keeps ownership of
+  /// the handle in that case. `now` is recorded to measure per-packet
+  /// queueing delay.
+  bool enqueue(const PacketPool& pool, PacketHandle h, util::Time now);
 
-  /// Remove and return the head packet, if any.
-  std::optional<Packet> dequeue();
+  /// Remove and return the head entry; `handle == kNullPacket` when
+  /// empty. Ownership of the handle passes back to the caller.
+  Queued dequeue();
 
   /// Account an externally-decided drop (e.g. RED early drop) in this
   /// queue's statistics without enqueueing. Always returns false.
@@ -50,7 +59,7 @@ class DropTailQueue {
     return false;
   }
 
-  const Packet* peek() const noexcept {
+  const Queued* peek() const noexcept {
     return q_.empty() ? nullptr : &q_.front();
   }
 
@@ -73,7 +82,7 @@ class DropTailQueue {
  private:
   std::int64_t capacity_bytes_;
   std::int64_t bytes_ = 0;
-  std::deque<Packet> q_;
+  util::RingDeque<Queued> q_;
   QueueStats stats_;
 };
 

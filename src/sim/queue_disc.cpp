@@ -30,7 +30,7 @@ double RedQueue::mark_probability() const noexcept {
          (1.0 - cfg_.max_p) * (avg_ - max_th) / (gentle_hi - max_th);
 }
 
-bool RedQueue::enqueue(const Packet& p, util::Time now) {
+bool RedQueue::enqueue(PacketPool& pool, PacketHandle h, util::Time now) {
   avg_ += cfg_.weight * (static_cast<double>(q_.bytes()) - avg_);
   const double prob = mark_probability();
   if (prob > 0.0) {
@@ -40,9 +40,10 @@ bool RedQueue::enqueue(const Packet& p, util::Time now) {
     ++since_last_mark_;
     if (rng_.bernoulli(std::clamp(effective, 0.0, 1.0))) {
       since_last_mark_ = 0;
+      Packet& p = pool.get(h);
       if (cfg_.ecn && p.ect) {
-        Packet marked = p;
-        marked.ce = true;
+        // Mark in place: the pool slot is this datapath's private copy.
+        p.ce = true;
         ++marks_;
         ctr_marks_->add();
         if (auto* t = telemetry::tracer();
@@ -50,7 +51,7 @@ bool RedQueue::enqueue(const Packet& p, util::Time now) {
           t->instant(telemetry::Category::kQueue, "red.mark", now,
                      {telemetry::targ("avg_bytes", avg_)});
         }
-        return q_.enqueue(marked, now);
+        return q_.enqueue(pool, h, now);
       }
       // Early drop: account it as a drop in the underlying stats.
       ctr_early_drops_->add();
@@ -62,9 +63,9 @@ bool RedQueue::enqueue(const Packet& p, util::Time now) {
       return q_.enqueue_drop(p);
     }
   }
-  return q_.enqueue(p, now);
+  return q_.enqueue(pool, h, now);
 }
 
-std::optional<Packet> RedQueue::dequeue() { return q_.dequeue(); }
+Queued RedQueue::dequeue() { return q_.dequeue(); }
 
 }  // namespace phi::sim

@@ -5,9 +5,9 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "sim/packet.hpp"
+#include "sim/packet_pool.hpp"
 #include "sim/queue.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
@@ -16,13 +16,20 @@
 namespace phi::sim {
 
 /// Abstract bounded packet queue attached to a link's transmitter.
+/// Operates on PacketPool handles: an accepted handle is owned by the
+/// queue until dequeue() hands it back; a rejected one (enqueue returns
+/// false) stays with the caller, who releases it. Discs that drop already
+/// -buffered packets (e.g. DRR push-out) release those handles themselves.
 class QueueDisc {
  public:
   virtual ~QueueDisc() = default;
 
-  /// Accept or drop (possibly ECN-mark) an arriving packet.
-  virtual bool enqueue(const Packet& p, util::Time now) = 0;
-  virtual std::optional<Packet> dequeue() = 0;
+  /// Accept or drop (possibly ECN-mark, via pool.get(h)) an arriving
+  /// pooled packet.
+  virtual bool enqueue(PacketPool& pool, PacketHandle h,
+                       util::Time now) = 0;
+  /// Head-of-line entry, or `handle == kNullPacket` when empty.
+  virtual Queued dequeue() = 0;
 
   virtual bool empty() const noexcept = 0;
   virtual std::size_t packets() const noexcept = 0;
@@ -45,10 +52,10 @@ class DropTailDisc final : public QueueDisc {
  public:
   explicit DropTailDisc(std::int64_t capacity_bytes) : q_(capacity_bytes) {}
 
-  bool enqueue(const Packet& p, util::Time now) override {
-    return q_.enqueue(p, now);
+  bool enqueue(PacketPool& pool, PacketHandle h, util::Time now) override {
+    return q_.enqueue(pool, h, now);
   }
-  std::optional<Packet> dequeue() override { return q_.dequeue(); }
+  Queued dequeue() override { return q_.dequeue(); }
   bool empty() const noexcept override { return q_.empty(); }
   std::size_t packets() const noexcept override { return q_.packets(); }
   std::int64_t bytes() const noexcept override { return q_.bytes(); }
@@ -81,8 +88,8 @@ class RedQueue final : public QueueDisc {
 
   explicit RedQueue(Config cfg);
 
-  bool enqueue(const Packet& p, util::Time now) override;
-  std::optional<Packet> dequeue() override;
+  bool enqueue(PacketPool& pool, PacketHandle h, util::Time now) override;
+  Queued dequeue() override;
 
   bool empty() const noexcept override { return q_.empty(); }
   std::size_t packets() const noexcept override { return q_.packets(); }

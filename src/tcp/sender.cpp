@@ -195,7 +195,7 @@ void TcpSender::send_segment(std::int64_t seq) {
   p.fin = (seq == total_ - 1);
   p.size_bytes = sim::kSegmentBytes;
   p.sent_at = sched_.now();
-  p.priority = priority_;
+  p.priority = static_cast<std::uint16_t>(priority_);
   p.ect = ecn_;
   ++stats_.packets_sent;
   ctr_packets_->add();

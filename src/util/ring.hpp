@@ -1,0 +1,106 @@
+// ring.hpp — a power-of-two ring-buffer deque for trivially-copyable
+// elements. std::deque allocates its map and chunk nodes lazily and
+// touches two indirections per access; packet queues on the simulator hot
+// path push/pop millions of times per run, so they use this instead: one
+// contiguous power-of-two buffer, index arithmetic by mask, and growth
+// only when the high-water mark doubles. Steady state never allocates.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace phi::util {
+
+template <typename T>
+class RingDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "RingDeque elements are relocated with plain copies");
+
+ public:
+  RingDeque() = default;
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  /// Always a power of two (or zero before the first push).
+  std::size_t capacity() const noexcept { return buf_.size(); }
+
+  void push_back(const T& v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = v;
+    ++size_;
+  }
+
+  T& front() noexcept {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+  const T& front() const noexcept {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+  T& back() noexcept {
+    assert(size_ > 0);
+    return buf_[(head_ + size_ - 1) & mask_];
+  }
+  const T& back() const noexcept {
+    assert(size_ > 0);
+    return buf_[(head_ + size_ - 1) & mask_];
+  }
+
+  /// i-th element from the front (0 == front()).
+  T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
+
+  void pop_front() noexcept {
+    assert(size_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void pop_back() noexcept {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Pre-size the buffer to hold at least `n` elements without growing
+  /// (rounded up to a power of two).
+  void reserve(std::size_t n) {
+    if (n <= buf_.size()) return;
+    std::size_t cap = buf_.empty() ? kInitialCapacity : buf_.size();
+    while (cap < n) cap *= 2;
+    rebuild(cap);
+  }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  void grow() { rebuild(buf_.empty() ? kInitialCapacity : buf_.size() * 2); }
+
+  void rebuild(std::size_t cap) {
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) next[i] = buf_[(head_ + i) & mask_];
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace phi::util

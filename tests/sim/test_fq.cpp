@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 
 #include "sim/fq.hpp"
 #include "sim/topology.hpp"
@@ -23,32 +24,53 @@ DrrQueue::Config cfg(std::int64_t cap = 100 * kSegmentBytes) {
   return c;
 }
 
+/// Value-style wrappers over the handle API, mirroring what Link does:
+/// a rejected handle is released by the caller; a dequeued one is copied
+/// out and released.
+bool enq(DrrQueue& q, PacketPool& pool, const Packet& p, util::Time now) {
+  const PacketHandle h = pool.acquire(p);
+  if (q.enqueue(pool, h, now)) return true;
+  pool.release(h);
+  return false;
+}
+
+std::optional<Packet> deq(DrrQueue& q, PacketPool& pool) {
+  const Queued d = q.dequeue();
+  if (d.handle == kNullPacket) return std::nullopt;
+  Packet p = pool.get(d.handle);
+  pool.release(d.handle);
+  return p;
+}
+
 TEST(DrrQueue, SingleFlowFifo) {
+  PacketPool pool;
   DrrQueue q(cfg());
   for (int i = 0; i < 5; ++i) {
     Packet p = flow_packet(1);
     p.seq = i;
-    ASSERT_TRUE(q.enqueue(p, i));
+    ASSERT_TRUE(enq(q, pool, p, i));
   }
   for (int i = 0; i < 5; ++i) {
-    auto p = q.dequeue();
+    auto p = deq(q, pool);
     ASSERT_TRUE(p.has_value());
     EXPECT_EQ(p->seq, i);
   }
-  EXPECT_FALSE(q.dequeue().has_value());
+  EXPECT_FALSE(deq(q, pool).has_value());
   EXPECT_TRUE(q.empty());
+  EXPECT_EQ(pool.in_use(), 0u);
 }
 
 TEST(DrrQueue, InterleavesFlowsFairly) {
+  PacketPool pool;
   DrrQueue q(cfg());
   // Flow 1 floods 20 packets; flow 2 adds 5.
-  for (int i = 0; i < 20; ++i) q.enqueue(flow_packet(1), 0);
-  for (int i = 0; i < 5; ++i) q.enqueue(flow_packet(2), 0);
+  for (int i = 0; i < 20; ++i) enq(q, pool, flow_packet(1), 0);
+  for (int i = 0; i < 5; ++i) enq(q, pool, flow_packet(2), 0);
   // First 10 dequeues must contain all 5 of flow 2's packets (round
   // robin alternates while both are backlogged).
   int flow2 = 0;
   for (int i = 0; i < 10; ++i) {
-    auto p = q.dequeue();
+    auto p = deq(q, pool);
     ASSERT_TRUE(p.has_value());
     if (p->flow == 2) ++flow2;
   }
@@ -56,14 +78,15 @@ TEST(DrrQueue, InterleavesFlowsFairly) {
 }
 
 TEST(DrrQueue, ByteFairWithUnequalPacketSizes) {
+  PacketPool pool;
   DrrQueue q(cfg());
   // Flow 1 sends 1500 B packets, flow 2 sends 300 B packets; byte-fair
   // service should give flow 2 ~5 packets per flow-1 packet.
-  for (int i = 0; i < 20; ++i) q.enqueue(flow_packet(1, 1500), 0);
-  for (int i = 0; i < 100; ++i) q.enqueue(flow_packet(2, 300), 0);
+  for (int i = 0; i < 20; ++i) enq(q, pool, flow_packet(1, 1500), 0);
+  for (int i = 0; i < 100; ++i) enq(q, pool, flow_packet(2, 300), 0);
   std::int64_t bytes1 = 0, bytes2 = 0;
   for (int i = 0; i < 60; ++i) {
-    auto p = q.dequeue();
+    auto p = deq(q, pool);
     ASSERT_TRUE(p.has_value());
     (p->flow == 1 ? bytes1 : bytes2) += p->size_bytes;
   }
@@ -72,15 +95,19 @@ TEST(DrrQueue, ByteFairWithUnequalPacketSizes) {
 }
 
 TEST(DrrQueue, PushOutPunishesLongestFlow) {
+  PacketPool pool;
   DrrQueue q(cfg(10 * kSegmentBytes));
-  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.enqueue(flow_packet(1), 0));
-  // Buffer full of flow 1; flow 2's arrival evicts from flow 1.
-  EXPECT_TRUE(q.enqueue(flow_packet(2), 0));
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(enq(q, pool, flow_packet(1), 0));
+  // Buffer full of flow 1; flow 2's arrival evicts from flow 1. The
+  // evicted packet's handle must come back to the pool.
+  EXPECT_TRUE(enq(q, pool, flow_packet(2), 0));
   EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_EQ(pool.in_use(), 10u);
   // Flow 2's packet is in and will be served promptly.
   bool saw2 = false;
   for (int i = 0; i < 3; ++i) {
-    auto p = q.dequeue();
+    auto p = deq(q, pool);
     ASSERT_TRUE(p.has_value());
     if (p->flow == 2) saw2 = true;
   }
@@ -88,15 +115,18 @@ TEST(DrrQueue, PushOutPunishesLongestFlow) {
 }
 
 TEST(DrrQueue, OwnOverflowIsAPlainDrop) {
+  PacketPool pool;
   DrrQueue q(cfg(3 * kSegmentBytes));
-  ASSERT_TRUE(q.enqueue(flow_packet(1), 0));
-  ASSERT_TRUE(q.enqueue(flow_packet(1), 0));
-  ASSERT_TRUE(q.enqueue(flow_packet(1), 0));
-  EXPECT_FALSE(q.enqueue(flow_packet(1), 0));
+  ASSERT_TRUE(enq(q, pool, flow_packet(1), 0));
+  ASSERT_TRUE(enq(q, pool, flow_packet(1), 0));
+  ASSERT_TRUE(enq(q, pool, flow_packet(1), 0));
+  EXPECT_FALSE(enq(q, pool, flow_packet(1), 0));
   EXPECT_EQ(q.packets(), 3u);
+  EXPECT_EQ(pool.in_use(), 3u);
 }
 
 TEST(DrrQueue, ConservesBytesAndCounts) {
+  PacketPool pool;
   DrrQueue q(cfg());
   util::Rng rng(4);
   std::int64_t in = 0, out = 0;
@@ -105,15 +135,16 @@ TEST(DrrQueue, ConservesBytesAndCounts) {
     if (rng.bernoulli(0.6)) {
       Packet p = flow_packet(flow, 100 + static_cast<std::int32_t>(
                                              rng.below(1400)));
-      if (q.enqueue(p, i)) in += p.size_bytes;
-    } else if (auto p = q.dequeue()) {
+      if (enq(q, pool, p, i)) in += p.size_bytes;
+    } else if (auto p = deq(q, pool)) {
       out += p->size_bytes;
     }
   }
-  while (auto p = q.dequeue()) out += p->size_bytes;
+  while (auto p = deq(q, pool)) out += p->size_bytes;
   EXPECT_EQ(in, out);
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.packets(), 0u);
+  EXPECT_EQ(pool.in_use(), 0u);
 }
 
 TEST(FqEndToEnd, IsolatesPoliteFlowFromAggressor) {

@@ -17,47 +17,58 @@ Packet make_packet(NodeId src, NodeId dst, std::int32_t bytes = kSegmentBytes) {
 }
 
 TEST(DropTailQueue, EnqueueDequeueFifo) {
+  PacketPool pool;
   DropTailQueue q(10000);
   for (int i = 0; i < 3; ++i) {
     Packet p = make_packet(0, 1);
     p.seq = i;
-    EXPECT_TRUE(q.enqueue(p, i * 10));
+    EXPECT_TRUE(q.enqueue(pool, pool.acquire(p), i * 10));
   }
   EXPECT_EQ(q.packets(), 3u);
   EXPECT_EQ(q.bytes(), 3 * kSegmentBytes);
   for (int i = 0; i < 3; ++i) {
-    auto p = q.dequeue();
-    ASSERT_TRUE(p.has_value());
-    EXPECT_EQ(p->seq, i);
-    EXPECT_EQ(p->enqueued_at, i * 10);
+    const Queued d = q.dequeue();
+    ASSERT_NE(d.handle, kNullPacket);
+    EXPECT_EQ(pool.get(d.handle).seq, i);
+    EXPECT_EQ(d.enqueued_at, i * 10);
+    pool.release(d.handle);
   }
-  EXPECT_FALSE(q.dequeue().has_value());
+  EXPECT_EQ(q.dequeue().handle, kNullPacket);
+  EXPECT_EQ(pool.in_use(), 0u);
 }
 
 TEST(DropTailQueue, DropsWhenFull) {
+  PacketPool pool;
   DropTailQueue q(2 * kSegmentBytes);
-  EXPECT_TRUE(q.enqueue(make_packet(0, 1), 0));
-  EXPECT_TRUE(q.enqueue(make_packet(0, 1), 0));
-  EXPECT_FALSE(q.enqueue(make_packet(0, 1), 0));
+  EXPECT_TRUE(q.enqueue(pool, pool.acquire(make_packet(0, 1)), 0));
+  EXPECT_TRUE(q.enqueue(pool, pool.acquire(make_packet(0, 1)), 0));
+  // A rejected handle stays with the caller, who must release it.
+  const PacketHandle rejected = pool.acquire(make_packet(0, 1));
+  EXPECT_FALSE(q.enqueue(pool, rejected, 0));
+  pool.release(rejected);
   EXPECT_EQ(q.stats().enqueued, 2u);
   EXPECT_EQ(q.stats().dropped, 1u);
   EXPECT_NEAR(q.stats().drop_rate(), 1.0 / 3.0, 1e-12);
   // Space frees after dequeue.
-  q.dequeue();
-  EXPECT_TRUE(q.enqueue(make_packet(0, 1), 0));
+  pool.release(q.dequeue().handle);
+  EXPECT_TRUE(q.enqueue(pool, pool.acquire(make_packet(0, 1)), 0));
 }
 
 TEST(DropTailQueue, ByteGranularCapacity) {
+  PacketPool pool;
   DropTailQueue q(kSegmentBytes + kAckBytes);
-  EXPECT_TRUE(q.enqueue(make_packet(0, 1, kSegmentBytes), 0));
-  EXPECT_TRUE(q.enqueue(make_packet(0, 1, kAckBytes), 0));
-  EXPECT_FALSE(q.enqueue(make_packet(0, 1, kAckBytes), 0));
+  EXPECT_TRUE(q.enqueue(pool, pool.acquire(make_packet(0, 1, kSegmentBytes)), 0));
+  EXPECT_TRUE(q.enqueue(pool, pool.acquire(make_packet(0, 1, kAckBytes)), 0));
+  const PacketHandle rejected = pool.acquire(make_packet(0, 1, kAckBytes));
+  EXPECT_FALSE(q.enqueue(pool, rejected, 0));
+  pool.release(rejected);
   EXPECT_NEAR(q.occupancy(), 1.0, 1e-9);
 }
 
 TEST(DropTailQueue, ResetStatsKeepsContents) {
+  PacketPool pool;
   DropTailQueue q(10000);
-  q.enqueue(make_packet(0, 1), 0);
+  q.enqueue(pool, pool.acquire(make_packet(0, 1)), 0);
   q.reset_stats();
   EXPECT_EQ(q.stats().enqueued, 0u);
   EXPECT_EQ(q.packets(), 1u);
@@ -143,6 +154,40 @@ TEST(Link, UtilizationFraction) {
   a.send(make_packet(a.id(), b.id()));
   net.run_until(util::milliseconds(10));
   EXPECT_NEAR(l.utilization(net.now()), 0.1, 1e-9);
+}
+
+TEST(Link, UtilizationMidSerializationCountsOnlyElapsedTime) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  Link& l = net.add_link(a, b, 12.0 * util::kMbps, 0, 1'000'000);
+  a.add_route(b.id(), &l);
+  // Serialization takes 1 ms; query halfway through. The full 1 ms is
+  // charged to busy_time_ at tx start, but only the elapsed 0.5 ms may
+  // count, so the link reads fully-but-not-over utilized.
+  a.send(make_packet(a.id(), b.id()));
+  net.run_until(util::microseconds(500));
+  EXPECT_NEAR(l.utilization(net.now()), 1.0, 1e-9);
+}
+
+TEST(Link, ResetStatsMidSerializationProRatesBusyTime) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  Link& l = net.add_link(a, b, 12.0 * util::kMbps, 0, 1'000'000);
+  a.add_route(b.id(), &l);
+  a.send(make_packet(a.id(), b.id()));
+  // Reset 0.25 ms into the 1 ms serialization: the remaining 0.75 ms of
+  // tx time belongs to the new window.
+  net.run_until(util::microseconds(250));
+  l.reset_stats();
+  EXPECT_NEAR(l.utilization(net.now()), 0.0, 1e-9);
+  net.run_until(util::microseconds(500));
+  // Halfway through the remainder: busy for all of the 0.25 ms elapsed.
+  EXPECT_NEAR(l.utilization(net.now()), 1.0, 1e-9);
+  net.run_until(util::milliseconds(3));
+  // Window is [0.25 ms, 3 ms]; transmitter was busy for 0.75 ms of it.
+  EXPECT_NEAR(l.utilization(net.now()), 0.75 / 2.75, 1e-9);
 }
 
 TEST(Node, NoRouteCountsDrop) {

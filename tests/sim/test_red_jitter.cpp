@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 
 #include "sim/queue_disc.hpp"
 #include "sim/topology.hpp"
@@ -23,20 +24,39 @@ Packet ect_packet() {
   return p;
 }
 
+/// Value-style wrappers over the handle API (rejected handles go back to
+/// the pool; dequeued ones are copied out and released).
+bool enq(RedQueue& q, PacketPool& pool, const Packet& p, util::Time now) {
+  const PacketHandle h = pool.acquire(p);
+  if (q.enqueue(pool, h, now)) return true;
+  pool.release(h);
+  return false;
+}
+
+std::optional<Packet> deq(RedQueue& q, PacketPool& pool) {
+  const Queued d = q.dequeue();
+  if (d.handle == kNullPacket) return std::nullopt;
+  Packet p = pool.get(d.handle);
+  pool.release(d.handle);
+  return p;
+}
+
 TEST(RedQueue, NoMarkingBelowMinThreshold) {
+  PacketPool pool;
   RedQueue q(red_config());
-  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.enqueue(ect_packet(), 0));
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(enq(q, pool, ect_packet(), 0));
   EXPECT_EQ(q.ecn_marks(), 0u);
   EXPECT_EQ(q.stats().dropped, 0u);
 }
 
 TEST(RedQueue, MarksEctTrafficUnderLoad) {
+  PacketPool pool;
   RedQueue q(red_config());
   // Hold the queue deep so the average climbs past min_th.
   std::uint64_t accepted = 0;
   for (int i = 0; i < 5000; ++i) {
-    if (q.enqueue(ect_packet(), i)) ++accepted;
-    if (q.packets() > 60) q.dequeue();  // drain to ~60% occupancy
+    if (enq(q, pool, ect_packet(), i)) ++accepted;
+    if (q.packets() > 60) deq(q, pool);  // drain to ~60% occupancy
   }
   EXPECT_GT(q.ecn_marks(), 10u);
   // ECN-capable traffic is marked, not dropped, in the early-detection
@@ -45,26 +65,30 @@ TEST(RedQueue, MarksEctTrafficUnderLoad) {
 }
 
 TEST(RedQueue, DropsNonEctTrafficInsteadOfMarking) {
+  PacketPool pool;
   RedQueue q(red_config());
   Packet plain;
   plain.size_bytes = kSegmentBytes;
   std::uint64_t drops = 0;
   for (int i = 0; i < 5000; ++i) {
-    if (!q.enqueue(plain, i)) ++drops;
-    if (q.packets() > 60) q.dequeue();
+    if (!enq(q, pool, plain, i)) ++drops;
+    if (q.packets() > 60) deq(q, pool);
   }
   EXPECT_EQ(q.ecn_marks(), 0u);
   EXPECT_GT(drops, 10u);
+  // Every early-dropped handle went back to the pool.
+  EXPECT_EQ(pool.in_use(), q.packets());
 }
 
 TEST(RedQueue, MarkedPacketsCarryCe) {
+  PacketPool pool;
   RedQueue q(red_config(20 * kSegmentBytes));
   // Fill deep; collect dequeued packets and check some carry CE.
   int ce = 0, total = 0;
   for (int i = 0; i < 2000; ++i) {
-    q.enqueue(ect_packet(), i);
+    enq(q, pool, ect_packet(), i);
     if (q.packets() > 15) {
-      auto p = q.dequeue();
+      auto p = deq(q, pool);
       if (p) {
         ++total;
         if (p->ce) ++ce;
@@ -76,10 +100,11 @@ TEST(RedQueue, MarkedPacketsCarryCe) {
 }
 
 TEST(RedQueue, AverageTracksOccupancy) {
+  PacketPool pool;
   RedQueue q(red_config());
-  for (int i = 0; i < 50; ++i) q.enqueue(ect_packet(), i);
+  for (int i = 0; i < 50; ++i) enq(q, pool, ect_packet(), i);
   const double avg_before = q.average_queue_bytes();
-  for (int i = 0; i < 2000; ++i) q.enqueue(ect_packet(), 100 + i);
+  for (int i = 0; i < 2000; ++i) enq(q, pool, ect_packet(), 100 + i);
   EXPECT_GT(q.average_queue_bytes(), avg_before);
 }
 

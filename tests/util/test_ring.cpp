@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/ring.hpp"
+
+namespace phi::util {
+namespace {
+
+TEST(RingDeque, StartsEmpty) {
+  RingDeque<int> r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.capacity(), 0u);
+}
+
+TEST(RingDeque, FifoOrder) {
+  RingDeque<int> r;
+  for (int i = 0; i < 100; ++i) r.push_back(i);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(r.front(), i);
+    r.pop_front();
+  }
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(RingDeque, WrapsAroundWithoutGrowing) {
+  RingDeque<int> r;
+  // Fill to half capacity, then push/pop in lockstep far past the buffer
+  // size: the head index must wrap instead of forcing growth.
+  for (int i = 0; i < 8; ++i) r.push_back(i);
+  const std::size_t cap = r.capacity();
+  for (int i = 8; i < 1000; ++i) {
+    r.push_back(i);
+    EXPECT_EQ(r.front(), i - 8);
+    r.pop_front();
+  }
+  EXPECT_EQ(r.capacity(), cap);
+  EXPECT_EQ(r.size(), 8u);
+}
+
+TEST(RingDeque, GrowthPreservesOrderAcrossWrap) {
+  RingDeque<int> r;
+  // Misalign head first so growth has to unwrap a split buffer.
+  for (int i = 0; i < 10; ++i) r.push_back(-1);
+  for (int i = 0; i < 10; ++i) r.pop_front();
+  for (int i = 0; i < 300; ++i) r.push_back(i);
+  ASSERT_EQ(r.size(), 300u);
+  for (int i = 0; i < 300; ++i) EXPECT_EQ(r[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RingDeque, CapacityIsPowerOfTwo) {
+  RingDeque<int> r;
+  for (int i = 0; i < 2000; ++i) {
+    r.push_back(i);
+    const std::size_t cap = r.capacity();
+    EXPECT_EQ(cap & (cap - 1), 0u) << "capacity " << cap;
+  }
+}
+
+TEST(RingDeque, BackAndPopBack) {
+  RingDeque<int> r;
+  for (int i = 0; i < 5; ++i) r.push_back(i);
+  EXPECT_EQ(r.back(), 4);
+  r.pop_back();
+  EXPECT_EQ(r.back(), 3);
+  EXPECT_EQ(r.front(), 0);
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST(RingDeque, ClearKeepsStorage) {
+  RingDeque<int> r;
+  for (int i = 0; i < 100; ++i) r.push_back(i);
+  const std::size_t cap = r.capacity();
+  r.clear();
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.capacity(), cap);
+  r.push_back(7);
+  EXPECT_EQ(r.front(), 7);
+}
+
+TEST(RingDeque, ReserveRoundsUpAndPreventsGrowth) {
+  RingDeque<std::uint64_t> r;
+  r.reserve(100);
+  EXPECT_GE(r.capacity(), 100u);
+  const std::size_t cap = r.capacity();
+  EXPECT_EQ(cap & (cap - 1), 0u);
+  for (std::uint64_t i = 0; i < 100; ++i) r.push_back(i);
+  EXPECT_EQ(r.capacity(), cap);
+  // Reserving less than the current capacity is a no-op.
+  r.reserve(4);
+  EXPECT_EQ(r.capacity(), cap);
+}
+
+}  // namespace
+}  // namespace phi::util
