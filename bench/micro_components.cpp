@@ -4,6 +4,7 @@
 // sampling, and an end-to-end mini scenario.
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <memory>
 
 #include "flow/bottleneck.hpp"
@@ -86,6 +87,55 @@ void BM_SchedulerSelfReschedule(benchmark::State& state) {
   state.SetLabel("events/sec");
 }
 BENCHMARK(BM_SchedulerSelfReschedule)->Arg(10000);
+
+// Same-deadline storm: many events sharing one exact timestamp, the
+// shape run_until's burst dequeue is built for (a synchronized window of
+// deliveries landing together). The wheel collects the whole bucket in
+// one sweep; the old heap paid a log-n pop per event.
+void BM_SchedulerSameDeadlineStorm(benchmark::State& state) {
+  const long n = state.range(0);
+  for (auto _ : state) {
+    sim::Scheduler s;
+    long executed = 0;
+    for (long i = 0; i < n; ++i)
+      s.schedule_at(10'000, [&executed] { ++executed; });
+    s.run_until(20'000);
+    benchmark::DoNotOptimize(executed);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("events/sec");
+}
+BENCHMARK(BM_SchedulerSameDeadlineStorm)->Arg(64)->Arg(1024);
+
+// Far-future timer churn across wheel levels: re-armed deadlines spread
+// over seconds land on upper wheel levels or the overflow heap, then
+// cascade down as time advances. Exercises placement, cascade, and
+// overflow migration together — the costs a near-future-only bench
+// never sees.
+void BM_SchedulerCrossLevelChurn(benchmark::State& state) {
+  sim::Scheduler s;
+  util::Rng rng(0xC0DE);
+  long fired = 0;
+  // Keep a working set of timers spanning ~4 s (level 2 / overflow
+  // territory at 1.024 us ticks), advancing time in 1 ms steps.
+  constexpr int kTimers = 256;
+  std::array<sim::EventId, kTimers> ids{};
+  for (auto _ : state) {
+    const int slot = static_cast<int>(rng.below(kTimers));
+    if (ids[static_cast<std::size_t>(slot)] != 0)
+      s.cancel(ids[static_cast<std::size_t>(slot)]);
+    const util::Time t =
+        s.now() + 1'000'000 +
+        static_cast<util::Time>(rng.below(4'000'000'000ull));
+    ids[static_cast<std::size_t>(slot)] =
+        s.schedule_at(t, [&fired] { ++fired; });
+    s.run_until(s.now() + 1'000'000);
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("rearm+advance/sec");
+}
+BENCHMARK(BM_SchedulerCrossLevelChurn);
 
 void BM_DropTailQueue(benchmark::State& state) {
   sim::PacketPool pool;

@@ -1,9 +1,11 @@
 // event.hpp — the discrete-event scheduler at the heart of the ns-2
 // stand-in. Events are callbacks ordered by (time, insertion sequence);
 // the sequence number makes simultaneous events FIFO, which keeps runs
-// deterministic regardless of heap internals.
+// deterministic regardless of queue internals.
 #pragma once
 
+#include <array>
+#include <cassert>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -24,6 +26,7 @@ namespace detail {
 /// Out-of-line trampolines for the scheduler's per-packet fast path,
 /// defined in link.cpp (the scheduler cannot see Link's definition).
 void link_deliver(Link& link, PacketHandle h);
+void link_deliver_burst(Link& link, const PacketHandle* hs, std::size_t n);
 void link_tx_complete(Link& link);
 }  // namespace detail
 
@@ -32,29 +35,45 @@ void link_tx_complete(Link& link);
 /// never issued and can mean "no event" at call sites.
 using EventId = std::uint64_t;
 
-/// Priority-queue based event scheduler.
+/// Hierarchical timing-wheel event scheduler.
 ///
 /// Usage:
 ///   Scheduler s;
 ///   s.schedule_in(util::milliseconds(10), [&]{ ... });
 ///   s.run_until(util::seconds(30));
 ///
+/// Pending events live in a three-level timing wheel tuned to simulation
+/// timescales (1.024 us level-0 ticks; the levels span ~1 ms, ~1.07 s and
+/// ~18 min of lookahead) with an overflow heap for farther timers, so
+/// scheduling is an O(1) bucket append for every realistic deadline —
+/// link serialization, propagation, RTO re-arms — instead of an O(log n)
+/// heap sift. Execution drains one bucket at a time into a small sorted
+/// run buffer keyed (time, insertion sequence) and popped from the
+/// front, which preserves the exact FIFO-for-simultaneous-events
+/// contract of the historical binary-heap implementation: runs are
+/// byte-identical. See docs/DATAPATH.md.
+///
 /// Callbacks live in a slab of generation-tagged slots recycled through a
-/// free list: scheduling is a slot reuse plus a heap push (no per-event
-/// node or hash-map allocation — captures up to util::SmallFn::kInlineBytes
-/// are stored in place), cancellation is an O(1) generation bump, and
-/// stale EventIds are recognized by their generation rather than by
-/// membership in a map. Cancelled entries are compacted out of the heap
-/// once they outnumber live ones 2:1, so timer-heavy workloads (e.g. a
-/// retransmit timer re-armed on every ACK) keep the heap proportional to
-/// the number of *pending* events rather than the number ever scheduled.
+/// free list: scheduling is a slot reuse plus a bucket append (no
+/// per-event node or hash-map allocation — captures up to
+/// util::SmallFn::kInlineBytes are stored in place), cancellation is an
+/// O(1) generation bump, and stale EventIds are recognized by their
+/// generation rather than by membership in a map. Cancelled entries are
+/// swept out of the wheel once they outnumber live ones 2:1, so
+/// timer-heavy workloads (e.g. a retransmit timer re-armed on every ACK)
+/// keep the wheel proportional to the number of *pending* events rather
+/// than the number ever scheduled. The per-packet fast-path kinds
+/// (delivery, tx-complete) carry their {Link*, PacketHandle} payload in
+/// the wheel entry itself and touch no slot at all.
 class Scheduler {
  public:
   Scheduler();
 
   Time now() const noexcept { return now_; }
 
-  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  /// Schedule `fn` at absolute time `t`. Deadlines must be >= now(); a
+  /// past deadline is clamped to now() (debug builds assert) so it still
+  /// executes after every event already due — never out of order.
   EventId schedule_at(Time t, util::SmallFn fn);
 
   /// Schedule `fn` after a delay relative to now().
@@ -64,7 +83,7 @@ class Scheduler {
 
   /// Per-packet fast path: deliver pool packet `h` to `link`'s far end
   /// after `d`. Equivalent to scheduling a {&link, h} lambda, but the
-  /// pair rides directly in the heap entry — no type erasure, no slot
+  /// pair rides directly in the wheel entry — no type erasure, no slot
   /// claim/release, nothing to destroy. Such events are ordered exactly
   /// like callbacks (time, then insertion sequence) but are not
   /// cancellable (the packet handle would leak): the returned id is
@@ -89,7 +108,10 @@ class Scheduler {
   /// Run events until the queue is empty or the next event is after
   /// `horizon`. Returns the number of events executed. The clock is left at
   /// `horizon` (or at the last event's time if the queue drained first and
-  /// that was earlier).
+  /// that was earlier). Events due inside the horizon are dispatched in
+  /// bursts: a batch is popped, packet-pool slots are prefetched, and
+  /// same-deadline deliveries on one link go through a single burst call
+  /// into the link — all without changing the (time, seq) execution order.
   std::uint64_t run_until(Time horizon);
 
   /// Run a single event if one is pending; returns false when empty.
@@ -97,35 +119,101 @@ class Scheduler {
 
   std::size_t pending_count() const noexcept { return live_count_; }
   std::uint64_t executed_count() const noexcept { return executed_; }
-  /// Heap entries currently held, live + cancelled-but-unpopped. Bounded
-  /// at ~3x pending_count() (plus a small floor) by compaction.
-  std::size_t heap_size() const noexcept { return heap_.size(); }
+  /// Wheel + run-buffer + overflow entries currently held, live +
+  /// cancelled-but-unswept. Bounded at ~3x pending_count() (plus a small
+  /// floor) by compaction. (Named for the binary-heap era; kept because
+  /// harnesses only care about the bound.)
+  std::size_t heap_size() const noexcept { return entries_; }
+  /// Slots permanently taken out of service because their 32-bit
+  /// generation tag saturated (see release()); effectively zero in any
+  /// real run, but observable so the wrap path can be tested.
+  std::size_t retired_slot_count() const noexcept { return retired_slots_; }
 
  private:
+  friend struct SchedulerTestAccess;  // tests poke slot generations
+
+  /// How an entry is dispatched: a type-erased callback slot, or one of
+  /// the per-packet fast-path kinds that call into a Link directly.
+  enum class EventKind : std::uint8_t { kCallback, kDelivery, kTxComplete };
+
+  /// One pending event as the wheel stores it. Callbacks reference their
+  /// slot through `id`; fast-path kinds carry the Link pointer in `id`
+  /// and the packet handle in `packet`, so executing them never touches
+  /// the slot slab. The dispatch kind rides in the low bits of `seq`
+  /// (insertion sequence << 2 | kind), which keeps the entry at 32
+  /// bytes — sorted-insert memmoves and collect copies are 20% smaller
+  /// — without perturbing the (time, seq) order: the packed word is as
+  /// unique and monotone as the sequence alone.
   struct Entry {
     Time time;
-    std::uint64_t seq;
-    EventId id;
+    std::uint64_t seq;  ///< (insertion sequence << 2) | kind
+    std::uint64_t id;   ///< kCallback: EventId; fast path: Link*
+    PacketHandle packet;
+    EventKind kind() const noexcept {
+      return static_cast<EventKind>(seq & 3);
+    }
     bool operator>(const Entry& o) const noexcept {
       return time != o.time ? time > o.time : seq > o.seq;
     }
   };
-
-  /// How a slot's payload is dispatched: a type-erased callback, or one
-  /// of the per-packet fast-path kinds that call into a Link directly.
-  enum class EventKind : std::uint8_t { kCallback, kDelivery, kTxComplete };
+  static constexpr std::uint64_t pack_seq(std::uint64_t seq,
+                                          EventKind kind) noexcept {
+    return (seq << 2) | static_cast<std::uint64_t>(kind);
+  }
 
   /// One callback slot. `gen` is bumped every time the slot is vacated
   /// (run or cancelled), which atomically invalidates every outstanding
-  /// EventId minted for the previous occupant. Fast-path events leave
-  /// `fn` empty and use `link`/`packet` instead.
+  /// EventId minted for the previous occupant. `time`/`seq` mirror the
+  /// occupant's wheel entry so cancel() can find it by binary search
+  /// when the run buffer holds everything (direct mode).
   struct Slot {
     util::SmallFn fn;
-    Link* link = nullptr;
-    PacketHandle packet = kNullPacket;
+    Time time = 0;
+    std::uint64_t seq = 0;
     std::uint32_t gen = 1;
-    EventKind kind = EventKind::kCallback;
     bool live = false;
+  };
+
+  // --- timing-wheel geometry -------------------------------------------
+  static constexpr int kTickShift = 10;  ///< level-0 tick = 1.024 us
+  static constexpr int kSlotBits = 10;   ///< 1024 buckets per level
+  static constexpr std::size_t kWheelSlots = std::size_t{1} << kSlotBits;
+  static constexpr std::int64_t kSlotMask =
+      static_cast<std::int64_t>(kWheelSlots) - 1;
+  static constexpr int kLevels = 3;
+  static constexpr std::size_t kBitmapWords = kWheelSlots / 64;
+  /// Max events popped per dispatch burst in run_until.
+  static constexpr std::size_t kMaxBatch = 64;
+  /// Direct mode: while every pending entry fits in a run buffer this
+  /// small, schedule straight into it (sorted insert) and skip the wheel
+  /// entirely. A near-empty schedule — one link serializing, a window's
+  /// worth of in-flight packets — stays in a few hot cache lines, which
+  /// beats any bucket structure; the wheel takes over past this size.
+  /// Sorted-insert cost is bounded by this size (the ring shifts the
+  /// shorter side, so at worst half of it moves), so it must stay small
+  /// enough that the bound is cheap.
+  static constexpr std::size_t kDirectMax = 128;
+  /// First allocation for the run-buffer ring. Strictly greater than
+  /// kDirectMax so direct mode never grows past the initial reservation,
+  /// and a power of two (ring indices wrap by mask).
+  static constexpr std::size_t kDueInitialCap = 256;
+
+  /// Wheel entries live in one node arena shared by every bucket of every
+  /// level; buckets are intrusive singly-linked lists (a head index plus
+  /// per-node next). Order within a bucket does not matter — the due heap
+  /// re-sorts by (time, seq) — so insertion is LIFO at the head. One
+  /// arena means the steady state is allocation-free even though the set
+  /// of active bucket indices slides with simulated time: nodes recycle
+  /// through a free list and only a new high-water mark allocates.
+  struct Node {
+    Entry e;
+    std::int32_t next = -1;  ///< arena index of the next node, -1 ends
+  };
+
+  struct Level {
+    std::array<std::int32_t, kWheelSlots> head;  ///< -1 = empty bucket
+    std::array<std::uint64_t, kBitmapWords> bitmap{};
+    std::size_t occupied = 0;  ///< buckets with at least one entry
   };
 
   static constexpr EventId make_id(std::uint32_t gen,
@@ -146,31 +234,134 @@ class Scheduler {
     return const_cast<Slot*>(std::as_const(*this).slot_of(id));
   }
 
-  /// Vacate a live slot: bump the generation and recycle the index.
+  /// Vacate a live slot: bump the generation and recycle the index — or
+  /// retire the slot outright when the 32-bit generation saturates, so a
+  /// stale EventId from 2^32 occupancies ago can never alias a fresh one
+  /// (generation values are minted at most once per slot, and 0 — the
+  /// wrapped value — is never minted at all).
   void release(std::uint32_t slot) noexcept {
     Slot& s = slots_[slot];
     s.fn.reset();
-    s.link = nullptr;
-    s.packet = kNullPacket;
-    s.kind = EventKind::kCallback;
     s.live = false;
     ++s.gen;
-    free_.push_back(slot);
+    if (s.gen != 0) {
+      free_.push_back(slot);
+    } else {
+      ++retired_slots_;  // leaked by design: one slot per 2^32 recycles
+    }
     --live_count_;
+  }
+
+  bool entry_dead(const Entry& e) const noexcept {
+    return e.kind() == EventKind::kCallback && slot_of(e.id) == nullptr;
+  }
+  static Link* entry_link(const Entry& e) noexcept {
+    return reinterpret_cast<Link*>(static_cast<std::uintptr_t>(e.id));
   }
 
   void maybe_compact();
 
-  /// Claim a slot (recycled or fresh), mint its EventId, and push the
-  /// heap entry for time `t`. The caller fills in the payload.
-  std::pair<Slot*, EventId> claim_slot(Time t);
+  /// Claim a slot (recycled or fresh) and mint its EventId. The caller
+  /// fills in the callback and files the wheel entry.
+  std::pair<Slot*, EventId> claim_slot();
 
-  // Min-heap (via std::*_heap with greater<>) kept in a plain vector so
-  // compaction can filter dead entries in place.
-  std::vector<Entry> heap_;
+  /// File `e` where it belongs for its deadline: the run buffer while in
+  /// direct mode or when its tick is not after the wheel position, else
+  /// the shallowest wheel level whose span covers it, else the overflow
+  /// heap. Does not touch entries_ (callers account).
+  void place(const Entry& e);
+  /// The wheel/overflow part of place(), for deadlines after cur_tick_.
+  void place_wheel(const Entry& e);
+  /// Leave direct mode: move run-buffer entries beyond the wheel
+  /// position into the wheel (dropping cancelled callbacks), so the
+  /// run buffer again holds only ticks at or before cur_tick_.
+  void spill_due();
+  void due_push(const Entry& e);
+  /// Double (or first-allocate) the ring, unwrapping into logical order.
+  void due_grow();
+  /// Remove the entry at logical index `p`, shifting whichever side of
+  /// the ring is shorter.
+  void due_erase(std::size_t p);
+  std::size_t due_size() const noexcept { return due_count_; }
+  bool due_empty() const noexcept { return due_count_ == 0; }
+  /// Entry at logical index `i` (0 == front). The ring size is always a
+  /// power of two, so indices wrap by mask.
+  Entry& due_at(std::size_t i) noexcept {
+    return due_[(due_head_ + i) & (due_.size() - 1)];
+  }
+  const Entry& due_at(std::size_t i) const noexcept {
+    return due_[(due_head_ + i) & (due_.size() - 1)];
+  }
+  const Entry& due_front() const noexcept { return due_[due_head_]; }
+  const Entry& due_back() const noexcept { return due_at(due_count_ - 1); }
+  void due_pop_front() noexcept {
+    due_head_ = (due_head_ + 1) & (due_.size() - 1);
+    if (--due_count_ == 0) due_head_ = 0;
+  }
+  std::int32_t alloc_node();
+  void bucket_push(Level& l, std::size_t idx, const Entry& e);
+  /// Move the contents of level-0 bucket `idx` into the run buffer,
+  /// dropping cancelled callbacks, and sort it (it must be empty on
+  /// entry).
+  void collect(std::size_t idx);
+  /// Reinsert the contents of bucket `idx` of level `level` (> 0) one
+  /// level down (or into the run buffer at the exact wheel position).
+  void cascade(int level, std::size_t idx);
+  /// Pull overflow entries whose deadline now falls inside the wheel's
+  /// level-2 span.
+  void migrate_overflow();
+  /// Advance the wheel to the next occupied bucket at or before
+  /// `limit_tick` and fill the run buffer. Returns false when nothing
+  /// remains inside the limit. Only call with an empty run buffer.
+  bool advance(std::int64_t limit_tick);
+  /// Execute one entry (already popped from the run buffer). Returns
+  /// false if it was a cancelled callback.
+  bool dispatch(const Entry& e);
+
+  void set_bit(Level& l, std::size_t idx) noexcept {
+    std::uint64_t& w = l.bitmap[idx >> 6];
+    const std::uint64_t m = std::uint64_t{1} << (idx & 63);
+    if ((w & m) == 0) {
+      w |= m;
+      ++l.occupied;
+    }
+  }
+  void clear_bit(Level& l, std::size_t idx) noexcept {
+    std::uint64_t& w = l.bitmap[idx >> 6];
+    const std::uint64_t m = std::uint64_t{1} << (idx & 63);
+    if ((w & m) != 0) {
+      w &= ~m;
+      --l.occupied;
+    }
+  }
+  /// Smallest set index strictly greater than `after` (pass -1 to search
+  /// from 0), or kWheelSlots when none.
+  static std::size_t next_bit(const Level& l, std::int64_t after) noexcept;
+
+  std::array<Level, kLevels> levels_;
+  std::vector<Node> arena_;              ///< backing store for all buckets
+  std::vector<std::int32_t> node_free_;  ///< recycled arena nodes, LIFO
+  /// Run buffer: a power-of-two ring of entries sorted ascending by
+  /// (time, seq), consumed from the front. In wheel mode it holds one
+  /// tick, refilled by advance() when empty; in direct mode (wheel and
+  /// overflow empty, few pending) it holds everything and is the entire
+  /// scheduler. The ring matters for direct mode's insert cost: link
+  /// deadlines come in two bands (tx-complete soon, delivery after the
+  /// propagation delay), so near-band inserts land close to the front
+  /// and far-band inserts close to the back — shifting the shorter side
+  /// makes both O(few entries) where a flat sorted vector paid a
+  /// half-buffer memmove for every near-band insert.
+  std::vector<Entry> due_;       ///< ring storage; size is a power of two
+  std::size_t due_head_ = 0;     ///< physical index of the logical front
+  std::size_t due_count_ = 0;    ///< live entries in the ring
+  std::vector<Entry> overflow_;  ///< min-heap: beyond the level-2 span
+  std::int64_t cur_tick_ = 0;    ///< level-0 tick of the last collected bucket
+  std::size_t entries_ = 0;      ///< total entries held (live + cancelled)
+
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;  // vacated slot indices, LIFO
   std::size_t live_count_ = 0;
+  std::size_t retired_slots_ = 0;
   PacketPool pool_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
@@ -178,12 +369,15 @@ class Scheduler {
 
   // Telemetry handles, resolved once at construction; updates on the hot
   // path are single indirect stores (nothing at all under
-  // PHI_TELEMETRY_OFF).
+  // PHI_TELEMETRY_OFF), and the executed counter is batched per
+  // run_until burst.
   telemetry::Counter* ctr_scheduled_;
   telemetry::Counter* ctr_executed_;
   telemetry::Counter* ctr_cancelled_;
   telemetry::Counter* ctr_compactions_;
-  telemetry::Gauge* heap_gauge_;
+  telemetry::Gauge* entries_gauge_;
+  telemetry::Gauge* due_gauge_;
+  telemetry::Gauge* occupied_gauge_;
 };
 
 }  // namespace phi::sim

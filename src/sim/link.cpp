@@ -20,6 +20,9 @@ static_assert(sizeof(DeliveryCapture) <= util::SmallFn::kInlineBytes,
 
 namespace detail {
 void link_deliver(Link& link, PacketHandle h) { link.complete_delivery(h); }
+void link_deliver_burst(Link& link, const PacketHandle* hs, std::size_t n) {
+  link.complete_delivery_burst(hs, n);
+}
 void link_tx_complete(Link& link) { link.complete_transmission(); }
 }  // namespace detail
 
@@ -113,6 +116,14 @@ void Link::complete_delivery(PacketHandle h) {
   pool_.release(h);
 }
 
+void Link::complete_delivery_burst(const PacketHandle* hs, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) pool_.prefetch(hs[i + 1]);
+    dst_.deliver(pool_.get(hs[i]));
+    pool_.release(hs[i]);
+  }
+}
+
 void Link::complete_transmission() {
   busy_ = false;
   const Queued next = queue_->dequeue();
@@ -152,6 +163,9 @@ void Link::flush_stats() const {
 
 double Link::utilization(util::Time now) const noexcept {
   const util::Duration elapsed = now - stats_since_;
+  // Zero-length window — e.g. queried at the exact instant of
+  // reset_stats(), including mid-serialization when busy_time_ holds a
+  // pro-rated remainder — reads as 0, never 0/0 or x/0.
   if (elapsed <= 0) return 0.0;
   util::Duration busy = busy_time_;
   // busy_time_ is charged in full when serialization starts; don't count

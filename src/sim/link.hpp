@@ -99,6 +99,8 @@ class Link {
 
  private:
   friend void detail::link_deliver(Link& link, PacketHandle h);
+  friend void detail::link_deliver_burst(Link& link, const PacketHandle* hs,
+                                         std::size_t n);
   friend void detail::link_tx_complete(Link& link);
 
   void start_transmission(PacketHandle h);
@@ -106,6 +108,10 @@ class Link {
   /// packet to the destination then releases it; the tx-complete event
   /// frees the transmitter and pulls the next packet from the queue.
   void complete_delivery(PacketHandle h);
+  /// Burst form: `n` same-deadline deliveries on this link, in schedule
+  /// order, with the next packet's pool slot prefetched while the
+  /// current one is being consumed.
+  void complete_delivery_burst(const PacketHandle* hs, std::size_t n);
   void complete_transmission();
 
   /// Replay batched queueing-delay samples, in arrival order, into the

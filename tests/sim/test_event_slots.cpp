@@ -10,6 +10,20 @@
 #include "sim/event.hpp"
 
 namespace phi::sim {
+
+/// Befriended by Scheduler: lets tests age a slot's generation counter to
+/// the saturation point without performing 2^32 real recycles.
+struct SchedulerTestAccess {
+  static void set_slot_generation(Scheduler& s, std::uint32_t slot,
+                                  std::uint32_t gen) {
+    s.slots_[slot].gen = gen;
+  }
+  static std::uint32_t slot_generation(const Scheduler& s,
+                                       std::uint32_t slot) {
+    return s.slots_[slot].gen;
+  }
+};
+
 namespace {
 
 TEST(SchedulerSlots, IdZeroIsNeverIssued) {
@@ -70,6 +84,65 @@ TEST(SchedulerSlots, CallbackReschedulingIntoOwnSlotIsSafe) {
   });
   s.run_until(10);
   EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerSlots, GenerationWrapRetiresSlot) {
+  // After 2^32 occupancies a slot's generation counter would wrap to 0
+  // and a stale EventId from the first occupancy could alias a fresh
+  // one. release() retires the slot instead of recycling it (the old
+  // code pushed it back on the free list with gen == 0, which also
+  // collided with the "no event" sentinel encoding). Fast-forward the
+  // counter rather than recycling 4 billion times.
+  Scheduler s;
+  const EventId first = s.schedule_at(10, [] {});
+  const std::uint32_t slot = static_cast<std::uint32_t>(first);
+  ASSERT_TRUE(s.cancel(first));  // slot vacated, sits on the free list
+  SchedulerTestAccess::set_slot_generation(s, slot, 0xFFFF'FFFFu);
+
+  // LIFO free list hands the aged slot to the next event.
+  const EventId last = s.schedule_at(20, [] {});
+  ASSERT_EQ(static_cast<std::uint32_t>(last), slot);
+  ASSERT_EQ(last >> 32, 0xFFFF'FFFFu);
+  EXPECT_TRUE(s.pending(last));
+  EXPECT_EQ(s.retired_slot_count(), 0u);
+
+  // Vacating it saturates the counter: the slot is retired, not reused.
+  ASSERT_TRUE(s.cancel(last));
+  EXPECT_EQ(s.retired_slot_count(), 1u);
+  EXPECT_EQ(SchedulerTestAccess::slot_generation(s, slot), 0u);
+
+  // The next schedule gets a different slot — the retired one never
+  // re-enters circulation, so no future id can collide with `last`.
+  const EventId fresh = s.schedule_at(30, [] {});
+  EXPECT_NE(static_cast<std::uint32_t>(fresh), slot);
+  EXPECT_FALSE(s.pending(last));
+  EXPECT_FALSE(s.cancel(last));
+  // A forged wrapped id (gen 0 on the retired slot) is dead too.
+  const EventId forged = static_cast<EventId>(slot);
+  EXPECT_FALSE(s.pending(forged));
+  EXPECT_FALSE(s.cancel(forged));
+  EXPECT_TRUE(s.pending(fresh));
+  s.run_until(100);
+  EXPECT_EQ(s.executed_count(), 1u);
+  EXPECT_EQ(s.retired_slot_count(), 1u);
+}
+
+TEST(SchedulerSlots, GenerationWrapOnExecutionRetiresSlot) {
+  // Same wrap, but the slot is vacated by the run path instead of
+  // cancel. The slot must be aged while vacant so the minted EventId
+  // carries the saturating generation.
+  Scheduler s;
+  const EventId a = s.schedule_at(1, [] {});
+  ASSERT_TRUE(s.cancel(a));
+  SchedulerTestAccess::set_slot_generation(s, static_cast<std::uint32_t>(a),
+                                           0xFFFF'FFFFu);
+  bool ran = false;
+  const EventId b = s.schedule_at(2, [&] { ran = true; });
+  ASSERT_EQ(b >> 32, 0xFFFF'FFFFu);
+  s.run_until(10);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.retired_slot_count(), 1u);
+  EXPECT_FALSE(s.pending(b));
 }
 
 TEST(SchedulerSlots, CancelInsideCallbackOfLaterEvent) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/link.hpp"
 #include "sim/monitor.hpp"
 #include "sim/network.hpp"
@@ -154,6 +156,72 @@ TEST(Link, UtilizationFraction) {
   a.send(make_packet(a.id(), b.id()));
   net.run_until(util::milliseconds(10));
   EXPECT_NEAR(l.utilization(net.now()), 0.1, 1e-9);
+}
+
+TEST(Link, SchedulerChurnGrowsWrappedRingAndFeedsSmallP2) {
+  // Drive the drop-tail ring and the link's P2 tail estimator through
+  // real scheduler churn. The drain between the two bursts rotates the
+  // ring's head; the second burst then forces 16 -> 32 growth while the
+  // live window is wrapped around the physical end of the buffer (the
+  // RingDeque edge the unit tests pin down, reached here through the
+  // datapath). Dequeue sampling (1-in-8) leaves the p99 estimator with
+  // fewer than five samples, exercising its exact small-count path.
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  // 12 Mbps: one 1500 B packet serializes in exactly 1 ms.
+  Link& l = net.add_link(a, b, 12.0 * util::kMbps, 0, 1'000'000);
+  a.add_route(b.id(), &l);
+  // Burst 1: 12 packets — 1 serializing, 11 queued (ring capacity 16).
+  for (int i = 0; i < 12; ++i) a.send(make_packet(a.id(), b.id()));
+  // Second burst arrives via a scheduled event, mid-drain: 6 packets
+  // have left the queue by then, so head sits 6 slots in.
+  net.scheduler().schedule_at(util::microseconds(6'500), [&] {
+    for (int i = 0; i < 13; ++i) a.send(make_packet(a.id(), b.id()));
+  });
+  net.run_until(util::microseconds(6'600));
+  // 5 left from burst 1 + 13 new = 18 > 16: the ring grew while split.
+  EXPECT_EQ(l.queue().packets(), 18u);
+  net.run_until(util::seconds(1));
+  EXPECT_EQ(l.packets_transmitted(), 25u);
+  EXPECT_EQ(l.queue().stats().dropped, 0u);
+  EXPECT_EQ(l.queue().packets(), 0u);
+  // 24 packets waited in queue (all but the first); each dequeue fed the
+  // mean, a 1-in-8 subsample (3 samples) fed the p99 estimator.
+  EXPECT_EQ(l.queueing_delay().count(), 24u);
+  EXPECT_GT(l.queueing_delay().mean(), 0.0);
+  const double p99 = l.queueing_delay_p99_s();
+  EXPECT_TRUE(std::isfinite(p99));
+  EXPECT_GT(p99, 0.0);
+  EXPECT_LE(p99, l.queueing_delay().max());
+}
+
+TEST(Link, UtilizationZeroLengthWindowIsZeroNotNaN) {
+  Network net;
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  Link& l = net.add_link(a, b, 12.0 * util::kMbps, 0, 1'000'000);
+  a.add_route(b.id(), &l);
+  // Fresh link queried at t == 0: window length 0 and busy time 0 — the
+  // unguarded division was 0/0 (NaN), which poisoned any utilization
+  // aggregate it fed into.
+  const double fresh = l.utilization(net.now());
+  EXPECT_TRUE(std::isfinite(fresh));
+  EXPECT_EQ(fresh, 0.0);
+  // Mid-serialization reset, queried at the exact reset instant: window
+  // length 0 but busy_time_ holds the pro-rated in-flight remainder, so
+  // the unguarded form was x/0 (inf).
+  a.send(make_packet(a.id(), b.id()));
+  net.run_until(util::microseconds(250));
+  l.reset_stats();
+  const double at_reset = l.utilization(net.now());
+  EXPECT_TRUE(std::isfinite(at_reset));
+  EXPECT_EQ(at_reset, 0.0);
+  // A query from "before" the window start (caller holding a stale
+  // timestamp) must not return a negative or infinite fraction either.
+  const double stale = l.utilization(net.now() - 1);
+  EXPECT_TRUE(std::isfinite(stale));
+  EXPECT_EQ(stale, 0.0);
 }
 
 TEST(Link, UtilizationMidSerializationCountsOnlyElapsedTime) {

@@ -28,6 +28,48 @@ TEST(P2Quantile, ExactForSmallCounts) {
   EXPECT_NEAR(p.value(), 20, 1e-9);
 }
 
+TEST(P2Quantile, UnderFiveSamplesMatchesExactSampleQuantile) {
+  // Below five samples there are no P2 markers yet: value() must return
+  // the exact (linearly interpolated) sample quantile of what has been
+  // seen, for every count 1..4 and across quantiles — including ones
+  // that land exactly on a sample and ones that interpolate.
+  const double qs[] = {0.1, 0.25, 0.5, 0.75, 0.9, 0.99};
+  // Deliberately unsorted arrivals: the small-count path sorts a copy.
+  const std::vector<double> stream = {30, 10, 40, 20};
+  for (const double q : qs) {
+    P2Quantile p(q);
+    std::vector<double> seen;
+    for (const double x : stream) {
+      p.add(x);
+      seen.push_back(x);
+      ASSERT_EQ(p.count(), seen.size());
+      EXPECT_NEAR(p.value(), exact_quantile(seen, q), 1e-12)
+          << "q=" << q << " n=" << seen.size();
+    }
+  }
+}
+
+TEST(P2Quantile, FifthSampleSwitchesToMarkerEstimate) {
+  // At exactly five samples the markers are the five order statistics,
+  // so the estimate (middle marker) is still the exact median.
+  P2Quantile p(0.5);
+  for (const double x : {50.0, 10.0, 40.0, 20.0, 30.0}) p.add(x);
+  EXPECT_EQ(p.count(), 5u);
+  EXPECT_NEAR(p.value(), 30.0, 1e-12);
+}
+
+TEST(P2Quantile, MergeUnderFiveSamplesStaysExact) {
+  // Folding two buffered (<5 sample) estimators replays samples, so the
+  // combined estimate is exact while the total stays under five.
+  P2Quantile a(0.5), b(0.5);
+  a.add(10);
+  a.add(30);
+  b.add(20);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_NEAR(a.value(), 20.0, 1e-12);
+}
+
 class P2Accuracy
     : public ::testing::TestWithParam<std::pair<double, std::uint64_t>> {};
 

@@ -58,6 +58,42 @@ TEST(RingDeque, CapacityIsPowerOfTwo) {
   }
 }
 
+TEST(RingDeque, GrowthAtExactBoundaryWhileWrapped) {
+  // Force growth at the precise moment the buffer is full AND the live
+  // window is split across the physical end of the buffer (head near the
+  // top, tail wrapped to the bottom). rebuild() must unwrap the split
+  // into the new buffer in logical order, for every possible head
+  // offset at the 16 -> 32 boundary.
+  for (std::size_t head = 0; head < 16; ++head) {
+    RingDeque<int> r;
+    // Establish capacity 16 and rotate head_ to `head`.
+    for (int i = 0; i < 16; ++i) r.push_back(-1);
+    ASSERT_EQ(r.capacity(), 16u);
+    for (int i = 0; i < 16; ++i) r.pop_front();
+    for (std::size_t i = 0; i < head; ++i) {
+      r.push_back(-1);
+      r.pop_front();
+    }
+    // Fill to exactly capacity (wrapped whenever head > 0), then push
+    // one more: this is the growth trigger.
+    for (int i = 0; i < 16; ++i) r.push_back(i);
+    ASSERT_EQ(r.capacity(), 16u) << "head=" << head;
+    r.push_back(16);
+    EXPECT_EQ(r.capacity(), 32u) << "head=" << head;
+    ASSERT_EQ(r.size(), 17u);
+    for (int i = 0; i < 17; ++i)
+      EXPECT_EQ(r[static_cast<std::size_t>(i)], i)
+          << "head=" << head << " i=" << i;
+    // The unwrapped buffer still behaves as a FIFO from both ends.
+    EXPECT_EQ(r.front(), 0);
+    EXPECT_EQ(r.back(), 16);
+    r.pop_front();
+    r.pop_back();
+    EXPECT_EQ(r.front(), 1);
+    EXPECT_EQ(r.back(), 15);
+  }
+}
+
 TEST(RingDeque, BackAndPopBack) {
   RingDeque<int> r;
   for (int i = 0; i < 5; ++i) r.push_back(i);
