@@ -3,12 +3,15 @@
 // and wall-clock reporting.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
@@ -131,6 +134,46 @@ class ResultTable {
   std::vector<std::vector<std::string>> csv_rows_;
 };
 
+/// Peak resident-set size of this process so far, in bytes (Linux
+/// reports ru_maxrss in KiB). 0 when the kernel won't say.
+inline long long peak_rss_bytes() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<long long>(ru.ru_maxrss) * 1024;
+}
+
+namespace detail {
+/// Static-init anchor: lets dump_metrics report a "total" phase for
+/// benches that never mark explicit phases.
+inline const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+struct PhaseAccum {
+  std::vector<std::pair<std::string, double>> done;
+  std::string current;
+  std::chrono::steady_clock::time_point started;
+};
+inline PhaseAccum& phase_accum() {
+  static PhaseAccum a;
+  return a;
+}
+}  // namespace detail
+
+/// Begin (or switch to) a named wall-clock phase — "setup", "run",
+/// "export" by convention. dump_metrics() closes the open phase and
+/// writes every phase's duration into the _run.json sidecar, so a slow
+/// bench shows where the wall-clock went without a profiler.
+inline void phase(const char* name) {
+  auto& a = detail::phase_accum();
+  const auto now = std::chrono::steady_clock::now();
+  if (!a.current.empty()) {
+    a.done.emplace_back(
+        a.current, std::chrono::duration<double>(now - a.started).count());
+  }
+  a.current = name != nullptr ? name : "";
+  a.started = now;
+}
+
 /// Dump the global metric registry next to the CSV artifacts as
 /// `<bench>_metrics.json` (plus the Prometheus text form). Call once at
 /// the end of a bench so every ablation leaves a uniform machine-readable
@@ -158,10 +201,28 @@ inline void dump_metrics(const std::string& bench_name) {
     const char* jobs_env = std::getenv("PHI_BENCH_JOBS");
     std::fprintf(f,
                  "{\"bench\":\"%s\",\"scale\":\"%s\",\"jobs\":%d,"
-                 "\"scale_env\":\"%s\",\"jobs_env\":\"%s\"}\n",
+                 "\"scale_env\":\"%s\",\"jobs_env\":\"%s\"",
                  bench_name.c_str(), scale_name(scale_from_env()),
                  jobs_from_env(), scale_env != nullptr ? scale_env : "",
                  jobs_env != nullptr ? jobs_env : "");
+    // Close the open phase (if any) and record where the wall-clock
+    // went, plus the process's memory high-water mark. Benches that
+    // never mark phases still get a "total" since process start.
+    phase(nullptr);
+    auto& phases = detail::phase_accum().done;
+    if (phases.empty()) {
+      phases.emplace_back(
+          "total", std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() -
+                       detail::g_process_start)
+                       .count());
+    }
+    std::fprintf(f, ",\"phases\":{");
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      std::fprintf(f, "%s\"%s\":%.3f", i > 0 ? "," : "",
+                   phases[i].first.c_str(), phases[i].second);
+    }
+    std::fprintf(f, "},\"peak_rss_bytes\":%lld}\n", peak_rss_bytes());
     std::fclose(f);
   }
 }

@@ -13,9 +13,14 @@
 // one predictable branch.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <string>
 
 #include "sim/event.hpp"
+#include "sim/network.hpp"
+#include "tcp/cc.hpp"
+#include "tcp/sender.hpp"
+#include "tcp/sink.hpp"
 #include "telemetry/telemetry.hpp"
 
 using namespace phi;
@@ -121,6 +126,66 @@ void BM_TraceInstantEnabled(benchmark::State& state) {
   state.SetLabel(kMode);
 }
 BENCHMARK(BM_TraceInstantEnabled);
+
+// Causal-span overhead on the end-to-end packet path: the same TCP
+// transfer as micro_components' BM_EndToEndPacketTransit, run three
+// ways. spans=off has no SpanLog installed (every per-packet tracing
+// site is `p.trace != 0` on an untraced packet after one nullptr-guarded
+// lookup at connection start). spans=1in64 installs a log at the default
+// sampling rate but uses a flow the sampler skips — the realistic
+// steady-state cost for 63 of every 64 flows, required to stay within 2%
+// of off. spans=all traces every packet: the worst-case recording cost,
+// priced honestly by clearing the log between iterations so capacity
+// never turns recording into a cheap drop-counter bump.
+void BM_EndToEndPacketTransitSpans(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));  // 0 off, 1 1-in-64, 2 all
+  telemetry::SpanLog log(mode == 2 ? 1u : 64u, /*seed=*/0,
+                         /*capacity=*/1 << 18);
+  if (mode != 0) telemetry::set_spans(&log);
+  std::uint64_t flow = 1;
+  if (mode == 1) {
+    while (log.trace_of(flow) != 0) ++flow;  // a typical unsampled flow
+  }
+
+  sim::Network net;
+  sim::Node& a = net.add_node("a");
+  sim::Node& b = net.add_node("b");
+  auto [fwd, rev] = net.add_duplex(a, b, 100.0 * util::kMbps,
+                                   util::milliseconds(1), 1'000'000, "e2e");
+  a.add_route(b.id(), fwd);
+  b.add_route(a.id(), rev);
+  tcp::TcpSender sender(net.scheduler(), a, b.id(), flow,
+                        std::make_unique<tcp::Cubic>());
+  tcp::TcpSink sink(net.scheduler(), b, flow);
+  std::uint64_t packets = 0;
+  constexpr std::int64_t kSegments = 2000;
+  for (auto _ : state) {
+    if (mode == 2) {
+      state.PauseTiming();
+      log.clear();
+      state.ResumeTiming();
+    }
+    bool done = false;
+    tcp::ConnStats stats;
+    sender.start_connection(kSegments, [&](const tcp::ConnStats& s) {
+      done = true;
+      stats = s;
+    });
+    while (!done) net.run_until(net.now() + util::seconds(1));
+    packets += stats.packets_sent;
+  }
+  telemetry::set_spans(nullptr);
+  packets += sink.acks_sent();
+  state.SetItemsProcessed(static_cast<std::int64_t>(packets));
+  state.SetLabel(std::string(kMode) + (mode == 0   ? " spans=off"
+                                       : mode == 1 ? " spans=1in64"
+                                                   : " spans=all"));
+}
+BENCHMARK(BM_EndToEndPacketTransitSpans)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 // A category the mask filters out: the guard is one load + branch.
 void BM_TraceInstantMaskedOut(benchmark::State& state) {

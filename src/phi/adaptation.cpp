@@ -24,10 +24,18 @@ std::size_t JitterBufferAdvisor::support(PathKey path) const {
 }
 
 void DupAckThresholdAdvisor::record_connection(PathKey path,
-                                               bool saw_spurious) {
+                                               bool saw_spurious,
+                                               util::Time at,
+                                               std::uint32_t trace) {
   Counts& c = counts_[path];
   ++c.total;
   if (saw_spurious) ++c.reordered;
+  if (at >= 0 && trace != 0) {
+    if (auto* sl = telemetry::spans()) {
+      sl->point(trace, "adapt.dupack_record", at, "spurious",
+                saw_spurious ? 1.0 : 0.0, "prevalence", prevalence(path));
+    }
+  }
 }
 
 double DupAckThresholdAdvisor::prevalence(PathKey path) const {
@@ -37,14 +45,25 @@ double DupAckThresholdAdvisor::prevalence(PathKey path) const {
          static_cast<double>(it->second.total);
 }
 
-int DupAckThresholdAdvisor::recommend(PathKey path) const {
+int DupAckThresholdAdvisor::recommend(PathKey path, util::Time at,
+                                      std::uint32_t trace) const {
+  int k = cfg_.base_threshold;
   auto it = counts_.find(path);
-  if (it == counts_.end() || it->second.total < cfg_.min_support)
-    return cfg_.base_threshold;
-  const double p = prevalence(path);
-  if (p >= cfg_.raise_more_at) return cfg_.base_threshold + 3;
-  if (p >= cfg_.raise_at) return cfg_.base_threshold + 1;
-  return cfg_.base_threshold;
+  if (it != counts_.end() && it->second.total >= cfg_.min_support) {
+    const double p = prevalence(path);
+    if (p >= cfg_.raise_more_at)
+      k = cfg_.base_threshold + 3;
+    else if (p >= cfg_.raise_at)
+      k = cfg_.base_threshold + 1;
+  }
+  if (at >= 0 && trace != 0) {
+    if (auto* sl = telemetry::spans()) {
+      sl->point(trace, "adapt.dupack_recommend", at, "threshold",
+                static_cast<double>(k), "support",
+                static_cast<double>(support(path)));
+    }
+  }
+  return k;
 }
 
 std::size_t DupAckThresholdAdvisor::support(PathKey path) const {

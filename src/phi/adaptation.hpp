@@ -13,7 +13,9 @@
 #include <unordered_map>
 
 #include "phi/context.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/stats.hpp"
+#include "util/units.hpp"
 
 namespace phi::core {
 
@@ -66,13 +68,20 @@ class DupAckThresholdAdvisor {
   /// Record one connection's experience: did it observe spurious
   /// retransmissions (duplicate segments delivered — the receiver-side
   /// signature of reordering-induced false fast retransmits)?
-  void record_connection(PathKey path, bool saw_spurious_retransmit);
+  /// The trailing parameters are causal-tracing metadata: when `at >= 0`
+  /// and the connection's flow is traced (`trace != 0`), the advisor
+  /// emits a span point so a trace shows shared experience flowing in.
+  void record_connection(PathKey path, bool saw_spurious_retransmit,
+                         util::Time at = -1, std::uint32_t trace = 0);
 
   /// Observed reordering prevalence on `path` in [0, 1].
   double prevalence(PathKey path) const;
 
-  /// Recommended dup-ACK threshold for new connections on `path`.
-  int recommend(PathKey path) const;
+  /// Recommended dup-ACK threshold for new connections on `path`. Same
+  /// optional tracing metadata as record_connection: a traced call emits
+  /// a span point carrying the threshold actually recommended.
+  int recommend(PathKey path, util::Time at = -1,
+                std::uint32_t trace = 0) const;
 
   std::size_t support(PathKey path) const;
 

@@ -27,17 +27,31 @@ class PhiCubicAdvisor : public tcp::ConnectionAdvisor {
 
   void before_connection(tcp::TcpSender& sender) override {
     ++epoch_;
-    const LookupReply reply =
-        server_.lookup(LookupRequest{path_, sender_id_, clock_(), epoch_});
+    LookupRequest req{path_, sender_id_, clock_(), epoch_};
+    req.trace = sender.trace_tag();
+    const LookupReply reply = server_.lookup(req);
     const tcp::CubicParams params =
         reply.has_recommendation ? reply.recommended : fallback_;
     if (reply.has_recommendation) ++recommended_;
     sender.set_cc(std::make_unique<tcp::Cubic>(params));
     last_params_ = params;
+    // Final hop of the causal chain: adoption of the (possibly tuned)
+    // parameters, closing the server's recommendation arrow. The very
+    // next span on this track is tcp.conn_start with the adopted cwnd.
+    if (req.trace != 0) {
+      if (auto* sl = telemetry::spans()) {
+        const util::Time now = clock_();
+        sl->span(req.trace, "phi.adopt", now, now + 1000, "recommended",
+                 reply.has_recommendation ? 1.0 : 0.0, "window_init",
+                 static_cast<double>(params.window_init));
+        if (reply.span_bind != 0)
+          sl->flow_in(req.trace, "phi.adopt", now, reply.span_bind);
+      }
+    }
   }
 
   void after_connection(const tcp::ConnStats& s,
-                        const tcp::TcpSender&) override {
+                        const tcp::TcpSender& sender) override {
     Report r;
     r.path = path_;
     r.sender_id = sender_id_;
@@ -48,6 +62,18 @@ class PhiCubicAdvisor : public tcp::ConnectionAdvisor {
     r.min_rtt_s = s.min_rtt_s;
     r.mean_rtt_s = s.mean_rtt_s;
     r.retransmit_rate = s.retransmit_rate();
+    r.trace = sender.trace_tag();
+    // First hop of the causal chain: the experience report leaves the
+    // client, arrow open for the server's aggregation span to close.
+    if (r.trace != 0) {
+      if (auto* sl = telemetry::spans()) {
+        sl->span(r.trace, "phi.report", s.end, s.end + 1000, "bytes",
+                 static_cast<double>(r.bytes), "retx_rate",
+                 r.retransmit_rate);
+        r.bind = sl->next_bind();
+        sl->flow_out(r.trace, "phi.report", s.end, r.bind);
+      }
+    }
     server_.report(r);
   }
 
@@ -138,6 +164,7 @@ class MidStreamReporter {
         const auto& rtt = sender_->rtt();
         r.min_rtt_s = rtt.has_sample() ? util::to_seconds(rtt.min_rtt()) : 0;
         r.mean_rtt_s = rtt.has_sample() ? util::to_seconds(rtt.srtt()) : 0;
+        r.trace = sender_->trace_tag();
         server_.report(r);
         ++reports_;
         last_acked_ = acked;
@@ -190,6 +217,7 @@ class MidStreamAdvisor : public tcp::ConnectionAdvisor {
     r.min_rtt_s = s.min_rtt_s;
     r.mean_rtt_s = s.mean_rtt_s;
     r.retransmit_rate = s.retransmit_rate();
+    r.trace = sender.trace_tag();
     reporter_.stop();
     server_.report(r);
   }
@@ -216,7 +244,7 @@ class ReportOnlyAdvisor : public tcp::ConnectionAdvisor {
       : server_(server), path_(path), sender_id_(sender_id) {}
 
   void after_connection(const tcp::ConnStats& s,
-                        const tcp::TcpSender&) override {
+                        const tcp::TcpSender& sender) override {
     Report r;
     r.path = path_;
     r.sender_id = sender_id_;
@@ -227,6 +255,7 @@ class ReportOnlyAdvisor : public tcp::ConnectionAdvisor {
     r.min_rtt_s = s.min_rtt_s;
     r.mean_rtt_s = s.mean_rtt_s;
     r.retransmit_rate = s.retransmit_rate();
+    r.trace = sender.trace_tag();
     server_.report(r);
   }
 

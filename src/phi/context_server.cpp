@@ -19,6 +19,17 @@ ContextServer::ContextServer(ContextServerConfig cfg,
   ctr_gc_sweeps_ = &reg.counter("phi.context.gc_sweeps");
   ctr_snapshot_saves_ = &reg.counter("phi.context.snapshot_saves");
   ctr_snapshot_restores_ = &reg.counter("phi.context.snapshot_restores");
+  g_version_ = &reg.gauge("phi.context.state_version");
+  ts_version_ = &reg.timeseries("phi.context.state_version");
+  ts_staleness_ = &reg.timeseries("phi.context.staleness_s");
+  ts_table_installs_ = &reg.timeseries("phi.context.table_installs");
+}
+
+void ContextServer::set_recommendations(RecommendationTable table) {
+  recommendations_ = std::move(table);
+  ++table_installs_;
+  ts_table_installs_->sample(util::to_seconds(now_or(last_message_at_)),
+                             static_cast<double>(table_installs_));
 }
 
 void ContextServer::set_path_capacity(PathKey path, util::Rate bps) {
@@ -108,6 +119,14 @@ bool ContextServer::already_absorbed(const Report& r) {
 LookupReply ContextServer::lookup(const LookupRequest& req) {
   ++lookups_;
   ctr_lookups_->add();
+  // Staleness as the requester experiences it: how old is the newest
+  // information this lookup's answer can possibly be based on? Sampled
+  // before the lookup itself refreshes last_message_at_.
+  ts_staleness_->sample(
+      util::to_seconds(now_or(req.at)),
+      last_message_at_ > 0
+          ? std::max(util::to_seconds(req.at - last_message_at_), 0.0)
+          : 0.0);
   last_message_at_ = std::max(last_message_at_, req.at);
   PathState& st = paths_[req.path];
   const util::Time now = now_or(req.at);
@@ -132,6 +151,24 @@ LookupReply ContextServer::lookup(const LookupRequest& req) {
     reply.recommended = *rec;
     reply.has_recommendation = true;
   }
+  // Causal chain, middle hop: a traced lookup gets a "ctx.recommend"
+  // span on its own track. The inbound arrow (if a traced report was
+  // aggregated since the last traced lookup) shows which report informed
+  // this recommendation; the outbound arrow is closed by the client's
+  // adoption span (reply.span_bind).
+  if (req.trace != 0) {
+    if (auto* sl = telemetry::spans()) {
+      sl->span(req.trace, "ctx.recommend", now, now + 1000, "version",
+               static_cast<double>(version_), "recommended",
+               reply.has_recommendation ? 1.0 : 0.0);
+      if (last_report_bind_ != 0) {
+        sl->flow_in(req.trace, "ctx.recommend", now, last_report_bind_);
+        last_report_bind_ = 0;
+      }
+      reply.span_bind = sl->next_bind();
+      sl->flow_out(req.trace, "ctx.recommend", now, reply.span_bind);
+    }
+  }
   return reply;
 }
 
@@ -155,6 +192,25 @@ void ContextServer::report(const Report& r) {
   last_message_at_ = std::max(last_message_at_, r.ended);
   PathState& st = paths_[r.path];
   const util::Time now = now_or(r.ended);
+  g_version_->set(static_cast<double>(version_));
+  ts_version_->sample(util::to_seconds(now), static_cast<double>(version_));
+  telemetry::flight().note(telemetry::Category::kContext, "ctx.report", now,
+                           static_cast<double>(r.path),
+                           static_cast<double>(version_));
+  // Causal chain, first server hop: the aggregation span sits on the
+  // reporting flow's track, closes the client's "phi.report" arrow
+  // (r.bind) and opens a fresh arrow for the next traced lookup to
+  // consume — report -> aggregate -> recommend -> adopt.
+  if (r.trace != 0) {
+    if (auto* sl = telemetry::spans()) {
+      sl->span(r.trace, "ctx.aggregate", now, now + 1000, "bytes",
+               static_cast<double>(r.bytes), "version",
+               static_cast<double>(version_));
+      if (r.bind != 0) sl->flow_in(r.trace, "ctx.aggregate", now, r.bind);
+      last_report_bind_ = sl->next_bind();
+      sl->flow_out(r.trace, "ctx.aggregate", now, last_report_bind_);
+    }
+  }
   sweep_leases(st, now);
   if (r.kind == Report::Kind::kFinal) {
     st.active.erase(r.sender_id);

@@ -73,9 +73,7 @@ class ContextServer : public ContextSource {
   /// server falls back to the fastest rate it has ever observed).
   void set_path_capacity(PathKey path, util::Rate bps);
 
-  void set_recommendations(RecommendationTable table) {
-    recommendations_ = std::move(table);
-  }
+  void set_recommendations(RecommendationTable table);
   const RecommendationTable& recommendations() const noexcept {
     return recommendations_;
   }
@@ -182,6 +180,12 @@ class ContextServer : public ContextSource {
   mutable std::uint64_t expired_leases_ = 0;
   std::uint64_t duplicate_reports_ = 0;
   util::Time last_message_at_ = 0;
+  /// Pending causal-flow arrow from the last traced report's aggregation
+  /// span, consumed (one-shot, Chrome flow events pair 1:1) by the next
+  /// traced lookup — the trace then shows which report informed the
+  /// recommendation the lookup returned.
+  std::uint64_t last_report_bind_ = 0;
+  std::uint64_t table_installs_ = 0;
 
   // Registry handles (aggregated across servers), resolved at
   // construction. Plain pointers so the const query paths (sweep_leases,
@@ -194,6 +198,15 @@ class ContextServer : public ContextSource {
   telemetry::Counter* ctr_gc_sweeps_;
   telemetry::Counter* ctr_snapshot_saves_;
   telemetry::Counter* ctr_snapshot_restores_;
+  telemetry::Gauge* g_version_;
+  // Event-driven time-series: state-version on every absorbed report,
+  // context staleness (age of the newest message the server had seen) on
+  // every lookup, and table churn on every set_recommendations. Sampled
+  // on control-plane events, not packets — the steady-state datapath
+  // never touches these.
+  telemetry::TimeSeries* ts_version_;
+  telemetry::TimeSeries* ts_staleness_;
+  telemetry::TimeSeries* ts_table_installs_;
 };
 
 }  // namespace phi::core

@@ -19,6 +19,9 @@ FaultInjector::FaultInjector(sim::Scheduler& sched, ContextServer& server,
 }
 
 void FaultInjector::trace_fault(const char* name) const {
+  // Every fired fault lands in the flight recorder; arming it on kFault
+  // turns any injected fault into an automatic ring-buffer dump.
+  telemetry::flight().note(telemetry::Category::kFault, name, sched_.now());
   if (auto* t = telemetry::tracer();
       t && t->enabled(telemetry::Category::kFault)) {
     t->instant(telemetry::Category::kFault, name, sched_.now());

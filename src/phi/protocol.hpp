@@ -32,6 +32,9 @@ struct LookupRequest {
   /// its connections). Lets the server tie the later report(s) to this
   /// registration.
   std::uint64_t epoch = 0;
+  /// Causal-tracing id of the requesting connection's flow (0 = untraced).
+  /// Tracing metadata only — the server's behavior never depends on it.
+  std::uint32_t trace = 0;
 };
 
 /// Server -> sender. Carries the current congestion context and, when the
@@ -45,6 +48,10 @@ struct LookupReply {
   /// progress) within this long or be presumed crashed. 0 = no lease
   /// (the server has liveness tracking disabled).
   util::Duration lease = 0;
+  /// Causal-tracing flow-arrow id emitted by the server's recommendation
+  /// span (0 = none). The client's adoption span closes the arrow, tying
+  /// "parameters installed" back to "recommendation computed" in a trace.
+  std::uint64_t span_bind = 0;
 };
 
 /// Sender -> server, at connection end: "when and how much data was
@@ -72,6 +79,12 @@ struct Report {
   /// means "unnumbered" — the server skips duplicate detection for it.
   std::uint64_t epoch = 0;
   std::uint32_t seq = 0;
+
+  /// Causal-tracing metadata (0 = untraced): the flow id's trace tag and
+  /// the flow-arrow id emitted by the client's "phi.report" span. The
+  /// server's aggregation span closes the arrow. Never affects behavior.
+  std::uint32_t trace = 0;
+  std::uint64_t bind = 0;
 
   bool has_report_id() const noexcept { return epoch != 0; }
   /// 64-bit key of (sender_id, epoch, seq) for the recently-seen set.

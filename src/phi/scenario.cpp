@@ -21,6 +21,87 @@ struct GroupAccum {
   util::RunningStats srtt;
 };
 
+/// Simulated-time time-series probe: snapshots queue depth, link
+/// utilization, and per-sender cwnd into registry TimeSeries on a fixed
+/// cadence. All registry handles are resolved (and their buffers
+/// reserved) at construction, so each tick is allocation-free; the
+/// samples never feed back into the simulation.
+class TimeSeriesProbe {
+ public:
+  TimeSeriesProbe(sim::Topology& t,
+                  const std::vector<std::unique_ptr<tcp::TcpSender>>& senders,
+                  util::Duration dt, util::Duration end)
+      : t_(t), dt_(dt), end_(end) {
+    auto& reg = telemetry::registry();
+    const std::size_t expect =
+        static_cast<std::size_t>(end / dt) + 2;
+    for (std::size_t p = 0; p < t.path_count(); ++p) {
+      const telemetry::Labels labels{{"path", std::to_string(p)}};
+      queue_bytes_.push_back(&reg.timeseries("scenario.queue_bytes", labels));
+      link_util_.push_back(
+          &reg.timeseries("scenario.link_utilization", labels));
+      queue_bytes_.back()->reserve(expect);
+      link_util_.back()->reserve(expect);
+    }
+    for (const auto& s : senders) {
+      const telemetry::Labels labels{{"flow", std::to_string(s->flow())}};
+      cwnd_.push_back(&reg.timeseries("scenario.cwnd_segments", labels));
+      cwnd_.back()->reserve(expect);
+      senders_.push_back(s.get());
+    }
+  }
+
+  void start() { arm(); }
+
+ private:
+  void tick() {
+    const util::Time now = t_.scheduler().now();
+    const double t_s = util::to_seconds(now);
+    for (std::size_t p = 0; p < queue_bytes_.size(); ++p) {
+      queue_bytes_[p]->sample(
+          t_s, static_cast<double>(t_.path_link(p).queue().bytes()));
+      link_util_[p]->sample(t_s, t_.path_link(p).utilization(now));
+    }
+    for (std::size_t i = 0; i < cwnd_.size(); ++i)
+      cwnd_[i]->sample(t_s,
+                       static_cast<double>(senders_[i]->cc().window()));
+  }
+
+  void arm() {
+    t_.scheduler().schedule_in(dt_, [this] {
+      tick();
+      if (t_.scheduler().now() + dt_ <= end_) arm();
+    });
+  }
+
+  sim::Topology& t_;
+  util::Duration dt_;
+  util::Duration end_;
+  std::vector<telemetry::TimeSeries*> queue_bytes_;
+  std::vector<telemetry::TimeSeries*> link_util_;
+  std::vector<telemetry::TimeSeries*> cwnd_;
+  std::vector<const tcp::TcpSender*> senders_;
+};
+
+/// Scoped install of a run's SpanLog as the thread's span sink.
+struct SpanGuard {
+  SpanGuard() = default;
+  void install(telemetry::SpanLog* log) {
+    prev_ = telemetry::spans();
+    active_ = true;
+    telemetry::set_spans(log);
+  }
+  ~SpanGuard() {
+    if (active_) telemetry::set_spans(prev_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  telemetry::SpanLog* prev_ = nullptr;
+  bool active_ = false;
+};
+
 /// Completed-connection accounting for bulk senders, mirroring
 /// OnOffApp's aggregates so metrics read the same for either traffic
 /// shape.
@@ -52,6 +133,22 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioSpec& spec,
                                         GroupFn groups) {
   std::unique_ptr<sim::Topology> topo = sim::make_topology(spec.topology);
   sim::Topology& t = *topo;
+
+  // Observability: the SpanLog must be live before any sender is built
+  // (senders sample their flow's trace tag at construction); the
+  // profiler hooks straight into the scheduler's run loop. With a
+  // default TelemetrySpec none of this happens and the run is untouched.
+  std::shared_ptr<RunCapture> capture;
+  SpanGuard span_guard;
+  if (spec.telemetry.any()) {
+    capture = std::make_shared<RunCapture>(spec.telemetry.trace_one_in,
+                                           spec.seed,
+                                           spec.telemetry.span_capacity);
+    if (spec.telemetry.trace_one_in > 0)
+      span_guard.install(&capture->spans);
+    if (spec.telemetry.profile)
+      t.scheduler().set_profile(&capture->profile);
+  }
 
   // Effective population: an explicit sender list, or the canonical one
   // on/off sender per endpoint (the paper's setup).
@@ -102,6 +199,14 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioSpec& spec,
           t.scheduler(), *senders.back(),
           ss.workload ? *ss.workload : spec.workload, seeder()));
     }
+  }
+
+  std::unique_ptr<TimeSeriesProbe> probe;
+  if (capture && spec.telemetry.timeseries_dt > 0) {
+    probe = std::make_unique<TimeSeriesProbe>(t, senders,
+                                              spec.telemetry.timeseries_dt,
+                                              spec.warmup + spec.duration);
+    probe->start();
   }
 
   LiveScenario live;
@@ -298,6 +403,8 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioSpec& spec,
     m.groups.push_back(gm);
   }
   if (live.on_complete) live.on_complete();
+  if (capture && spec.telemetry.profile) t.scheduler().set_profile(nullptr);
+  m.capture = std::move(capture);
   return m;
 }
 

@@ -40,6 +40,39 @@ struct SenderSpec {
   int group = -1;
 };
 
+/// Opt-in observability for one run. All fields default to off: a
+/// default-constructed TelemetrySpec adds zero work (and zero
+/// allocations) to the run, and the engine's behavior — every simulated
+/// event, in order — is identical either way.
+struct TelemetrySpec {
+  /// > 0: install a SpanLog sampling 1-in-this flows (1 = every flow)
+  /// for the duration of the run. The log rides out on
+  /// ScenarioMetrics::capture.
+  std::uint32_t trace_one_in = 0;
+  /// > 0: snapshot queue depth, link utilization, and per-sender cwnd
+  /// into time-series on this simulated-time cadence.
+  util::Duration timeseries_dt = 0;
+  /// Profile the event loop (per-event-kind time accounting).
+  bool profile = false;
+  /// SpanLog event capacity when tracing is on.
+  std::size_t span_capacity = 1 << 20;
+
+  bool any() const noexcept {
+    return trace_one_in > 0 || timeseries_dt > 0 || profile;
+  }
+};
+
+/// Telemetry captured during one run — only what the TelemetrySpec
+/// enabled. Held by shared_ptr on ScenarioMetrics so metrics stay cheap
+/// to copy; the SpanLog reserves nothing unless tracing was requested.
+struct RunCapture {
+  RunCapture(std::uint32_t trace_one_in, std::uint64_t seed,
+             std::size_t span_capacity)
+      : spans(trace_one_in, seed, trace_one_in > 0 ? span_capacity : 0) {}
+  telemetry::SpanLog spans;
+  telemetry::LoopProfile profile;
+};
+
 /// A declarative experiment: topology variant + sender population +
 /// duration/seed + optional fault plan. The topology-generic successor
 /// of ScenarioConfig (which remains as a dumbbell-only shim below).
@@ -61,6 +94,8 @@ struct ScenarioSpec {
   /// to the setup hook (LiveScenario::fault_injector) so Phi advisors
   /// can be wired through a hostile control-plane channel.
   std::optional<FaultConfig> faults;
+  /// Observability plan for the run; default = everything off.
+  TelemetrySpec telemetry;
 
   /// Number of senders the engine will attach.
   std::size_t sender_count() const noexcept {
@@ -161,6 +196,9 @@ struct ScenarioMetrics {
   std::vector<GroupMetrics> groups;
   std::vector<SenderMetrics> per_sender;  ///< sender-list order
   std::vector<PathMetrics> paths;         ///< Topology path order
+  /// Telemetry captured during the run; null unless the spec's
+  /// TelemetrySpec enabled something.
+  std::shared_ptr<RunCapture> capture;
 
   /// The sweep objective P_l = r (1-l) / d with d = mean RTT. Using RTT
   /// (propagation + queueing) keeps the metric finite on empty queues and

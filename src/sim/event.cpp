@@ -495,6 +495,7 @@ bool Scheduler::step() {
 }
 
 std::uint64_t Scheduler::run_until(Time horizon) {
+  if (profile_ != nullptr) return run_until_profiled(horizon);
   const std::int64_t limit_tick = horizon >> kTickShift;
   std::uint64_t ran = 0;
   std::array<PacketHandle, kMaxBatch> burst;
@@ -550,6 +551,101 @@ std::uint64_t Scheduler::run_until(Time horizon) {
   due_gauge_->set(static_cast<double>(due_size()));
   occupied_gauge_->set(static_cast<double>(
       levels_[0].occupied + levels_[1].occupied + levels_[2].occupied));
+  return ran;
+}
+
+std::uint64_t Scheduler::run_until_profiled(Time horizon) {
+  using Prof = telemetry::LoopProfile;
+  Prof& prof = *profile_;
+  const std::uint64_t wall0 = telemetry::profile_clock_ns();
+  const std::int64_t limit_tick = horizon >> kTickShift;
+  std::uint64_t ran = 0;
+  std::array<PacketHandle, kMaxBatch> burst;
+  for (;;) {
+    if (due_empty()) {
+      // Wheel scans are rare relative to events (one refill drains a
+      // whole bucket), so every advance() is timed, not sampled.
+      const std::uint64_t t0 = telemetry::profile_clock_ns();
+      const bool more = advance(limit_tick);
+      prof.count(Prof::kWheelAdvance);
+      prof.add_time(Prof::kWheelAdvance, telemetry::profile_clock_ns() - t0);
+      if (!more) break;
+    }
+    const Entry e = due_front();
+    if (e.time > horizon) break;
+    due_pop_front();
+    --entries_;
+    if (e.kind() == EventKind::kDelivery) {
+      burst[0] = e.packet;
+      std::size_t count = 1;
+      while (count < kMaxBatch && !due_empty()) {
+        const Entry& b = due_front();
+        if (b.kind() != EventKind::kDelivery || b.id != e.id ||
+            b.time != e.time)
+          break;
+        burst[count++] = b.packet;
+        due_pop_front();
+        --entries_;
+      }
+      assert(e.time >= now_);
+      now_ = e.time;
+      executed_ += count;
+      live_count_ -= count;
+      ran += count;
+      const bool timed = prof.gate();
+      const std::uint64_t t0 = timed ? telemetry::profile_clock_ns() : 0;
+      if (count == 1) {
+        detail::link_deliver(*entry_link(e), e.packet);
+      } else {
+        detail::link_deliver_burst(*entry_link(e), burst.data(), count);
+      }
+      prof.count(Prof::kDelivery, count);
+      if (timed) {
+        prof.add_time(Prof::kDelivery, telemetry::profile_clock_ns() - t0,
+                      count);
+      }
+      continue;
+    }
+    if (e.kind() == EventKind::kTxComplete) {
+      assert(e.time >= now_);
+      now_ = e.time;
+      ++executed_;
+      --live_count_;
+      ++ran;
+      const bool timed = prof.gate();
+      const std::uint64_t t0 = timed ? telemetry::profile_clock_ns() : 0;
+      detail::link_tx_complete(*entry_link(e));
+      prof.count(Prof::kTxComplete);
+      if (timed) {
+        prof.add_time(Prof::kTxComplete, telemetry::profile_clock_ns() - t0);
+      }
+      continue;
+    }
+    // Callback: dispatch()'s slot arm, with the user code timed but the
+    // slot bookkeeping left outside the sampled window.
+    Slot* s = slot_of(e.id);
+    if (s == nullptr) continue;  // cancelled
+    util::SmallFn fn = std::move(s->fn);
+    release(static_cast<std::uint32_t>(e.id));
+    assert(e.time >= now_);
+    now_ = e.time;
+    ++executed_;
+    ++ran;
+    const bool timed = prof.gate();
+    const std::uint64_t t0 = timed ? telemetry::profile_clock_ns() : 0;
+    fn();
+    prof.count(Prof::kCallback);
+    if (timed) {
+      prof.add_time(Prof::kCallback, telemetry::profile_clock_ns() - t0);
+    }
+  }
+  if (now_ < horizon) now_ = horizon;
+  if (ran > 0) ctr_executed_->add(ran);
+  entries_gauge_->set(static_cast<double>(entries_));
+  due_gauge_->set(static_cast<double>(due_size()));
+  occupied_gauge_->set(static_cast<double>(
+      levels_[0].occupied + levels_[1].occupied + levels_[2].occupied));
+  prof.add_wall(telemetry::profile_clock_ns() - wall0);
   return ran;
 }
 

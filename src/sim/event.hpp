@@ -117,6 +117,14 @@ class Scheduler {
   /// Run a single event if one is pending; returns false when empty.
   bool step();
 
+  /// Attach (or with nullptr detach) an event-loop self-profile: exact
+  /// per-kind event counts plus sampled wall-clock per section (see
+  /// telemetry/profile.hpp). The caller keeps ownership. Wall-clock
+  /// never feeds back into simulated time, so profiling cannot change
+  /// results; with no profile attached the hot loop pays one predicted
+  /// branch per event.
+  void set_profile(telemetry::LoopProfile* p) noexcept { profile_ = p; }
+
   std::size_t pending_count() const noexcept { return live_count_; }
   std::uint64_t executed_count() const noexcept { return executed_; }
   /// Wheel + run-buffer + overflow entries currently held, live +
@@ -317,6 +325,11 @@ class Scheduler {
   /// Execute one entry (already popped from the run buffer). Returns
   /// false if it was a cancelled callback.
   bool dispatch(const Entry& e);
+  /// run_until with the self-profile attached: the same drain loop with
+  /// per-section event counting and sampled wall-clock timing. Kept as a
+  /// separate body so the unprofiled path stays branch-for-branch
+  /// identical to the PR 6 fast path.
+  std::uint64_t run_until_profiled(Time horizon);
 
   void set_bit(Level& l, std::size_t idx) noexcept {
     std::uint64_t& w = l.bitmap[idx >> 6];
@@ -366,6 +379,7 @@ class Scheduler {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  telemetry::LoopProfile* profile_ = nullptr;
 
   // Telemetry handles, resolved once at construction; updates on the hot
   // path are single indirect stores (nothing at all under

@@ -58,6 +58,10 @@ void Link::send(const Packet& p) {
   if (!up_) {
     ++outage_drops_;
     ctr_outage_drops_->add();
+    telemetry::flight().note(telemetry::Category::kLink, "link.outage_drop",
+                             sched_.now(),
+                             static_cast<double>(p.flow),
+                             static_cast<double>(p.seq));
     if (auto* t = telemetry::tracer();
         t && t->enabled(telemetry::Category::kLink)) {
       t->instant(telemetry::Category::kLink, "link.outage_drop",
@@ -74,6 +78,16 @@ void Link::send(const Packet& p) {
       // registry counter and trace event make it visible fleet-wide.
       pool_.release(h);
       ctr_drops_->add();
+      telemetry::flight().note(telemetry::Category::kLink, "link.drop",
+                               sched_.now(), static_cast<double>(p.flow),
+                               static_cast<double>(queue_->bytes()));
+      if (p.trace != 0) {
+        if (auto* sl = telemetry::spans()) {
+          sl->point(p.trace, "link.drop", sched_.now(), "seq",
+                    static_cast<double>(p.seq), "queue_bytes",
+                    static_cast<double>(queue_->bytes()));
+        }
+      }
       if (auto* t = telemetry::tracer();
           t && t->enabled(telemetry::Category::kLink)) {
         t->instant(
@@ -107,19 +121,49 @@ void Link::start_transmission(PacketHandle h) {
       jitter_ > 0 ? static_cast<util::Duration>(
                         jitter_rng_.uniform() * static_cast<double>(jitter_))
                   : 0;
+  // Sampled flows get a transit span covering serialization +
+  // propagation (+ jitter); the full duration is known here, before the
+  // delivery event even fires, so the span is emitted at schedule time.
+  if (p.trace != 0) {
+    if (auto* sl = telemetry::spans()) {
+      sl->span(p.trace, "link.transit", sched_.now(),
+               sched_.now() + tx + prop_delay_ + extra, "seq",
+               static_cast<double>(p.seq), "bytes",
+               static_cast<double>(p.size_bytes));
+    }
+  }
   sched_.schedule_delivery_in(tx + prop_delay_ + extra, *this, h);
   sched_.schedule_tx_complete_in(tx, *this);
 }
 
 void Link::complete_delivery(PacketHandle h) {
-  dst_.deliver(pool_.get(h));
+  const Packet& p = pool_.get(h);
+  // Routing visibility for sampled flows: one point per node arrival.
+  // Untraced packets (trace == 0, i.e. everything unless a SpanLog is
+  // installed) pay a single never-taken branch.
+  if (p.trace != 0) {
+    if (auto* sl = telemetry::spans()) {
+      sl->point(p.trace, "node.deliver", sched_.now(), "node",
+                static_cast<double>(dst_.id()), "seq",
+                static_cast<double>(p.seq));
+    }
+  }
+  dst_.deliver(p);
   pool_.release(h);
 }
 
 void Link::complete_delivery_burst(const PacketHandle* hs, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     if (i + 1 < n) pool_.prefetch(hs[i + 1]);
-    dst_.deliver(pool_.get(hs[i]));
+    const Packet& p = pool_.get(hs[i]);
+    if (p.trace != 0) {
+      if (auto* sl = telemetry::spans()) {
+        sl->point(p.trace, "node.deliver", sched_.now(), "node",
+                  static_cast<double>(dst_.id()), "seq",
+                  static_cast<double>(p.seq));
+      }
+    }
+    dst_.deliver(p);
     pool_.release(hs[i]);
   }
 }
@@ -135,6 +179,18 @@ void Link::complete_transmission() {
   }
   qdelay_batch_[qdelay_batch_n_++] =
       util::to_seconds(sched_.now() - next.enqueued_at);
+  // Queue-residency span for sampled flows: the packet sat in this
+  // link's queue from enqueue until the transmitter freed up just now.
+  {
+    const Packet& qp = pool_.get(next.handle);
+    if (qp.trace != 0) {
+      if (auto* sl = telemetry::spans()) {
+        sl->span(qp.trace, "queue.wait", next.enqueued_at, sched_.now(),
+                 "seq", static_cast<double>(qp.seq), "queue_bytes",
+                 static_cast<double>(queue_->bytes()));
+      }
+    }
+  }
   occupancy_dirty_ = true;
   if (qdelay_batch_n_ == kStatsBatch) flush_stats();
   start_transmission(next.handle);

@@ -37,14 +37,20 @@ struct Packet {
   std::uint32_t conn = 0;       ///< connection epoch within the flow
   std::int32_t size_bytes = kSegmentBytes;
 
+  /// Causal-tracing id: nonzero when this packet's flow is sampled by
+  /// the installed telemetry::SpanLog (see span.hpp); components along
+  /// the path emit spans tagged with it. 0 = untraced. Receivers copy it
+  /// onto ACKs so the return path attributes to the same trace.
+  std::uint32_t trace = 0;
+
   std::uint16_t priority = 0;   ///< phi §3.3 coordination weight class
-  bool is_ack = false;
-  bool fin = false;             ///< last segment of the connection
+  bool is_ack : 1 = false;
+  bool fin : 1 = false;         ///< last segment of the connection
 
   // Explicit Congestion Notification (RFC 3168), for the AQM ablation.
-  bool ect = false;  ///< sender is ECN-capable (ECT codepoint)
-  bool ce = false;   ///< congestion experienced (set by AQM)
-  bool ece = false;  ///< receiver echoes CE back to the sender (on ACKs)
+  bool ect : 1 = false;  ///< sender is ECN-capable (ECT codepoint)
+  bool ce : 1 = false;   ///< congestion experienced (set by AQM)
+  bool ece : 1 = false;  ///< receiver echoes CE back to the sender (on ACKs)
 
   std::uint8_t sack_count = 0;
 
@@ -57,10 +63,11 @@ struct Packet {
   std::array<SackBlock, 3> sack{};
 };
 
-// 40 bytes of 8-byte words + 16 of 4-byte words + priority + five flag
-// bytes + sack_count == 64, then 3 x 16-byte SACK blocks. Growing a field
-// (or re-introducing interior padding) breaks the packet-pool copy budget,
-// so it fails the build instead of silently slowing every hop.
+// 40 bytes of 8-byte words + 20 of 4-byte words (incl. the trace id) +
+// priority + one byte of packed flag bits + sack_count == 64, then 3 x
+// 16-byte SACK blocks. Growing a field (or re-introducing interior
+// padding) breaks the packet-pool copy budget, so it fails the build
+// instead of silently slowing every hop.
 static_assert(sizeof(Packet) <= 112, "Packet outgrew its 112-byte budget");
 
 }  // namespace phi::sim

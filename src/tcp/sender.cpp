@@ -12,6 +12,10 @@ TcpSender::TcpSender(sim::Scheduler& sched, sim::Node& local,
       cc_(std::move(cc)) {
   if (!cc_) throw std::invalid_argument("TcpSender needs a policy");
   node_.attach(flow_, this);
+  // The sampling decision is made once, here, so the steady state pays
+  // a register compare per packet instead of a hash. Install the
+  // SpanLog (telemetry::set_spans) before constructing senders.
+  if (auto* sl = telemetry::spans()) trace_tag_ = sl->trace_of(flow_);
   auto& reg = telemetry::registry();
   ctr_conns_ = &reg.counter("tcp.sender.connections_started");
   ctr_conns_done_ = &reg.counter("tcp.sender.connections_finished");
@@ -24,6 +28,18 @@ TcpSender::TcpSender(sim::Scheduler& sched, sim::Node& local,
 }
 
 void TcpSender::trace_state(const char* name) const {
+  // State transitions are rare; keep them in the flight recorder so a
+  // post-mortem of e.g. an RTO storm has the recent TCP history. `name`
+  // is a string literal at every call site (the recorder stores the
+  // pointer).
+  telemetry::flight().note(telemetry::Category::kTcp, name, sched_.now(),
+                           cc_->window(), static_cast<double>(flow_));
+  if (trace_tag_ != 0) {
+    if (auto* sl = telemetry::spans()) {
+      sl->point(trace_tag_, name, sched_.now(), "cwnd", cc_->window(),
+                "inflight", static_cast<double>(snd_nxt_ - snd_una_));
+    }
+  }
   if (auto* t = telemetry::tracer();
       t && t->enabled(telemetry::Category::kTcp)) {
     t->instant(telemetry::Category::kTcp, name, sched_.now(),
@@ -197,6 +213,7 @@ void TcpSender::send_segment(std::int64_t seq) {
   p.sent_at = sched_.now();
   p.priority = static_cast<std::uint16_t>(priority_);
   p.ect = ecn_;
+  p.trace = trace_tag_;
   ++stats_.packets_sent;
   ctr_packets_->add();
   if (seq < high_water_ && seq < snd_nxt_) {
@@ -366,6 +383,19 @@ void TcpSender::finish() {
   stats_.mean_rtt_s = rtt_agg_.mean();
   stats_.rtt_samples = rtt_agg_.count();
   ctr_conns_done_->add();
+  // One complete span for the whole connection, closing the causal
+  // chain: adopt -> conn_start -> ... -> conn span end.
+  if (trace_tag_ != 0) {
+    if (auto* sl = telemetry::spans()) {
+      sl->span(trace_tag_, "tcp.conn", stats_.start, stats_.end, "segments",
+               static_cast<double>(stats_.segments), "retransmits",
+               static_cast<double>(stats_.retransmits));
+    }
+  }
+  telemetry::flight().note(telemetry::Category::kTcp, "tcp.conn_done",
+                           sched_.now(),
+                           static_cast<double>(stats_.segments),
+                           static_cast<double>(stats_.retransmits));
   if (auto* t = telemetry::tracer();
       t && t->enabled(telemetry::Category::kTcp)) {
     t->instant(telemetry::Category::kTcp, "tcp.conn_done", sched_.now(),

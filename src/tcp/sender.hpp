@@ -112,6 +112,12 @@ class TcpSender : public sim::Agent {
     return snd_nxt_ - snd_una_;
   }
 
+  /// Causal-tracing id for this sender's flow: nonzero when a SpanLog
+  /// was installed at construction time and sampled the flow. Stamped
+  /// on every outgoing packet; the Phi client reuses it to link context
+  /// reports to the connection that produced them.
+  std::uint32_t trace_tag() const noexcept { return trace_tag_; }
+
   /// Cumulatively ACKed segments across the sender's lifetime, including
   /// the live connection — lets harnesses measure goodput of flows that
   /// never finish (long-running experiments).
@@ -174,6 +180,7 @@ class TcpSender : public sim::Agent {
   /// fast retransmit (they are echoes of go-back-N duplicates).
   std::int64_t recover_mark_ = -1;
   std::uint32_t priority_ = 0;
+  std::uint32_t trace_tag_ = 0;  ///< see trace_tag()
 
   sim::EventId rto_event_ = 0;
   sim::EventId pacing_event_ = 0;

@@ -101,6 +101,7 @@ void TcpSink::send_ack(const sim::Packet& data) {
   ack.sent_at = sched_.now();
   ack.echo = data.sent_at;  // timestamp echo for exact RTT samples
   ack.priority = data.priority;
+  ack.trace = data.trace;  // ACKs attribute to the data packet's trace
   // Per-packet CE echo (simplified RFC 3168: no CWR handshake; the
   // sender's once-per-window gate provides the equivalent damping).
   ack.ece = data.ce;

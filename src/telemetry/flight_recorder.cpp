@@ -1,0 +1,125 @@
+#include "telemetry/flight_recorder.hpp"
+
+#ifndef PHI_TELEMETRY_OFF
+
+#include <csignal>
+#include <cstdio>
+#include <utility>
+
+namespace phi::telemetry {
+
+namespace {
+
+constexpr Category kCategories[kCategoryCount] = {
+    Category::kScheduler, Category::kLink,  Category::kQueue,
+    Category::kTcp,       Category::kContext, Category::kFault,
+    Category::kBench,
+};
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t depth) : depth_(depth) {
+  for (auto& r : rings_) r.reserve(depth_);
+}
+
+void FlightRecorder::note(Category c, const char* name, util::Time ts,
+                          double a, double b) noexcept {
+  auto& ring = rings_[category_index(c)];
+  if (ring.size() == depth_) ring.pop_front();
+  ring.push_back(FlightEvent{ts, ++seq_, name, a, b});
+  if ((arm_mask_ & mask_of(c)) != 0) fire_if_armed(c);
+}
+
+void FlightRecorder::anomaly(const char* name, util::Time ts, double a,
+                             double b) {
+  note(Category::kBench, name, ts, a, b);
+  if (!arm_path_.empty()) {
+    write(arm_path_);
+    last_dump_ = arm_path_;
+  } else {
+    dump_to_stderr();
+  }
+}
+
+void FlightRecorder::arm(std::uint32_t category_mask, std::string path) {
+  arm_mask_ = category_mask;
+  arm_path_ = std::move(path);
+}
+
+void FlightRecorder::fire_if_armed(Category) {
+  // One-shot: disarm before writing so a note() from inside write()
+  // cannot recurse.
+  arm_mask_ = 0;
+  if (write(arm_path_)) last_dump_ = arm_path_;
+}
+
+std::string FlightRecorder::dump() const {
+  std::string out = "# flight recorder dump (last ";
+  out += std::to_string(depth_);
+  out += " events per component, ";
+  out += std::to_string(seq_);
+  out += " recorded in total)\n";
+  char line[192];
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    const auto& ring = rings_[i];
+    if (ring.empty()) continue;
+    out += "## ";
+    out += category_name(kCategories[i]);
+    out += " (";
+    out += std::to_string(ring.size());
+    out += ")\n";
+    for (std::size_t j = 0; j < ring.size(); ++j) {
+      const FlightEvent& e = ring[j];
+      std::snprintf(line, sizeof(line), "%12.6fs  #%-8llu %-28s %g %g\n",
+                    util::to_seconds(e.ts),
+                    static_cast<unsigned long long>(e.seq),
+                    e.name != nullptr ? e.name : "?", e.a, e.b);
+      out += line;
+    }
+  }
+  return out;
+}
+
+bool FlightRecorder::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string text = dump();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+void FlightRecorder::dump_to_stderr() const {
+  const std::string text = dump();
+  std::fwrite(text.data(), 1, text.size(), stderr);
+}
+
+void FlightRecorder::clear() noexcept {
+  for (auto& r : rings_) r.clear();
+  seq_ = 0;
+}
+
+FlightRecorder& flight() noexcept {
+  thread_local FlightRecorder recorder;
+  return recorder;
+}
+
+namespace {
+
+extern "C" void phi_flight_abort_handler(int) {
+  flight().dump_to_stderr();
+  // Restore the default disposition and re-raise so the process still
+  // dies with SIGABRT (core dumps, CI failure detection).
+  std::signal(SIGABRT, SIG_DFL);
+  std::raise(SIGABRT);
+}
+
+}  // namespace
+
+void install_abort_handler() {
+  std::signal(SIGABRT, phi_flight_abort_handler);
+}
+
+}  // namespace phi::telemetry
+
+#endif  // PHI_TELEMETRY_OFF

@@ -1,0 +1,139 @@
+// flight_recorder.hpp — always-on black box. Each trace category keeps a
+// fixed-capacity ring (util::RingDeque) of the last K notable events, so
+// when something rare goes wrong — an assertion fires, the FaultInjector
+// trips, an anomaly hook is hit — the recent history of every component
+// is already in memory and can be dumped without re-running the
+// simulation. Recording is a couple of stores into a preallocated ring:
+// cheap enough to leave on in every build that has telemetry at all.
+//
+// Event names must be string literals (or otherwise outlive the
+// recorder): FlightEvent stores the pointer, not a copy.
+//
+// Dump triggers:
+//  * arm(mask, path): the first note() whose category is in `mask`
+//    writes a dump to `path` (one-shot latch; re-arm to fire again).
+//  * anomaly(name, ts): records the event, then dumps immediately — to
+//    the armed path if armed, else to stderr.
+//  * install_abort_handler(): SIGABRT (assert) dumps to stderr.
+//
+// Under PHI_TELEMETRY_OFF everything is an empty inline stub.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/trace.hpp"
+#include "util/ring.hpp"
+#include "util/units.hpp"
+
+namespace phi::telemetry {
+
+inline constexpr std::size_t kCategoryCount = 7;
+
+/// Index of a category's ring (trailing-zero count of its bit).
+constexpr std::size_t category_index(Category c) noexcept {
+  std::size_t i = 0;
+  for (std::uint32_t m = mask_of(c); m > 1; m >>= 1) ++i;
+  return i < kCategoryCount ? i : kCategoryCount - 1;
+}
+
+struct FlightEvent {
+  util::Time ts = 0;
+  std::uint64_t seq = 0;      ///< global order, breaks same-ts ties
+  const char* name = nullptr; ///< static storage only — not copied
+  double a = 0.0;
+  double b = 0.0;
+};
+
+#ifndef PHI_TELEMETRY_OFF
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultDepth = 128;
+
+  explicit FlightRecorder(std::size_t depth = kDefaultDepth);
+
+  /// Record one event in `c`'s ring, evicting the oldest past `depth`.
+  /// Never allocates after construction.
+  void note(Category c, const char* name, util::Time ts, double a = 0.0,
+            double b = 0.0) noexcept;
+
+  /// Record + immediate dump (armed path if armed, else stderr).
+  void anomaly(const char* name, util::Time ts, double a = 0.0,
+               double b = 0.0);
+
+  /// One-shot: the next note() whose category is in `category_mask`
+  /// writes dump() to `path`.
+  void arm(std::uint32_t category_mask, std::string path);
+  bool armed() const noexcept { return arm_mask_ != 0; }
+  /// Path of the last automatic dump ("" if none fired yet).
+  const std::string& last_dump_path() const noexcept { return last_dump_; }
+
+  std::size_t depth() const noexcept { return depth_; }
+  /// Total events ever noted (recorded + evicted).
+  std::uint64_t recorded() const noexcept { return seq_; }
+  std::size_t ring_size(Category c) const noexcept {
+    return rings_[category_index(c)].size();
+  }
+
+  /// Text dump: per-category sections, events in recording order.
+  std::string dump() const;
+  bool write(const std::string& path) const;
+  void dump_to_stderr() const;
+
+  void clear() noexcept;
+
+ private:
+  void fire_if_armed(Category c);
+
+  std::size_t depth_;
+  std::uint64_t seq_ = 0;
+  util::RingDeque<FlightEvent> rings_[kCategoryCount];
+  std::uint32_t arm_mask_ = 0;
+  std::string arm_path_;
+  std::string last_dump_;
+};
+
+/// This thread's always-on recorder. Components note() into it freely;
+/// no installation step. (Thread-local for the same reason as tracer():
+/// parallel simulation tasks must never contend on one instance.)
+FlightRecorder& flight() noexcept;
+
+/// Dump this thread's recorder to stderr when abort() is called (the
+/// path every failed assert takes). Best-effort: the dump allocates, so
+/// a heap-corruption abort may not produce one.
+void install_abort_handler();
+
+#else  // PHI_TELEMETRY_OFF
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultDepth = 0;
+  explicit FlightRecorder(std::size_t = 0) {}
+  void note(Category, const char*, util::Time, double = 0.0,
+            double = 0.0) noexcept {}
+  void anomaly(const char*, util::Time, double = 0.0, double = 0.0) {}
+  void arm(std::uint32_t, std::string) {}
+  bool armed() const noexcept { return false; }
+  const std::string& last_dump_path() const noexcept {
+    static const std::string empty;
+    return empty;
+  }
+  std::size_t depth() const noexcept { return 0; }
+  std::uint64_t recorded() const noexcept { return 0; }
+  std::size_t ring_size(Category) const noexcept { return 0; }
+  std::string dump() const { return {}; }
+  bool write(const std::string&) const { return false; }
+  void dump_to_stderr() const {}
+  void clear() noexcept {}
+};
+
+inline FlightRecorder& flight() noexcept {
+  static FlightRecorder stub;
+  return stub;
+}
+inline void install_abort_handler() {}
+
+#endif  // PHI_TELEMETRY_OFF
+
+}  // namespace phi::telemetry

@@ -230,14 +230,27 @@ Histogram& MetricRegistry::histogram(const std::string& name,
   return *e.instrument;
 }
 
+TimeSeries& MetricRegistry::timeseries(const std::string& name,
+                                       const Labels& labels) {
+  auto& e = timeseries_[key_of(name, labels)];
+  if (!e.instrument) {
+    e.name = name;
+    e.labels = sorted_labels(labels);
+    e.instrument = std::make_unique<TimeSeries>();
+  }
+  return *e.instrument;
+}
+
 std::size_t MetricRegistry::size() const noexcept {
-  return counters_.size() + gauges_.size() + histograms_.size();
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         timeseries_.size();
 }
 
 void MetricRegistry::reset_values() noexcept {
   for (auto& [k, e] : counters_) e.instrument->reset();
   for (auto& [k, e] : gauges_) e.instrument->reset();
   for (auto& [k, e] : histograms_) e.instrument->reset();
+  for (auto& [k, e] : timeseries_) e.instrument->reset();
 }
 
 std::string MetricRegistry::prometheus_text() const {
@@ -344,6 +357,20 @@ std::string MetricRegistry::csv() const {
   return out.str();
 }
 
+std::string MetricRegistry::timeseries_csv() const {
+  std::ostringstream out;
+  out << "series,labels,t_s,value\n";
+  for (const auto& [key, e] : timeseries_) {
+    const std::string prefix = e.name + ',' + flat_labels(e.labels) + ',';
+    const auto& ts = *e.instrument;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      out << prefix << fmt_short(ts.times()[i]) << ','
+          << fmt_short(ts.values()[i]) << '\n';
+    }
+  }
+  return out.str();
+}
+
 bool MetricRegistry::write_prometheus(const std::string& path) const {
   return write_text(path, prometheus_text());
 }
@@ -356,6 +383,10 @@ bool MetricRegistry::write_csv(const std::string& path) const {
   return write_text(path, csv());
 }
 
+bool MetricRegistry::write_timeseries_csv(const std::string& path) const {
+  return write_text(path, timeseries_csv());
+}
+
 void MetricRegistry::merge(const MetricRegistry& other) {
   // std::map iteration is key-ordered, so the instruments created here
   // land in the same positions regardless of merge history.
@@ -366,6 +397,8 @@ void MetricRegistry::merge(const MetricRegistry& other) {
   for (const auto& [key, e] : other.histograms_)
     histogram(e.name, e.labels, e.instrument->options())
         .merge(*e.instrument);
+  for (const auto& [key, e] : other.timeseries_)
+    timeseries(e.name, e.labels).merge(*e.instrument);
 }
 
 MetricRegistry& MetricRegistry::global() {
@@ -401,6 +434,16 @@ const std::vector<std::uint64_t>& Histogram::bucket_counts() const noexcept {
   return empty;
 }
 
+const std::vector<double>& TimeSeries::times() const noexcept {
+  static const std::vector<double> empty;
+  return empty;
+}
+
+const std::vector<double>& TimeSeries::values() const noexcept {
+  static const std::vector<double> empty;
+  return empty;
+}
+
 // Even with instrumentation compiled out, the exporters still emit valid
 // (empty) artifacts so pipelines that collect them keep working.
 bool MetricRegistry::write_prometheus(const std::string& path) const {
@@ -413,6 +456,10 @@ bool MetricRegistry::write_json(const std::string& path) const {
 
 bool MetricRegistry::write_csv(const std::string& path) const {
   return write_text(path, csv());
+}
+
+bool MetricRegistry::write_timeseries_csv(const std::string& path) const {
+  return write_text(path, timeseries_csv());
 }
 
 MetricRegistry& MetricRegistry::global() {

@@ -72,6 +72,42 @@ class Gauge {
   double v_ = 0.0;
 };
 
+/// A (time, value) series captured on a simulated-time cadence into
+/// columnar buffers: queue depth over time, cwnd over time, context
+/// staleness over time. Callers reserve() the expected sample count up
+/// front so steady-state sampling never allocates. Like every other
+/// instrument, a series is task-private and folded deterministically:
+/// merge() appends the other series' samples, so folding per-task
+/// registries in submission order concatenates rep 0's samples, then
+/// rep 1's, ... — bit-identical regardless of thread count.
+class TimeSeries {
+ public:
+  void reserve(std::size_t n) {
+    t_.reserve(n);
+    v_.reserve(n);
+  }
+  void sample(double t_s, double v) {
+    t_.push_back(t_s);
+    v_.push_back(v);
+  }
+  std::size_t size() const noexcept { return t_.size(); }
+  const std::vector<double>& times() const noexcept { return t_; }
+  const std::vector<double>& values() const noexcept { return v_; }
+  void reset() noexcept {
+    t_.clear();
+    v_.clear();
+  }
+  /// Fold a task-scoped series into this one (samples append in order).
+  void merge(const TimeSeries& o) {
+    t_.insert(t_.end(), o.t_.begin(), o.t_.end());
+    v_.insert(v_.end(), o.v_.begin(), o.v_.end());
+  }
+
+ private:
+  std::vector<double> t_;
+  std::vector<double> v_;
+};
+
 /// Distribution of observed values: log-scale bucket counts plus running
 /// sum/min/max and streaming P² estimates of p50/p90/p99.
 class Histogram {
@@ -135,6 +171,7 @@ class MetricRegistry {
   Gauge& gauge(const std::string& name, const Labels& labels = {});
   Histogram& histogram(const std::string& name, const Labels& labels = {},
                        HistogramOptions opt = {});
+  TimeSeries& timeseries(const std::string& name, const Labels& labels = {});
 
   std::size_t size() const noexcept;
 
@@ -148,10 +185,22 @@ class MetricRegistry {
   std::string json() const;
   /// Flat CSV: kind,name,labels,value,count,sum,min,max,p50,p90,p99.
   std::string csv() const;
+  /// Tidy long-form CSV of every time series: series,labels,t_s,value —
+  /// one row per sample, series in deterministic key order.
+  std::string timeseries_csv() const;
 
   bool write_prometheus(const std::string& path) const;
   bool write_json(const std::string& path) const;
   bool write_csv(const std::string& path) const;
+  bool write_timeseries_csv(const std::string& path) const;
+
+  /// Visit every time series in deterministic key order. `fn` receives
+  /// (name, labels, series); used by report tooling to summarize without
+  /// re-parsing the CSV.
+  template <typename Fn>
+  void for_each_timeseries(Fn&& fn) const {
+    for (const auto& [key, e] : timeseries_) fn(e.name, e.labels, *e.instrument);
+  }
 
   /// Fold another registry into this one, instrument by instrument
   /// (matched on name + labels; missing instruments are created). The
@@ -183,6 +232,7 @@ class MetricRegistry {
   std::map<std::string, Entry<Counter>> counters_;
   std::map<std::string, Entry<Gauge>> gauges_;
   std::map<std::string, Entry<Histogram>> histograms_;
+  std::map<std::string, Entry<TimeSeries>> timeseries_;
 };
 
 /// RAII scope that routes this thread's registry() lookups into `r`
@@ -224,6 +274,17 @@ class Gauge {
   void merge(const Gauge&) noexcept {}
 };
 
+class TimeSeries {
+ public:
+  void reserve(std::size_t) {}
+  void sample(double, double) {}
+  std::size_t size() const noexcept { return 0; }
+  const std::vector<double>& times() const noexcept;
+  const std::vector<double>& values() const noexcept;
+  void reset() noexcept {}
+  void merge(const TimeSeries&) {}
+};
+
 class Histogram {
  public:
   explicit Histogram(HistogramOptions opt = {}) : opt_(opt) {}
@@ -254,14 +315,21 @@ class MetricRegistry {
                        HistogramOptions = {}) {
     return h_;
   }
+  TimeSeries& timeseries(const std::string&, const Labels& = {}) {
+    return t_;
+  }
   std::size_t size() const noexcept { return 0; }
   void reset_values() noexcept {}
   std::string prometheus_text() const { return {}; }
   std::string json() const { return "{}\n"; }
   std::string csv() const { return {}; }
+  std::string timeseries_csv() const { return {}; }
   bool write_prometheus(const std::string& path) const;
   bool write_json(const std::string& path) const;
   bool write_csv(const std::string& path) const;
+  bool write_timeseries_csv(const std::string& path) const;
+  template <typename Fn>
+  void for_each_timeseries(Fn&&) const {}
   void merge(const MetricRegistry&) noexcept {}
   static MetricRegistry& global();
   static MetricRegistry& current() noexcept { return global(); }
@@ -270,6 +338,7 @@ class MetricRegistry {
   Counter c_;
   Gauge g_;
   Histogram h_;
+  TimeSeries t_;
 };
 
 class ScopedRegistry {

@@ -1,0 +1,145 @@
+#include "telemetry/span.hpp"
+
+#ifndef PHI_TELEMETRY_OFF
+
+#include <cstdio>
+#include <set>
+
+namespace phi::telemetry {
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Chrome "ts" is microseconds; keep nanosecond resolution as fractional
+// microseconds.
+void append_ts(std::string& out, util::Time ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(ns) / 1000.0);
+  out += buf;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string SpanLog::chrome_json() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // One named track per trace id so Perfetto shows "flow <id>" instead
+  // of bare numbers.
+  std::set<std::uint32_t> tracks;
+  for (const SpanEvent& e : events_) tracks.insert(e.trace);
+  for (std::uint32_t t : tracks) {
+    sep();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(t);
+    out += ",\"args\":{\"name\":\"flow ";
+    out += std::to_string(t);
+    out += "\"}}";
+  }
+
+  for (const SpanEvent& e : events_) {
+    sep();
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.trace);
+    out += ",\"ts\":";
+    append_ts(out, e.t0);
+    switch (e.phase) {
+      case 'X':
+        out += ",\"dur\":";
+        append_ts(out, e.t1 - e.t0);
+        out += ",\"cat\":\"span\"";
+        break;
+      case 'i':
+        out += ",\"cat\":\"span\",\"s\":\"t\"";
+        break;
+      case 's':
+        out += ",\"cat\":\"flow\",\"id\":";
+        out += std::to_string(e.bind);
+        break;
+      case 'f':
+        // bp:"e" binds the arrow head to the enclosing slice, which is
+        // what Perfetto needs to draw report -> aggregate arrows.
+        out += ",\"cat\":\"flow\",\"bp\":\"e\",\"id\":";
+        out += std::to_string(e.bind);
+        break;
+      default:
+        break;
+    }
+    if (e.k0[0] != '\0' || e.k1[0] != '\0') {
+      out += ",\"args\":{";
+      if (e.k0[0] != '\0') {
+        out += "\"";
+        append_escaped(out, e.k0);
+        out += "\":";
+        append_number(out, e.a0);
+      }
+      if (e.k1[0] != '\0') {
+        if (e.k0[0] != '\0') out += ",";
+        out += "\"";
+        append_escaped(out, e.k1);
+        out += "\":";
+        append_number(out, e.a1);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool SpanLog::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string text = chrome_json();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+namespace {
+thread_local SpanLog* t_spans = nullptr;
+}  // namespace
+
+SpanLog* spans() noexcept { return t_spans; }
+void set_spans(SpanLog* log) noexcept { t_spans = log; }
+
+}  // namespace phi::telemetry
+
+#endif  // PHI_TELEMETRY_OFF

@@ -1,0 +1,209 @@
+// span.hpp — causal flow tracing. A SpanLog records distributed-tracing
+// style spans for a *sampled subset* of flows: sampling is a
+// deterministic, seed-stable 1-in-N hash of the flow id, so the same
+// flows are traced on every run with the same seed regardless of thread
+// count or event interleaving. Sampled flows carry a compact 32-bit
+// trace id inside sim::Packet; every component the packet passes through
+// (node delivery, queue residency, link transit, TCP state machine, the
+// Phi context protocol) appends span events tagged with that id.
+//
+// Causality across components is expressed with Chrome trace_event flow
+// arrows: a producer emits flow_out(bind) and the consumer emits
+// flow_in(bind) with the same binding id, which Perfetto renders as an
+// arrow between the two enclosing slices — e.g. from a sender's context
+// report to the server aggregation it triggered, and from the server's
+// recommendation to the connection that adopted it.
+//
+// Recording is zero-allocation on the steady-state path: events are
+// fixed-size PODs (names copied into inline char arrays, no heap
+// strings) appended to a buffer reserved up-front; past capacity, events
+// are counted in dropped() instead. Under PHI_TELEMETRY_OFF the whole
+// class is an empty stub and spans() is a constant nullptr, so every
+// call site folds away.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace phi::telemetry {
+
+/// One span event. Trivially copyable; all strings are inline
+/// (truncating) copies so a SpanEvent never owns heap memory.
+struct SpanEvent {
+  util::Time t0 = 0;        ///< begin (ns); event time for 'i'/'s'/'f'
+  util::Time t1 = 0;        ///< end (ns) for 'X'; == t0 otherwise
+  std::uint32_t trace = 0;  ///< trace id; doubles as the Chrome track id
+  std::uint32_t bind = 0;   ///< flow-arrow binding id ('s'/'f' only)
+  char phase = 'X';         ///< 'X' span, 'i' instant, 's'/'f' flow arrow
+  char name[27] = {};
+  char k0[12] = {};  ///< first numeric arg key; empty = absent
+  char k1[12] = {};
+  double a0 = 0.0;
+  double a1 = 0.0;
+};
+static_assert(sizeof(SpanEvent) <= 96, "span events are appended in bulk");
+
+#ifndef PHI_TELEMETRY_OFF
+
+class SpanLog {
+ public:
+  /// Sample 1 in `sample_one_in` flows (1 = every flow, 0 = none).
+  /// `capacity` events are preallocated; recording never allocates.
+  explicit SpanLog(std::uint32_t sample_one_in = 64, std::uint64_t seed = 0,
+                   std::size_t capacity = 1 << 20)
+      : one_in_(sample_one_in), seed_(seed), capacity_(capacity) {
+    events_.reserve(capacity_);
+  }
+
+  /// The trace id for `flow`: nonzero iff the flow is sampled. Pure
+  /// function of (flow, seed, sample_one_in) — stable across runs,
+  /// thread counts, and event orderings.
+  std::uint32_t trace_of(std::uint64_t flow) const noexcept {
+    if (one_in_ == 0) return 0;
+    if (one_in_ > 1 &&
+        util::derive_seed(seed_, flow) % one_in_ != 0) {
+      return 0;
+    }
+    const auto id = static_cast<std::uint32_t>(flow);
+    return id != 0 ? id : 1;
+  }
+
+  /// A fresh flow-arrow binding id, for pairing one flow_out with one
+  /// flow_in across components.
+  std::uint32_t next_bind() noexcept { return ++bind_seq_; }
+
+  /// A complete span [t0, t1] on trace `trace`, with up to two named
+  /// numeric args. Name/keys are copied (truncated to the inline
+  /// capacity); callers may pass transient strings.
+  void span(std::uint32_t trace, const char* name, util::Time t0,
+            util::Time t1, const char* k0 = nullptr, double a0 = 0.0,
+            const char* k1 = nullptr, double a1 = 0.0) noexcept {
+    record('X', trace, name, t0, t1, 0, k0, a0, k1, a1);
+  }
+
+  /// A zero-duration point event.
+  void point(std::uint32_t trace, const char* name, util::Time ts,
+             const char* k0 = nullptr, double a0 = 0.0,
+             const char* k1 = nullptr, double a1 = 0.0) noexcept {
+    record('i', trace, name, ts, ts, 0, k0, a0, k1, a1);
+  }
+
+  /// Producer / consumer halves of a causal arrow. Both sides must use
+  /// the same `bind` (and, for Chrome compatibility, the same name).
+  void flow_out(std::uint32_t trace, const char* name, util::Time ts,
+                std::uint32_t bind) noexcept {
+    record('s', trace, name, ts, ts, bind, nullptr, 0.0, nullptr, 0.0);
+  }
+  void flow_in(std::uint32_t trace, const char* name, util::Time ts,
+               std::uint32_t bind) noexcept {
+    record('f', trace, name, ts, ts, bind, nullptr, 0.0, nullptr, 0.0);
+  }
+
+  const std::vector<SpanEvent>& events() const noexcept { return events_; }
+  std::size_t dropped() const noexcept { return dropped_; }
+  std::uint32_t sample_one_in() const noexcept { return one_in_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  void clear() noexcept {
+    events_.clear();
+    dropped_ = 0;
+    bind_seq_ = 0;
+  }
+
+  /// Chrome trace_event JSON ("ts" in microseconds): 'X' slices on one
+  /// track per trace id, flow arrows as paired "s"/"f" events, plus
+  /// thread_name metadata so Perfetto labels each track "flow <id>".
+  std::string chrome_json() const;
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  template <std::size_t N>
+  static void copy_str(char (&dst)[N], const char* src) noexcept {
+    if (src == nullptr) {
+      dst[0] = '\0';
+      return;
+    }
+    std::size_t i = 0;
+    for (; i + 1 < N && src[i] != '\0'; ++i) dst[i] = src[i];
+    dst[i] = '\0';
+  }
+
+  void record(char phase, std::uint32_t trace, const char* name,
+              util::Time t0, util::Time t1, std::uint32_t bind,
+              const char* k0, double a0, const char* k1,
+              double a1) noexcept {
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.emplace_back();
+    SpanEvent& e = events_.back();
+    e.t0 = t0;
+    e.t1 = t1;
+    e.trace = trace;
+    e.bind = bind;
+    e.phase = phase;
+    copy_str(e.name, name);
+    copy_str(e.k0, k0);
+    copy_str(e.k1, k1);
+    e.a0 = a0;
+    e.a1 = a1;
+  }
+
+  std::uint32_t one_in_;
+  std::uint64_t seed_;
+  std::size_t capacity_;
+  std::vector<SpanEvent> events_;
+  std::size_t dropped_ = 0;
+  std::uint32_t bind_seq_ = 0;
+};
+
+/// The calling thread's span log; nullptr = flow tracing off. Same
+/// contract as tracer(): thread-local, caller keeps ownership, a log is
+/// never shared across threads.
+SpanLog* spans() noexcept;
+void set_spans(SpanLog* log) noexcept;
+
+#else  // PHI_TELEMETRY_OFF
+
+class SpanLog {
+ public:
+  explicit SpanLog(std::uint32_t = 64, std::uint64_t = 0,
+                   std::size_t = 0) {}
+  std::uint32_t trace_of(std::uint64_t) const noexcept { return 0; }
+  std::uint32_t next_bind() noexcept { return 0; }
+  void span(std::uint32_t, const char*, util::Time, util::Time,
+            const char* = nullptr, double = 0.0, const char* = nullptr,
+            double = 0.0) noexcept {}
+  void point(std::uint32_t, const char*, util::Time,
+             const char* = nullptr, double = 0.0, const char* = nullptr,
+             double = 0.0) noexcept {}
+  void flow_out(std::uint32_t, const char*, util::Time,
+                std::uint32_t) noexcept {}
+  void flow_in(std::uint32_t, const char*, util::Time,
+               std::uint32_t) noexcept {}
+  const std::vector<SpanEvent>& events() const noexcept {
+    static const std::vector<SpanEvent> empty;
+    return empty;
+  }
+  std::size_t dropped() const noexcept { return 0; }
+  std::uint32_t sample_one_in() const noexcept { return 0; }
+  std::uint64_t seed() const noexcept { return 0; }
+  std::size_t capacity() const noexcept { return 0; }
+  void clear() noexcept {}
+  std::string chrome_json() const { return "{\"traceEvents\":[]}\n"; }
+  bool write_chrome_json(const std::string&) const { return false; }
+};
+
+inline SpanLog* spans() noexcept { return nullptr; }
+inline void set_spans(SpanLog*) noexcept {}
+
+#endif  // PHI_TELEMETRY_OFF
+
+}  // namespace phi::telemetry

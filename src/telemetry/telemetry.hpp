@@ -1,8 +1,12 @@
 // telemetry.hpp — umbrella header for the telemetry subsystem: the
-// metric registry (counters / gauges / histograms) and the structured
-// trace-event sink. See docs/TELEMETRY.md for naming conventions,
-// category masks, and how to view traces in Chrome.
+// metric registry (counters / gauges / histograms / time series), the
+// structured trace-event sink, causal flow spans, the always-on flight
+// recorder, and the event-loop self-profiler. See docs/TELEMETRY.md for
+// naming conventions, category masks, and how to view traces in Chrome.
 #pragma once
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profile.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/trace.hpp"

@@ -11,6 +11,7 @@
 #include <new>
 
 #include "sim/network.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -90,6 +91,85 @@ TEST(ZeroAllocDatapath, SteadyStatePacketTransitDoesNotAllocate) {
   EXPECT_EQ(sink.n - delivered_before, 8u * kBatch);
   // ...and none of them touched the heap.
   EXPECT_EQ(allocs_after - allocs_before, 0u);
+  b.detach(1);
+}
+
+TEST(ZeroAllocDatapath, ObservabilityOnStaysAllocationFree) {
+  // The PR 7 extension of the proof: the same steady-state transit with
+  // the full observability stack live — a traced packet recording spans
+  // at every hop, a time series sampling each burst, the flight recorder
+  // noting events, and the event loop self-profiling. Span events are
+  // PODs appended into a buffer reserved up front, time-series samples
+  // land in reserved columns, and the recorder's rings are preallocated,
+  // so none of it may touch the heap once warm.
+  telemetry::SpanLog log(/*sample_one_in=*/1, /*seed=*/0,
+                         /*capacity=*/1 << 17);
+  telemetry::set_spans(&log);
+  telemetry::LoopProfile prof;
+  auto& ts = telemetry::registry().timeseries("alloc_test.queue_bytes");
+  ts.reserve(64);
+  telemetry::FlightRecorder& fr = telemetry::flight();
+
+  Network net;
+  net.scheduler().set_profile(&prof);
+  Node& a = net.add_node("a");
+  Node& b = net.add_node("b");
+  Link& l = net.add_link(a, b, 1.0 * util::kGbps, util::microseconds(10),
+                         64 * 1024 * 1024);
+  a.add_route(b.id(), &l);
+  struct Count : Agent {
+    std::uint64_t n = 0;
+    void on_packet(const Packet&) override { ++n; }
+  } sink;
+  b.attach(1, &sink);
+
+  Packet p;
+  p.src = a.id();
+  p.dst = b.id();
+  p.flow = 1;
+  p.trace = log.trace_of(1);  // sampled: every hop records span events
+#ifndef PHI_TELEMETRY_OFF
+  ASSERT_NE(p.trace, 0u);
+#else
+  p.trace = 1;  // field survives the off build; hop guards must stay free
+#endif
+  constexpr int kBatch = 512;
+  auto burst = [&] {
+    for (int i = 0; i < kBatch; ++i) {
+      p.seq = i;
+      a.send(p);
+    }
+    net.run_until(net.now() + util::milliseconds(10));
+    ts.sample(util::to_seconds(net.now()),
+              static_cast<double>(l.queue().bytes()));
+    fr.note(telemetry::Category::kBench, "alloc_test.burst", net.now());
+  };
+
+  for (int round = 0; round < 4; ++round) burst();  // warm-up
+  const std::uint64_t delivered_before = sink.n;
+  const std::size_t spans_before = log.events().size();
+
+  const std::uint64_t allocs_before =
+      g_allocs.load(std::memory_order_relaxed);
+  for (int round = 0; round < 8; ++round) burst();
+  const std::uint64_t allocs_after =
+      g_allocs.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(sink.n - delivered_before, 8u * kBatch);
+  EXPECT_EQ(allocs_after - allocs_before, 0u);
+#ifndef PHI_TELEMETRY_OFF
+  // The instruments really were live: spans recorded (without dropping),
+  // samples landed, events noted.
+  EXPECT_GT(log.events().size(), spans_before);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_GE(ts.size(), 12u);
+  EXPECT_GE(fr.ring_size(telemetry::Category::kBench), 12u);
+  EXPECT_GT(prof.events(telemetry::LoopProfile::kDelivery), 0u);
+#else
+  (void)spans_before;
+#endif
+  net.scheduler().set_profile(nullptr);
+  telemetry::set_spans(nullptr);
   b.detach(1);
 }
 

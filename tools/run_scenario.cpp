@@ -4,10 +4,18 @@
 //
 //   run_scenario --list
 //   run_scenario <preset> [key=value ...] [--runs N]
+//                [--trace-flows[=N]] [--timeseries-dt[=S]] [--profile]
 //
 // `key=value` overrides tweak the preset (seed, duration_s, pairs,
 // rate_mbps, hops, ... — see docs/SCENARIOS.md); repetitions are seeded
 // with util::derive_seed(seed, rep) and run PHI_BENCH_JOBS-wide.
+//
+// The observability flags are strictly additive: --trace-flows samples
+// 1-in-N flows (default every flow) into a Chrome-trace JSON artifact,
+// --timeseries-dt snapshots queue/utilization/cwnd every S simulated
+// seconds (default 0.1) into a tidy CSV, and --profile prints the event
+// loop's per-event-kind time breakdown. With none of them, the run (and
+// every artifact) is byte-identical to a build without telemetry.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -61,7 +69,8 @@ int main(int argc, char** argv) {
   if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
     std::fprintf(stderr,
                  "usage: run_scenario --list | <preset> [key=value ...] "
-                 "[--runs N]\n");
+                 "[--runs N] [--trace-flows[=N]] [--timeseries-dt[=S]] "
+                 "[--profile]\n");
     return argc < 2 ? 2 : 0;
   }
   if (std::strcmp(argv[1], "--list") == 0) return list_presets();
@@ -86,6 +95,30 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (std::strncmp(argv[a], "--trace-flows", 13) == 0) {
+      int one_in = 1;
+      if (argv[a][13] == '=') one_in = std::atoi(argv[a] + 14);
+      if (one_in < 1) {
+        std::fprintf(stderr, "--trace-flows wants an integer >= 1\n");
+        return 2;
+      }
+      spec.telemetry.trace_one_in = static_cast<std::uint32_t>(one_in);
+      continue;
+    }
+    if (std::strncmp(argv[a], "--timeseries-dt", 15) == 0) {
+      double dt_s = 0.1;
+      if (argv[a][15] == '=') dt_s = std::atof(argv[a] + 16);
+      if (!(dt_s > 0)) {
+        std::fprintf(stderr, "--timeseries-dt wants seconds > 0\n");
+        return 2;
+      }
+      spec.telemetry.timeseries_dt = util::from_seconds(dt_s);
+      continue;
+    }
+    if (std::strcmp(argv[a], "--profile") == 0) {
+      spec.telemetry.profile = true;
+      continue;
+    }
     std::string err;
     if (!core::presets::apply_override(spec, argv[a], &err)) {
       std::fprintf(stderr, "bad override: %s\n", err.c_str());
@@ -93,6 +126,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  bench::phase("setup");
   bench::banner(("Scenario driver: " + name).c_str());
   std::printf("topology %s, %zu senders, %zu path(s), %d repetition(s)\n",
               sim::topology_class(spec.topology), spec.sender_count(),
@@ -104,6 +138,7 @@ int main(int argc, char** argv) {
   std::vector<int> reps(static_cast<std::size_t>(runs));
   for (int r = 0; r < runs; ++r) reps[static_cast<std::size_t>(r)] = r;
   bench::WallTimer timer;
+  bench::phase("run");
   const auto all = exec::parallel_map(
       reps,
       [&](int r) {
@@ -113,6 +148,7 @@ int main(int argc, char** argv) {
         return core::run_cubic_scenario(run_spec, tcp::CubicParams{});
       },
       bench::jobs_from_env());
+  bench::phase("export");
 
   bench::ResultTable t("run_scenario_" + name + ".csv",
                        {"rep", "tput_bps", "qdelay_ms", "loss", "util",
@@ -142,6 +178,34 @@ int main(int argc, char** argv) {
       }
     }
     g.print_and_dump();
+  }
+  // Observability artifacts (opt-in; nothing is written without the
+  // flags, so default artifacts stay byte-identical). Repetition 0's
+  // capture is exported — it is the same object for any PHI_BENCH_JOBS.
+  if (spec.telemetry.any() && !all.empty() && all.front().capture) {
+    const std::string dir = bench::out_dir();
+    const auto& cap = *all.front().capture;
+    if (spec.telemetry.trace_one_in > 0 && !dir.empty()) {
+      const std::string path = dir + "/run_scenario_" + name + "_trace.json";
+      if (cap.spans.write_chrome_json(path)) {
+        std::printf("  [trace] %s (%zu span events, %zu dropped)\n",
+                    path.c_str(), cap.spans.events().size(),
+                    cap.spans.dropped());
+      }
+    }
+    if (spec.telemetry.timeseries_dt > 0 && !dir.empty()) {
+      const std::string path =
+          dir + "/run_scenario_" + name + "_timeseries.csv";
+      if (telemetry::registry().write_timeseries_csv(path))
+        std::printf("  [timeseries] %s\n", path.c_str());
+    }
+    if (spec.telemetry.profile) {
+      telemetry::LoopProfile prof;
+      for (const auto& m : all)
+        if (m.capture) prof.merge(m.capture->profile);
+      std::printf("\nevent-loop profile (all repetitions):\n%s",
+                  prof.table().c_str());
+    }
   }
   std::printf("  (%d runs in %.1f s)\n", runs, timer.seconds());
   bench::dump_metrics("run_scenario_" + name);

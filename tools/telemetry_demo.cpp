@@ -1,21 +1,31 @@
 // telemetry_demo — end-to-end exercise of the telemetry subsystem: runs
 // the Figure-1 dumbbell with a faulty Phi control plane, every built-in
-// instrument live and a trace sink installed, then dumps all exporter
-// formats:
+// instrument live, a trace sink installed, causal flow tracing of every
+// flow, time-series capture, event-loop profiling, and the flight
+// recorder armed to dump on the first injected fault — then dumps all
+// exporter formats:
 //
-//   telemetry_demo [out_dir]      (default: telemetry_demo_out)
+//   telemetry_demo [--help] [out_dir]   (default: telemetry_demo_out)
 //     out_dir/trace.json          Chrome trace_event JSON — load in
 //                                 about://tracing or ui.perfetto.dev
 //     out_dir/trace.jsonl         one JSON object per event
+//     out_dir/spans.json          causal flow spans (Chrome trace JSON
+//                                 with flow arrows; Perfetto-viewable)
+//     out_dir/timeseries.csv      tidy time-series capture
+//     out_dir/flight_dump.txt     flight-recorder dump, auto-fired by
+//                                 the first injected control-plane fault
 //     out_dir/metrics.prom        Prometheus text exposition
 //     out_dir/metrics.json        registry snapshot as JSON
 //     out_dir/metrics.csv         flat CSV of every instrument
 //
-// The run covers all instrumented layers: scheduler (dispatch/compaction),
-// bottleneck link + RED queue (drops/marks/occupancy), TCP senders
-// (retransmits, cwnd cuts), context server (lookups/reports/leases), and
-// the fault injector (drops/dups/delays/crashes actually fired).
+// The run covers all instrumented layers: scheduler (dispatch/compaction
+// plus the self-profiling run loop), bottleneck link + RED queue
+// (drops/marks/occupancy), TCP senders (retransmits, cwnd cuts), context
+// server (lookups/reports/leases + aggregation spans), and the fault
+// injector (drops/dups/delays/crashes actually fired, each noted in the
+// flight recorder).
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -32,6 +42,15 @@ constexpr core::PathKey kPath = 42;
 }
 
 int main(int argc, char** argv) {
+  if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
+                   std::strcmp(argv[1], "-h") == 0)) {
+    std::fprintf(stderr,
+                 "usage: telemetry_demo [out_dir]   (default: "
+                 "telemetry_demo_out)\n"
+                 "writes trace.json trace.jsonl spans.json timeseries.csv "
+                 "flight_dump.txt metrics.{prom,json,csv} into out_dir\n");
+    return 0;
+  }
   const std::string out = argc > 1 ? argv[1] : "telemetry_demo_out";
   std::error_code ec;
   std::filesystem::create_directories(out, ec);
@@ -46,6 +65,12 @@ int main(int argc, char** argv) {
                             /*max_events=*/2'000'000);
   telemetry::set_tracer(&sink);
 #endif
+  // Black box armed on the fault category: the first injected fault
+  // writes the whole per-component event history to disk, exactly the
+  // "what led up to this?" artifact the recorder exists for.
+  telemetry::flight().arm(
+      telemetry::mask_of(telemetry::Category::kFault),
+      out + "/flight_dump.txt");
 
   core::ScenarioConfig cfg;
   cfg.net.pairs = 8;
@@ -56,12 +81,17 @@ int main(int argc, char** argv) {
   cfg.ecn = true;
   cfg.seed = 7;
 
+  core::ScenarioSpec spec = cfg.spec();
+  spec.telemetry.trace_one_in = 1;  // causal-trace every flow
+  spec.telemetry.timeseries_dt = util::milliseconds(250);
+  spec.telemetry.profile = true;
+
   std::unique_ptr<core::ContextServer> server;
   std::unique_ptr<core::FaultInjector> injector;
   std::unique_ptr<tcp::SenderTracer> tracer;
 
   const auto metrics = core::run_scenario_with_setup(
-      cfg, [](std::size_t) { return std::make_unique<tcp::Cubic>(); },
+      spec, [](std::size_t) { return std::make_unique<tcp::Cubic>(); },
       [&](core::LiveScenario& live) -> core::AdvisorFactory {
         sim::Scheduler* sched = &live.dumbbell->scheduler();
         server = std::make_unique<core::ContextServer>(
@@ -100,10 +130,25 @@ int main(int argc, char** argv) {
                   reg.write_json(out + "/metrics.json") &&
                   reg.write_csv(out + "/metrics.csv");
 #ifndef PHI_TELEMETRY_OFF
-  const bool trace_ok = sink.write_chrome_json(out + "/trace.json") &&
-                        sink.write_jsonl(out + "/trace.jsonl");
+  bool trace_ok = sink.write_chrome_json(out + "/trace.json") &&
+                  sink.write_jsonl(out + "/trace.jsonl");
   std::printf("trace events: %zu (%llu dropped)\n", sink.events().size(),
               static_cast<unsigned long long>(sink.dropped()));
+  if (metrics.capture) {
+    trace_ok = trace_ok &&
+               metrics.capture->spans.write_chrome_json(out + "/spans.json");
+    std::printf("span events: %zu (%zu dropped)\n",
+                metrics.capture->spans.events().size(),
+                metrics.capture->spans.dropped());
+    std::printf("\nevent-loop profile:\n%s",
+                metrics.capture->profile.table().c_str());
+  }
+  trace_ok = trace_ok && reg.write_timeseries_csv(out + "/timeseries.csv");
+  const auto& fr = telemetry::flight();
+  std::printf("flight recorder: %llu events recorded, auto-dump %s\n",
+              static_cast<unsigned long long>(fr.recorded()),
+              fr.last_dump_path().empty() ? "(never fired)"
+                                          : fr.last_dump_path().c_str());
   telemetry::set_tracer(nullptr);
 #else
   const bool trace_ok = true;
@@ -118,7 +163,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(metrics.connections));
   std::printf("registry instruments: %zu\n", reg.size());
   std::printf("artifacts in %s: metrics.prom metrics.json metrics.csv "
-              "trace.json trace.jsonl\n",
+              "trace.json trace.jsonl spans.json timeseries.csv "
+              "flight_dump.txt\n",
               out.c_str());
   if (!ok || !trace_ok) {
     std::fprintf(stderr, "failed writing artifacts to %s\n", out.c_str());
