@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <limits>
 #include <memory>
+#include <string>
 
 #include "flow/bottleneck.hpp"
 #include "flow/heavy_hitters.hpp"
@@ -16,6 +18,7 @@
 #include "remy/remycc.hpp"
 #include "sim/event.hpp"
 #include "sim/network.hpp"
+#include "sim/parking_lot.hpp"
 #include "sim/queue.hpp"
 #include "sim/queue_disc.hpp"
 #include "tcp/cc.hpp"
@@ -220,6 +223,44 @@ void BM_EndToEndPacketTransit(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndPacketTransit)->Unit(benchmark::kMillisecond);
 
+// Steady-state sender cost of processing one ACK, with the network
+// removed entirely: a routeless node discards every data packet the
+// sender emits (counted as no_route_drops), and the loop hand-crafts
+// cumulative ACKs straight into the agent. Each ACK exercises the full
+// sender path — RTT sampling, cwnd update, retransmit-timer re-arm, and
+// the transmit burst the freed window allows. ECN is enabled and every
+// ACK carries ECE so cwnd follows a bounded sawtooth (one cut per
+// window) instead of growing without limit.
+void BM_TcpSenderAckClock(benchmark::State& state) {
+  sim::Scheduler sched;
+  sim::Node node(0, "ackclock");
+  tcp::TcpSender sender(sched, node, /*dst=*/1, /*flow=*/1,
+                        std::make_unique<tcp::Cubic>());
+  sender.set_ecn(true);
+  sender.start_connection(std::numeric_limits<std::int64_t>::max() / 2,
+                          [](const tcp::ConnStats&) {});
+  sim::Packet ack;
+  ack.flow = 1;
+  ack.conn = 1;
+  ack.is_ack = true;
+  ack.ece = true;
+  std::int64_t acked = 0;
+  for (auto _ : state) {
+    // 100µs of simulated time per ACK: enough to fire pacing/timer
+    // callbacks without the clock outrunning the retransmit timeout.
+    sched.run_until(sched.now() + util::microseconds(100));
+    ack.ack = ++acked;
+    ack.echo = sched.now() > util::milliseconds(100)
+                   ? sched.now() - util::milliseconds(100)
+                   : 0;
+    sender.on_packet(ack);
+  }
+  benchmark::DoNotOptimize(node.no_route_drops());
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("acks/sec");
+}
+BENCHMARK(BM_TcpSenderAckClock);
+
 void BM_CubicOnAck(benchmark::State& state) {
   tcp::Cubic cc;
   cc.reset(0);
@@ -354,6 +395,40 @@ void BM_MiniScenario(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MiniScenario)->Unit(benchmark::kMillisecond);
+
+// The sharding headline: one parking-lot churn scenario run end to end at
+// 1/2/4 shards. Items processed = simulator events dispatched, which a
+// deterministic sharded run executes in exactly the serial count — so
+// items/sec compares engine throughput directly across shard counts.
+// On a single-core host this measures sharding overhead (barriers,
+// boundary copies) rather than speedup; see BENCH_PR8.json.
+void BM_ShardedEndToEndPacketTransit(benchmark::State& state) {
+  core::ScenarioSpec spec;
+  sim::ParkingLotConfig lot;
+  lot.hops = 3;
+  lot.cross_per_hop = 2;
+  lot.long_flows = 1;
+  spec.topology = lot;
+  spec.workload.mean_on_bytes = 150e3;
+  spec.workload.mean_off_s = 0.5;
+  spec.duration = util::seconds(10);
+  spec.seed = 7;
+  spec.sharding.shards = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  int shards_used = 0;
+  for (auto _ : state) {
+    core::ScenarioMetrics m = core::run_cubic_scenario(spec, tcp::CubicParams{});
+    events += m.events_executed;
+    shards_used = m.shards_used;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("events/sec @" + std::to_string(shards_used) + " shard(s)");
+}
+BENCHMARK(BM_ShardedEndToEndPacketTransit)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

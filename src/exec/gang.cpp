@@ -1,0 +1,129 @@
+#include "exec/gang.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace phi::exec {
+
+struct CyclicBarrier::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t parties;
+  std::size_t waiting = 0;
+  std::uint64_t phase = 0;
+};
+
+CyclicBarrier::CyclicBarrier(std::size_t parties) : impl_(new Impl) {
+  impl_->parties = parties == 0 ? 1 : parties;
+}
+
+CyclicBarrier::~CyclicBarrier() { delete impl_; }
+
+std::size_t CyclicBarrier::parties() const noexcept {
+  return impl_->parties;
+}
+
+void CyclicBarrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  if (++impl_->waiting == impl_->parties) {
+    impl_->waiting = 0;
+    ++impl_->phase;  // release the current generation...
+    impl_->cv.notify_all();
+    return;
+  }
+  // ...which waits on the phase counter, not the waiting count, so a
+  // fast thread re-entering the next phase cannot absorb a slow one.
+  const std::uint64_t my_phase = impl_->phase;
+  impl_->cv.wait(lk, [&] { return impl_->phase != my_phase; });
+}
+
+struct Gang::Impl {
+  std::mutex mu;
+  std::condition_variable start_cv;
+  std::condition_variable done_cv;
+  std::uint64_t epoch = 0;  ///< bumped by run() to release workers
+  std::size_t active = 0;   ///< workers still inside the current round
+  bool stop = false;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::vector<std::exception_ptr> excs;
+  std::vector<std::thread> threads;
+};
+
+Gang::Gang(std::size_t size) : size_(size == 0 ? 1 : size) {
+  if (size_ <= 1) return;  // inline mode: run() calls fn(0) directly
+  impl_ = new Impl;
+  impl_->excs.resize(size_);
+  impl_->threads.reserve(size_ - 1);
+  for (std::size_t i = 1; i < size_; ++i) {
+    impl_->threads.emplace_back([this, i] {
+      Impl& im = *impl_;
+      std::uint64_t seen = 0;
+      for (;;) {
+        const std::function<void(std::size_t)>* fn;
+        {
+          std::unique_lock<std::mutex> lk(im.mu);
+          im.start_cv.wait(
+              lk, [&] { return im.stop || im.epoch != seen; });
+          if (im.stop) return;
+          seen = im.epoch;
+          fn = im.fn;
+        }
+        try {
+          (*fn)(i);
+        } catch (...) {
+          im.excs[i] = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> lk(im.mu);
+          if (--im.active == 0) im.done_cv.notify_one();
+        }
+      }
+    });
+  }
+}
+
+Gang::~Gang() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->start_cv.notify_all();
+  for (auto& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+void Gang::run(const std::function<void(std::size_t)>& fn) {
+  if (impl_ == nullptr) {
+    fn(0);
+    return;
+  }
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    im.fn = &fn;
+    im.active = size_ - 1;
+    for (auto& e : im.excs) e = nullptr;
+    ++im.epoch;
+  }
+  im.start_cv.notify_all();
+  try {
+    fn(0);
+  } catch (...) {
+    im.excs[0] = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lk(im.mu);
+    im.done_cv.wait(lk, [&] { return im.active == 0; });
+    im.fn = nullptr;
+  }
+  for (auto& e : im.excs) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace phi::exec

@@ -1,0 +1,63 @@
+// gang.hpp — a persistent gang of workers with static index assignment,
+// plus a reusable cyclic barrier. exec::Pool hands tasks out by atomic
+// ticket, which is the right shape for independent reps; intra-run
+// sharding needs the opposite: worker i *is* shard i for the whole run,
+// so per-shard state (scheduler, packet pool, registry) stays on one
+// thread and the barrier protocol can reason about "everyone reached the
+// window edge". The calling thread participates as worker 0, so a
+// 1-worker gang runs entirely inline and spawns nothing.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace phi::exec {
+
+/// Reusable cyclic barrier: `parties` threads call arrive_and_wait();
+/// the last arrival releases the rest and the barrier resets for the
+/// next phase. Condition-variable based — shard workers block across
+/// lookahead windows that can span many milliseconds of wall time, and
+/// oversubscribed hosts (CI has one core) must not spin.
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(std::size_t parties);
+  ~CyclicBarrier();
+
+  CyclicBarrier(const CyclicBarrier&) = delete;
+  CyclicBarrier& operator=(const CyclicBarrier&) = delete;
+
+  void arrive_and_wait();
+
+  std::size_t parties() const noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Fixed-size worker gang. run(fn) executes fn(0) on the calling thread
+/// and fn(i) on persistent worker thread i for i in [1, size); it
+/// returns when every invocation has finished. Workers park between
+/// run() calls, so repeated runs (warmup window, then measurement
+/// window) reuse the same threads. Exceptions propagate: the
+/// lowest-index worker's exception is rethrown on the caller after all
+/// workers finish the round.
+class Gang {
+ public:
+  explicit Gang(std::size_t size);
+  ~Gang();
+
+  Gang(const Gang&) = delete;
+  Gang& operator=(const Gang&) = delete;
+
+  std::size_t size() const noexcept { return size_; }
+
+  void run(const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  std::size_t size_;
+  Impl* impl_ = nullptr;  ///< null when size <= 1 (inline mode)
+};
+
+}  // namespace phi::exec

@@ -86,6 +86,23 @@ ScenarioSpec probe_parking_lot(std::size_t hops, std::size_t probes) {
   return s;
 }
 
+// The intra-run sharding headline: a wide parking lot whose eight
+// 20 ms hops give the auto-partitioner high-latency cuts in every
+// direction, so `--shards 2..8` splits into balanced router clusters
+// with a 20 ms lookahead window. Deliberately churny (short on/off
+// cycles) to stress cross-shard traffic.
+ScenarioSpec wide_parking_lot() {
+  ScenarioSpec s;
+  sim::ParkingLotConfig net;
+  net.hops = 8;
+  net.cross_per_hop = 4;
+  net.long_flows = 4;
+  s.topology = net;
+  s.duration = util::seconds(30);
+  s.workload = onoff(400e3, 0.8);
+  return s;
+}
+
 const std::vector<Preset>& registry() {
   static const std::vector<Preset> presets = [] {
     std::vector<Preset> v;
@@ -131,6 +148,9 @@ const std::vector<Preset>& registry() {
     v.push_back({"parking-probes",
                  "per-hop bulk probes + bursty load (the §2.1 study)",
                  probe_parking_lot()});
+    v.push_back({"parking-wide",
+                 "eight-hop lot, 36 senders: the --shards headline",
+                 wide_parking_lot()});
     return v;
   }();
   return presets;

@@ -1,7 +1,10 @@
 #include "phi/scenario.hpp"
 
 #include <map>
+#include <optional>
+#include <stdexcept>
 
+#include "sim/sharding.hpp"
 #include "tcp/sender.hpp"
 #include "tcp/sink.hpp"
 #include "util/rng.hpp"
@@ -134,20 +137,63 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioSpec& spec,
   std::unique_ptr<sim::Topology> topo = sim::make_topology(spec.topology);
   sim::Topology& t = *topo;
 
+  // Intra-run sharding: partition the freshly built topology before
+  // anything schedules events. Features that observe or mutate
+  // cross-shard state mid-window are rejected outright — behavior must
+  // not depend on whether the partitioner found a feasible cut — and
+  // the engine falls back to the serial path only when the *plan* is
+  // infeasible (too few components, or zero-lookahead cuts).
+  std::unique_ptr<sim::ShardedRun> srun;
+  if (spec.sharding.shards > 1) {
+    if (setup)
+      throw std::invalid_argument(
+          "sharded scenarios take no setup hook: advisors and context "
+          "servers observe cross-shard state mid-window");
+    if (spec.faults)
+      throw std::invalid_argument(
+          "sharded scenarios cannot inject control-plane faults");
+    if (spec.telemetry.trace_one_in > 0)
+      throw std::invalid_argument(
+          "sharded scenarios cannot trace flows (the SpanLog is a "
+          "single-thread sink)");
+    if (spec.telemetry.timeseries_dt > 0)
+      throw std::invalid_argument(
+          "sharded scenarios cannot record time-series probes");
+    const sim::ShardPlan plan =
+        sim::plan_shards(t.net(), spec.sharding.shards);
+    if (plan.shards > 1) {
+      srun = std::make_unique<sim::ShardedRun>(t.net(), plan,
+                                               spec.sharding.ring_capacity);
+      for (std::size_t p = 0; p < t.path_count(); ++p)
+        srun->adopt_monitor(t.path_monitor(p), t.path_link(p));
+    }
+  }
+
   // Observability: the SpanLog must be live before any sender is built
   // (senders sample their flow's trace tag at construction); the
   // profiler hooks straight into the scheduler's run loop. With a
   // default TelemetrySpec none of this happens and the run is untouched.
   std::shared_ptr<RunCapture> capture;
   SpanGuard span_guard;
+  std::vector<telemetry::LoopProfile> shard_profiles;
   if (spec.telemetry.any()) {
     capture = std::make_shared<RunCapture>(spec.telemetry.trace_one_in,
                                            spec.seed,
                                            spec.telemetry.span_capacity);
     if (spec.telemetry.trace_one_in > 0)
       span_guard.install(&capture->spans);
-    if (spec.telemetry.profile)
-      t.scheduler().set_profile(&capture->profile);
+    if (spec.telemetry.profile) {
+      if (srun) {
+        // One profile per shard (each scheduler's run loop is its own
+        // thread); merged into the capture in shard order after the run.
+        shard_profiles.resize(static_cast<std::size_t>(srun->shards()));
+        for (int sh = 0; sh < srun->shards(); ++sh)
+          srun->shard_scheduler(sh).set_profile(
+              &shard_profiles[static_cast<std::size_t>(sh)]);
+      } else {
+        t.scheduler().set_profile(&capture->profile);
+      }
+    }
   }
 
   // Effective population: an explicit sender list, or the canonical one
@@ -187,16 +233,37 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioSpec& spec,
     const sim::Topology::Endpoint ep = t.endpoint(ss.endpoint);
     const sim::FlowId flow = ss.flow != 0 ? ss.flow : 1000 + i;
     flows[i] = flow;
-    senders.push_back(std::make_unique<tcp::TcpSender>(
-        t.scheduler(), *ep.tx, ep.rx->id(), flow, policy(i)));
-    if (spec.ecn) senders.back()->set_ecn(true);
-    sinks.push_back(
-        std::make_unique<tcp::TcpSink>(t.scheduler(), *ep.rx, flow));
+    // Each agent schedules on (and resolves instruments in) the shard
+    // that owns its node: the sender and its app on the transmit side,
+    // the sink on the receive side. Serial runs use the one scheduler
+    // and the current registry, exactly as before.
+    sim::Scheduler& tx_sched =
+        srun ? srun->scheduler_of(ep.tx->id()) : t.scheduler();
+    sim::Scheduler& rx_sched =
+        srun ? srun->scheduler_of(ep.rx->id()) : t.scheduler();
+    {
+      std::optional<telemetry::ScopedRegistry> scope;
+      if (srun)
+        scope.emplace(srun->registry_of(srun->shard_of(ep.tx->id())));
+      senders.push_back(std::make_unique<tcp::TcpSender>(
+          tx_sched, *ep.tx, ep.rx->id(), flow, policy(i)));
+      if (spec.ecn) senders.back()->set_ecn(true);
+    }
+    {
+      std::optional<telemetry::ScopedRegistry> scope;
+      if (srun)
+        scope.emplace(srun->registry_of(srun->shard_of(ep.rx->id())));
+      sinks.push_back(
+          std::make_unique<tcp::TcpSink>(rx_sched, *ep.rx, flow));
+    }
     if (ss.bulk_segments > 0) {
       apps.push_back(nullptr);  // started below, in population order
     } else {
+      std::optional<telemetry::ScopedRegistry> scope;
+      if (srun)
+        scope.emplace(srun->registry_of(srun->shard_of(ep.tx->id())));
       apps.push_back(std::make_unique<tcp::OnOffApp>(
-          t.scheduler(), *senders.back(),
+          tx_sched, *senders.back(),
           ss.workload ? *ss.workload : spec.workload, seeder()));
     }
   }
@@ -261,9 +328,17 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioSpec& spec,
     }
   }
 
+  const auto run_to = [&](util::Time h) {
+    if (srun) {
+      srun->run_until(h);
+    } else {
+      t.net().run_until(h);
+    }
+  };
+
   std::vector<std::int64_t> acked_at_warmup(n, 0);
   if (spec.warmup > 0) {
-    t.net().run_until(spec.warmup);
+    run_to(spec.warmup);
     for (std::size_t p = 0; p < t.path_count(); ++p) {
       t.path_link(p).reset_stats();
       t.path_monitor(p).reset_series();
@@ -274,10 +349,21 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioSpec& spec,
     for (std::size_t i = 0; i < n; ++i)
       acked_at_warmup[i] = senders[i]->lifetime_acked_segments();
   }
-  t.net().run_until(spec.warmup + spec.duration);
+  run_to(spec.warmup + spec.duration);
+
+  if (srun) {
+    // Fold shard registries (and boundary-traffic counters) into the
+    // caller's registry in shard order, so parallel-rep telemetry
+    // merging stays deterministic end to end.
+    srun->merge_telemetry();
+  }
 
   const double dur_s = util::to_seconds(spec.duration);
   ScenarioMetrics m;
+  m.events_executed =
+      srun ? srun->executed_events() : t.scheduler().executed_count();
+  m.shards_used = srun ? srun->shards() : 1;
+  m.boundary_messages = srun ? srun->boundary_messages() : 0;
   double bits = 0, on_time = 0;
   util::RunningStats rtt;
   double min_rtt = 0;
@@ -403,7 +489,15 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioSpec& spec,
     m.groups.push_back(gm);
   }
   if (live.on_complete) live.on_complete();
-  if (capture && spec.telemetry.profile) t.scheduler().set_profile(nullptr);
+  if (capture && spec.telemetry.profile) {
+    if (srun) {
+      for (int sh = 0; sh < srun->shards(); ++sh)
+        srun->shard_scheduler(sh).set_profile(nullptr);
+      for (const auto& sp : shard_profiles) capture->profile.merge(sp);
+    } else {
+      t.scheduler().set_profile(nullptr);
+    }
+  }
   m.capture = std::move(capture);
   return m;
 }

@@ -40,6 +40,25 @@ struct SenderSpec {
   int group = -1;
 };
 
+/// Intra-run parallelism plan: shard the topology across cores while
+/// reproducing the serial run byte-identically (docs/PARALLELISM.md).
+/// Sharded runs reject the interactive extras — setup hooks, fault
+/// injection, flow tracing, and time-series probes — because those
+/// observe or mutate cross-shard state mid-window; run_scenario throws
+/// std::invalid_argument on such combinations rather than silently
+/// changing results. Event-loop profiling stays available (one profile
+/// per shard, merged in shard order).
+struct ShardSpec {
+  /// Requested worker count; 1 = the serial engine (default). The
+  /// auto-partitioner may clamp it (and falls back to serial when no
+  /// feasible cut exists).
+  int shards = 1;
+  /// Per-cut-link SPSC ring capacity (messages); overflow spills to a
+  /// locked vector, so this is a performance knob, not a correctness
+  /// bound.
+  std::size_t ring_capacity = 4096;
+};
+
 /// Opt-in observability for one run. All fields default to off: a
 /// default-constructed TelemetrySpec adds zero work (and zero
 /// allocations) to the run, and the engine's behavior — every simulated
@@ -96,6 +115,8 @@ struct ScenarioSpec {
   std::optional<FaultConfig> faults;
   /// Observability plan for the run; default = everything off.
   TelemetrySpec telemetry;
+  /// Intra-run sharding plan; default = serial.
+  ShardSpec sharding;
 
   /// Number of senders the engine will attach.
   std::size_t sender_count() const noexcept {
@@ -193,6 +214,16 @@ struct ScenarioMetrics {
   double min_rtt_s = 0;
   std::int64_t connections = 0;
   std::uint64_t timeouts = 0;
+  /// Simulator events dispatched over warmup + measurement (aggregate
+  /// across shards when sharded; a sharded run executes exactly the
+  /// serial event count — every delivery, tx-complete, and timer fires
+  /// once, whichever shard it lands on).
+  std::uint64_t events_executed = 0;
+  /// Effective shard count the run used (1 = serial, possibly after an
+  /// infeasible-plan fallback).
+  int shards_used = 1;
+  /// Packets that crossed a shard boundary (0 for serial runs).
+  std::uint64_t boundary_messages = 0;
   std::vector<GroupMetrics> groups;
   std::vector<SenderMetrics> per_sender;  ///< sender-list order
   std::vector<PathMetrics> paths;         ///< Topology path order

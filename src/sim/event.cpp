@@ -68,11 +68,12 @@ void Scheduler::due_grow() {
   for (std::size_t i = 0; i < due_count_; ++i) next[i] = due_at(i);
   due_ = std::move(next);
   due_head_ = 0;
+  due_mask_ = cap - 1;
 }
 
 void Scheduler::due_push(const Entry& e) {
   if (due_count_ == due_.size()) due_grow();
-  const std::size_t mask = due_.size() - 1;
+  const std::size_t mask = due_mask_;
   // Band structure of simulator deadlines: per serialization a link
   // schedules tx-complete (soon) and delivery (after propagation), so
   // inserts cluster near the front or near the back of the sorted
@@ -114,7 +115,7 @@ void Scheduler::due_push(const Entry& e) {
 void Scheduler::due_erase(std::size_t p) {
   if (p < due_count_ - 1 - p) {
     for (std::size_t i = p; i > 0; --i) due_at(i) = due_at(i - 1);
-    due_head_ = (due_head_ + 1) & (due_.size() - 1);
+    due_head_ = (due_head_ + 1) & due_mask_;
   } else {
     for (std::size_t i = p; i + 1 < due_count_; ++i) due_at(i) = due_at(i + 1);
   }
@@ -122,20 +123,21 @@ void Scheduler::due_erase(std::size_t p) {
 }
 
 void Scheduler::place(const Entry& e) {
-  // If nothing is pending the wheel position is free to follow the clock;
-  // catching it up keeps a post-idle schedule from landing a nearby
-  // deadline in an outer level just because cur_tick_ went stale.
-  if (entries_ == 0 && cur_tick_ < (now_ >> kTickShift))
-    cur_tick_ = now_ >> kTickShift;
   if (entries_ == due_size()) {
     // Direct mode: the wheel and overflow are empty, so the sorted run
     // buffer can hold any deadline without breaking pop order — and for
     // a near-empty schedule it beats the bucket machinery outright.
+    // This branch is checked first because it is the whole scheduler for
+    // timer-churn workloads; a stale cur_tick_ cannot matter here (the
+    // run buffer holds any deadline), and every wheel-bound path below
+    // re-anchors the position itself. An empty scheduler (entries_ == 0)
+    // always lands here, so post-idle schedules never consult the wheel.
     if (due_size() < kDirectMax) {
       due_push(e);
       return;
     }
     spill_due();  // graduated: hand the far deadlines to the wheel
+                  // (catches cur_tick_ up to the clock first)
   }
   const std::int64_t tick = e.time >> kTickShift;
   if (tick <= cur_tick_) {
@@ -317,7 +319,7 @@ EventId Scheduler::schedule_at(Time t, util::SmallFn fn) {
   if (t < now_) t = now_;  // clamp: still runs after everything already due
   auto [s, id] = claim_slot();
   s->fn = std::move(fn);
-  const std::uint64_t seq = pack_seq(next_seq_++, EventKind::kCallback);
+  const std::uint64_t seq = next_seq(EventKind::kCallback);
   s->time = t;
   s->seq = seq;
   place(Entry{t, seq, id, kNullPacket});
@@ -331,7 +333,31 @@ EventId Scheduler::schedule_delivery_in(Duration d, Link& link,
   assert(d >= 0 && "schedule_delivery_in: deadline in the past");
   const Time t = d < 0 ? now_ : now_ + d;
   place(Entry{
-      t, pack_seq(next_seq_++, EventKind::kDelivery),
+      t, next_seq(EventKind::kDelivery),
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&link)), h});
+  ++entries_;
+  ++live_count_;
+  ctr_scheduled_->add();
+  return 0;
+}
+
+EventId Scheduler::schedule_injected_delivery(Duration d, Link& link,
+                                              PacketHandle h, Time orig_time,
+                                              std::uint32_t orig_intra) {
+  assert(d > 0 && "schedule_injected_delivery: deadline not in the future");
+  assert(orig_time <= now_ &&
+         "schedule_injected_delivery: origin after injection");
+  const Time t = now_ + d;
+  // The ordering key is the producer's insertion instant, not ours: at
+  // an exact deadline tie with a local event this entry sorts by when
+  // the serial run would have inserted it (local bit clear keeps the
+  // key spaces disjoint).
+  const std::uint64_t seq =
+      pack_seq_at(order_tick(orig_time),
+                  orig_intra < kIntraMax ? orig_intra : kIntraMax,
+                  /*local=*/false, EventKind::kDelivery);
+  place(Entry{
+      t, seq,
       static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&link)), h});
   ++entries_;
   ++live_count_;
@@ -343,7 +369,7 @@ EventId Scheduler::schedule_tx_complete_in(Duration d, Link& link) {
   assert(d >= 0 && "schedule_tx_complete_in: deadline in the past");
   const Time t = d < 0 ? now_ : now_ + d;
   place(Entry{
-      t, pack_seq(next_seq_++, EventKind::kTxComplete),
+      t, next_seq(EventKind::kTxComplete),
       static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&link)),
       kNullPacket});
   ++entries_;
@@ -476,7 +502,7 @@ bool Scheduler::dispatch(const Entry& e) {
   ++executed_;
   --live_count_;  // fast-path events never touched a slot
   if (e.kind() == EventKind::kDelivery)
-    detail::link_deliver(*entry_link(e), e.packet);
+    detail::link_deliver(*entry_link(e), pool_, e.packet);
   else
     detail::link_tx_complete(*entry_link(e));
   return true;
@@ -534,9 +560,9 @@ std::uint64_t Scheduler::run_until(Time horizon) {
         // Pull the next packet's pool line while this one is delivered.
         if (!due_empty() && due_front().kind() == EventKind::kDelivery)
           pool_.prefetch(due_front().packet);
-        detail::link_deliver(*entry_link(e), e.packet);
+        detail::link_deliver(*entry_link(e), pool_, e.packet);
       } else {
-        detail::link_deliver_burst(*entry_link(e), burst.data(), count);
+        detail::link_deliver_burst(*entry_link(e), pool_, burst.data(), count);
       }
       continue;
     }
@@ -595,9 +621,9 @@ std::uint64_t Scheduler::run_until_profiled(Time horizon) {
       const bool timed = prof.gate();
       const std::uint64_t t0 = timed ? telemetry::profile_clock_ns() : 0;
       if (count == 1) {
-        detail::link_deliver(*entry_link(e), e.packet);
+        detail::link_deliver(*entry_link(e), pool_, e.packet);
       } else {
-        detail::link_deliver_burst(*entry_link(e), burst.data(), count);
+        detail::link_deliver_burst(*entry_link(e), pool_, burst.data(), count);
       }
       prof.count(Prof::kDelivery, count);
       if (timed) {

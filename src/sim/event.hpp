@@ -25,8 +25,13 @@ class Link;
 namespace detail {
 /// Out-of-line trampolines for the scheduler's per-packet fast path,
 /// defined in link.cpp (the scheduler cannot see Link's definition).
-void link_deliver(Link& link, PacketHandle h);
-void link_deliver_burst(Link& link, const PacketHandle* hs, std::size_t n);
+/// The executing scheduler passes its own pool: a delivery handle always
+/// lives in the pool of the scheduler that runs it, which under intra-run
+/// sharding (docs/PARALLELISM.md) is the *destination* shard's pool, not
+/// the pool the cut link's transmitter allocates from.
+void link_deliver(Link& link, PacketPool& pool, PacketHandle h);
+void link_deliver_burst(Link& link, PacketPool& pool, const PacketHandle* hs,
+                        std::size_t n);
 void link_tx_complete(Link& link);
 }  // namespace detail
 
@@ -93,6 +98,42 @@ class Scheduler {
   /// Per-packet fast path: `link`'s transmitter frees up after `d`.
   EventId schedule_tx_complete_in(Duration d, Link& link);
 
+  /// Boundary injection (intra-run sharding): like schedule_delivery_in,
+  /// but the entry's ordering key is built from `orig_time` — the sim
+  /// time at which the producing shard started the transmission, i.e.
+  /// the instant a serial run would have inserted this delivery — with
+  /// `orig_intra` breaking ties among injected messages sharing an
+  /// ordering tick. The injected event therefore occupies the same
+  /// position in the (time, seq) dispatch order it would have held
+  /// serially, which is what makes sharded runs byte-identical to
+  /// serial ones even when a cross-shard arrival coincides exactly with
+  /// a local event (see docs/PARALLELISM.md). `orig_time` must not be
+  /// in the future; the deadline `now() + d` must be.
+  EventId schedule_injected_delivery(Duration d, Link& link, PacketHandle h,
+                                     Time orig_time, std::uint32_t orig_intra);
+
+  // --- seq packing -----------------------------------------------------
+  /// Ordering granularity of the insertion-time component: 128 ns. Two
+  /// events inserted for the same deadline from different shards less
+  /// than one ordering tick apart tie on the time component and fall
+  /// back to (intra, local) — deterministic, but not guaranteed to match
+  /// the serial interleave (see the determinism contract in
+  /// docs/PARALLELISM.md; in practice coincident deadlines come from
+  /// rate-quantized transmissions whose insertion instants differ by
+  /// propagation delays, microseconds or more).
+  static constexpr int kOrderTickShift = 7;
+  static constexpr int kIntraBits = 14;  ///< insertions per ordering tick
+  static constexpr std::uint64_t kIntraMax = (std::uint64_t{1} << kIntraBits) - 1;
+  /// 64 - 14 - 1 - 2 = 47 bits of ordering tick: saturates after 2^54 ns
+  /// (~208 days) of sim time, far beyond any run this simulator hosts.
+  static constexpr std::uint64_t kOrderTickMax =
+      (std::uint64_t{1} << (64 - kIntraBits - 3)) - 1;
+  static constexpr std::uint64_t order_tick(Time t) noexcept {
+    const std::uint64_t ot =
+        static_cast<std::uint64_t>(t) >> kOrderTickShift;
+    return ot < kOrderTickMax ? ot : kOrderTickMax;
+  }
+
   /// Slab of in-flight packets for this run's datapath. Owned by the
   /// scheduler because it shares the packets' lifetime: a handle is
   /// acquired when a link accepts a packet and released when the
@@ -147,14 +188,26 @@ class Scheduler {
   /// One pending event as the wheel stores it. Callbacks reference their
   /// slot through `id`; fast-path kinds carry the Link pointer in `id`
   /// and the packet handle in `packet`, so executing them never touches
-  /// the slot slab. The dispatch kind rides in the low bits of `seq`
-  /// (insertion sequence << 2 | kind), which keeps the entry at 32
-  /// bytes — sorted-insert memmoves and collect copies are 20% smaller
-  /// — without perturbing the (time, seq) order: the packed word is as
-  /// unique and monotone as the sequence alone.
+  /// the slot slab. The dispatch kind rides in the low bits of `seq`,
+  /// which keeps the entry at 32 bytes — sorted-insert memmoves and
+  /// collect copies are 20% smaller.
+  ///
+  /// The rest of `seq` encodes the insertion *chronology* rather than a
+  /// plain counter: the sim time of insertion (at kOrderTickShift
+  /// granularity) in the high bits and a per-tick counter below it.
+  /// Within one scheduler the packed word is as unique and monotone as
+  /// a counter (insertion times are nondecreasing, the intra counter
+  /// orders within a tick), so serial dispatch order is unchanged. The
+  /// point of the encoding is intra-run sharding: a boundary-injected
+  /// delivery can be given the ordering key of the *producing* shard's
+  /// insertion instant, which places it among the consumer's
+  /// same-deadline events exactly where a serial run would have — see
+  /// schedule_injected_delivery(). The local bit separates locally
+  /// scheduled events (1) from injected ones (0) so their key spaces
+  /// never collide.
   struct Entry {
     Time time;
-    std::uint64_t seq;  ///< (insertion sequence << 2) | kind
+    std::uint64_t seq;  ///< (order tick | intra | local | kind), see above
     std::uint64_t id;   ///< kCallback: EventId; fast path: Link*
     PacketHandle packet;
     EventKind kind() const noexcept {
@@ -164,9 +217,13 @@ class Scheduler {
       return time != o.time ? time > o.time : seq > o.seq;
     }
   };
-  static constexpr std::uint64_t pack_seq(std::uint64_t seq,
-                                          EventKind kind) noexcept {
-    return (seq << 2) | static_cast<std::uint64_t>(kind);
+
+  static constexpr std::uint64_t pack_seq_at(std::uint64_t ot,
+                                             std::uint64_t intra, bool local,
+                                             EventKind kind) noexcept {
+    return (ot << (kIntraBits + 3)) | (intra << 3) |
+           (static_cast<std::uint64_t>(local) << 2) |
+           static_cast<std::uint64_t>(kind);
   }
 
   /// One callback slot. `gen` is bumped every time the slot is vacated
@@ -277,6 +334,32 @@ class Scheduler {
   /// direct mode or when its tick is not after the wheel position, else
   /// the shallowest wheel level whose span covers it, else the overflow
   /// heap. Does not touch entries_ (callers account).
+  /// Build the seq word for a locally scheduled event: insertion instant
+  /// now() in the high bits, intra-tick counter below, local bit set.
+  /// The packed (order-tick | intra | local) prefix is cached in
+  /// seq_base_ and bumped by one intra step per call, so the hot path is
+  /// an OR and a saturating add; the order-tick shift/compare only runs
+  /// when the clock has moved since the last schedule (never inside a
+  /// same-timestamp burst, at most once per dispatched event otherwise).
+  std::uint64_t next_seq(EventKind kind) noexcept {
+    if (now_ != seq_now_) refresh_seq_base();
+    const std::uint64_t s = seq_base_ | static_cast<std::uint64_t>(kind);
+    seq_base_ +=
+        std::uint64_t{((seq_base_ >> 3) & kIntraMax) != kIntraMax} << 3;
+    return s;
+  }
+
+  /// Re-anchor seq_base_ after a clock move: a new order tick resets the
+  /// intra counter; within the same tick the running counter carries on.
+  void refresh_seq_base() noexcept {
+    seq_now_ = now_;
+    const std::uint64_t ot = order_tick(now_);
+    if (ot != last_order_tick_) {
+      last_order_tick_ = ot;
+      seq_base_ = pack_seq_at(ot, 0, /*local=*/true, EventKind::kCallback);
+    }
+  }
+
   void place(const Entry& e);
   /// The wheel/overflow part of place(), for deadlines after cur_tick_.
   void place_wheel(const Entry& e);
@@ -293,17 +376,20 @@ class Scheduler {
   std::size_t due_size() const noexcept { return due_count_; }
   bool due_empty() const noexcept { return due_count_ == 0; }
   /// Entry at logical index `i` (0 == front). The ring size is always a
-  /// power of two, so indices wrap by mask.
+  /// power of two; due_mask_ caches size-1 so the hot accessors skip the
+  /// vector's pointer-subtract size computation (this shows up in
+  /// timer-churn profiles, where every cancel and sorted insert wraps
+  /// indices several times).
   Entry& due_at(std::size_t i) noexcept {
-    return due_[(due_head_ + i) & (due_.size() - 1)];
+    return due_[(due_head_ + i) & due_mask_];
   }
   const Entry& due_at(std::size_t i) const noexcept {
-    return due_[(due_head_ + i) & (due_.size() - 1)];
+    return due_[(due_head_ + i) & due_mask_];
   }
   const Entry& due_front() const noexcept { return due_[due_head_]; }
   const Entry& due_back() const noexcept { return due_at(due_count_ - 1); }
   void due_pop_front() noexcept {
-    due_head_ = (due_head_ + 1) & (due_.size() - 1);
+    due_head_ = (due_head_ + 1) & due_mask_;
     if (--due_count_ == 0) due_head_ = 0;
   }
   std::int32_t alloc_node();
@@ -367,6 +453,10 @@ class Scheduler {
   std::vector<Entry> due_;       ///< ring storage; size is a power of two
   std::size_t due_head_ = 0;     ///< physical index of the logical front
   std::size_t due_count_ = 0;    ///< live entries in the ring
+  /// due_.size() - 1, maintained by due_grow(). Wraps to SIZE_MAX while
+  /// the ring is unallocated, which is harmless: every access masks an
+  /// index that is only nonzero once the ring exists.
+  std::size_t due_mask_ = static_cast<std::size_t>(-1);
   std::vector<Entry> overflow_;  ///< min-heap: beyond the level-2 span
   std::int64_t cur_tick_ = 0;    ///< level-0 tick of the last collected bucket
   std::size_t entries_ = 0;      ///< total entries held (live + cancelled)
@@ -377,7 +467,16 @@ class Scheduler {
   std::size_t retired_slots_ = 0;
   PacketPool pool_;
   Time now_ = 0;
-  std::uint64_t next_seq_ = 0;
+  /// seq-packing state: seq_base_ caches the next local seq word
+  /// (order tick | intra | local bit, kind zeroed) for the clock value
+  /// seq_now_; the intra field saturates at kIntraMax — beyond ~16k
+  /// same-instant insertions ordering degrades to insertion order of
+  /// equal keys, which never happens in practice. last_order_tick_
+  /// detects tick changes so a clock move within one 128 ns tick keeps
+  /// the running intra counter instead of resetting it.
+  std::uint64_t seq_base_ = std::uint64_t{1} << 2;  // ot 0, intra 0, local
+  Time seq_now_ = 0;
+  std::uint64_t last_order_tick_ = 0;
   std::uint64_t executed_ = 0;
   telemetry::LoopProfile* profile_ = nullptr;
 

@@ -1,6 +1,7 @@
 #include "sim/link.hpp"
 
 #include "sim/node.hpp"
+#include "sim/sharding.hpp"
 #include "util/small_fn.hpp"
 
 namespace phi::sim {
@@ -19,9 +20,12 @@ static_assert(sizeof(DeliveryCapture) <= util::SmallFn::kInlineBytes,
 }  // namespace
 
 namespace detail {
-void link_deliver(Link& link, PacketHandle h) { link.complete_delivery(h); }
-void link_deliver_burst(Link& link, const PacketHandle* hs, std::size_t n) {
-  link.complete_delivery_burst(hs, n);
+void link_deliver(Link& link, PacketPool& pool, PacketHandle h) {
+  link.complete_delivery(pool, h);
+}
+void link_deliver_burst(Link& link, PacketPool& pool, const PacketHandle* hs,
+                        std::size_t n) {
+  link.complete_delivery_burst(pool, hs, n);
 }
 void link_tx_complete(Link& link) { link.complete_transmission(); }
 }  // namespace detail
@@ -35,13 +39,17 @@ Link::Link(Scheduler& sched, Node& dst, util::Rate rate,
 Link::Link(Scheduler& sched, Node& dst, util::Rate rate,
            util::Duration prop_delay, std::unique_ptr<QueueDisc> queue,
            std::string name)
-    : sched_(sched),
-      pool_(sched.packet_pool()),
+    : sched_(&sched),
+      pool_(&sched.packet_pool()),
       dst_(dst),
       rate_(rate),
       prop_delay_(prop_delay),
       queue_(std::move(queue)),
       name_(std::move(name)) {
+  resolve_telemetry();
+}
+
+void Link::resolve_telemetry() {
   const telemetry::Labels labels{
       {"link", name_.empty() ? std::string("unnamed") : name_}};
   auto& reg = telemetry::registry();
@@ -54,36 +62,50 @@ Link::Link(Scheduler& sched, Node& dst, util::Rate rate,
   qdelay_hist_ = &reg.histogram("sim.link.queueing_delay_sample_s", labels);
 }
 
+void Link::rebind(Scheduler& sched) {
+  sched_ = &sched;
+  pool_ = &sched.packet_pool();
+  resolve_telemetry();
+}
+
+void Link::drop_queued() noexcept {
+  for (;;) {
+    const Queued next = queue_->dequeue();
+    if (next.handle == kNullPacket) return;
+    pool_->release(next.handle);
+  }
+}
+
 void Link::send(const Packet& p) {
   if (!up_) {
     ++outage_drops_;
     ctr_outage_drops_->add();
     telemetry::flight().note(telemetry::Category::kLink, "link.outage_drop",
-                             sched_.now(),
+                             sched_->now(),
                              static_cast<double>(p.flow),
                              static_cast<double>(p.seq));
     if (auto* t = telemetry::tracer();
         t && t->enabled(telemetry::Category::kLink)) {
       t->instant(telemetry::Category::kLink, "link.outage_drop",
-                 sched_.now(), {telemetry::targ("link", name_)});
+                 sched_->now(), {telemetry::targ("link", name_)});
     }
     return;
   }
-  const PacketHandle h = pool_.acquire(p);
+  const PacketHandle h = pool_->acquire(p);
   if (busy_) {
-    if (queue_->enqueue(pool_, h, sched_.now())) {
+    if (queue_->enqueue(*pool_, h, sched_->now())) {
       ctr_enqueued_->add();
     } else {
       // The queue disc already accounted the drop in its own stats; the
       // registry counter and trace event make it visible fleet-wide.
-      pool_.release(h);
+      pool_->release(h);
       ctr_drops_->add();
       telemetry::flight().note(telemetry::Category::kLink, "link.drop",
-                               sched_.now(), static_cast<double>(p.flow),
+                               sched_->now(), static_cast<double>(p.flow),
                                static_cast<double>(queue_->bytes()));
       if (p.trace != 0) {
         if (auto* sl = telemetry::spans()) {
-          sl->point(p.trace, "link.drop", sched_.now(), "seq",
+          sl->point(p.trace, "link.drop", sched_->now(), "seq",
                     static_cast<double>(p.seq), "queue_bytes",
                     static_cast<double>(queue_->bytes()));
         }
@@ -91,7 +113,7 @@ void Link::send(const Packet& p) {
       if (auto* t = telemetry::tracer();
           t && t->enabled(telemetry::Category::kLink)) {
         t->instant(
-            telemetry::Category::kLink, "link.drop", sched_.now(),
+            telemetry::Category::kLink, "link.drop", sched_->now(),
             {telemetry::targ("link", name_),
              telemetry::targ("queue_bytes",
                              static_cast<double>(queue_->bytes()))});
@@ -105,10 +127,10 @@ void Link::send(const Packet& p) {
 
 void Link::start_transmission(PacketHandle h) {
   busy_ = true;
-  const Packet& p = pool_.get(h);
+  const Packet& p = pool_->get(h);
   const util::Duration tx = util::transmission_time(p.size_bytes, rate_);
   busy_time_ += tx;
-  tx_end_ = sched_.now() + tx;
+  tx_end_ = sched_->now() + tx;
   bytes_tx_ += static_cast<std::uint64_t>(p.size_bytes);
   ++pkts_tx_;
   ctr_pkts_->add();
@@ -126,45 +148,57 @@ void Link::start_transmission(PacketHandle h) {
   // delivery event even fires, so the span is emitted at schedule time.
   if (p.trace != 0) {
     if (auto* sl = telemetry::spans()) {
-      sl->span(p.trace, "link.transit", sched_.now(),
-               sched_.now() + tx + prop_delay_ + extra, "seq",
+      sl->span(p.trace, "link.transit", sched_->now(),
+               sched_->now() + tx + prop_delay_ + extra, "seq",
                static_cast<double>(p.seq), "bytes",
                static_cast<double>(p.size_bytes));
     }
   }
-  sched_.schedule_delivery_in(tx + prop_delay_ + extra, *this, h);
-  sched_.schedule_tx_complete_in(tx, *this);
+  if (boundary_ == nullptr) {
+    sched_->schedule_delivery_in(tx + prop_delay_ + extra, *this, h);
+  } else {
+    // Cut link: the far end lives on another shard. Hand the packet to
+    // the boundary channel by value (stamped with its absolute arrival
+    // time and a per-shard sequence number for deterministic merging)
+    // and release the local pool slot — the consumer re-homes the packet
+    // into its own pool at injection. See sim/sharding.hpp.
+    detail::boundary_push(*boundary_, sched_->now(),
+                          sched_->now() + tx + prop_delay_ + extra, this, p);
+    pool_->release(h);
+  }
+  sched_->schedule_tx_complete_in(tx, *this);
 }
 
-void Link::complete_delivery(PacketHandle h) {
-  const Packet& p = pool_.get(h);
+void Link::complete_delivery(PacketPool& pool, PacketHandle h) {
+  const Packet& p = pool.get(h);
   // Routing visibility for sampled flows: one point per node arrival.
   // Untraced packets (trace == 0, i.e. everything unless a SpanLog is
   // installed) pay a single never-taken branch.
   if (p.trace != 0) {
     if (auto* sl = telemetry::spans()) {
-      sl->point(p.trace, "node.deliver", sched_.now(), "node",
+      sl->point(p.trace, "node.deliver", sched_->now(), "node",
                 static_cast<double>(dst_.id()), "seq",
                 static_cast<double>(p.seq));
     }
   }
   dst_.deliver(p);
-  pool_.release(h);
+  pool.release(h);
 }
 
-void Link::complete_delivery_burst(const PacketHandle* hs, std::size_t n) {
+void Link::complete_delivery_burst(PacketPool& pool, const PacketHandle* hs,
+                                   std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
-    if (i + 1 < n) pool_.prefetch(hs[i + 1]);
-    const Packet& p = pool_.get(hs[i]);
+    if (i + 1 < n) pool.prefetch(hs[i + 1]);
+    const Packet& p = pool.get(hs[i]);
     if (p.trace != 0) {
       if (auto* sl = telemetry::spans()) {
-        sl->point(p.trace, "node.deliver", sched_.now(), "node",
+        sl->point(p.trace, "node.deliver", sched_->now(), "node",
                   static_cast<double>(dst_.id()), "seq",
                   static_cast<double>(p.seq));
       }
     }
     dst_.deliver(p);
-    pool_.release(hs[i]);
+    pool.release(hs[i]);
   }
 }
 
@@ -178,14 +212,14 @@ void Link::complete_transmission() {
     return;
   }
   qdelay_batch_[qdelay_batch_n_++] =
-      util::to_seconds(sched_.now() - next.enqueued_at);
+      util::to_seconds(sched_->now() - next.enqueued_at);
   // Queue-residency span for sampled flows: the packet sat in this
   // link's queue from enqueue until the transmitter freed up just now.
   {
-    const Packet& qp = pool_.get(next.handle);
+    const Packet& qp = pool_->get(next.handle);
     if (qp.trace != 0) {
       if (auto* sl = telemetry::spans()) {
-        sl->span(qp.trace, "queue.wait", next.enqueued_at, sched_.now(),
+        sl->span(qp.trace, "queue.wait", next.enqueued_at, sched_->now(),
                  "seq", static_cast<double>(qp.seq), "queue_bytes",
                  static_cast<double>(queue_->bytes()));
       }
@@ -234,7 +268,7 @@ void Link::reset_stats() noexcept {
   flush_stats();
   bytes_tx_ = 0;
   pkts_tx_ = 0;
-  const util::Time now = sched_.now();
+  const util::Time now = sched_->now();
   // Carry the remainder of an in-flight serialization into the new
   // window: the transmitter will be busy for (tx_end_ - now) of it.
   busy_time_ = (busy_ && tx_end_ > now) ? tx_end_ - now : 0;

@@ -27,6 +27,7 @@
 namespace phi::sim {
 
 class Node;
+struct ShardBoundary;
 
 class Link {
  public:
@@ -55,6 +56,24 @@ class Link {
   const QueueDisc& queue() const noexcept { return *queue_; }
   QueueDisc& queue() noexcept { return *queue_; }
   Node& destination() noexcept { return dst_; }
+  Scheduler& scheduler() noexcept { return *sched_; }
+
+  /// Re-home the transmitter onto another scheduler (intra-run
+  /// sharding): future events and pool handles come from `sched`, and
+  /// the telemetry handles are re-resolved against the calling thread's
+  /// current registry, so instrument ownership follows the shard.
+  /// Precondition: no queued packets and no pending events for this
+  /// link in the old scheduler that will still be dispatched.
+  void rebind(Scheduler& sched);
+
+  /// Route deliveries through a cross-shard boundary channel instead of
+  /// the local scheduler (set by the sharding layer for cut links;
+  /// nullptr restores direct delivery). See sim/sharding.hpp.
+  void set_boundary(ShardBoundary* b) noexcept { boundary_ = b; }
+
+  /// Release every queued packet back into the current pool (sharding
+  /// teardown: queued handles must not outlive the shard's pool).
+  void drop_queued() noexcept;
 
   /// Random per-packet extra propagation delay in [0, jitter]; non-zero
   /// jitter reorders packets (the §3.2 informed-adaptation scenario).
@@ -98,8 +117,10 @@ class Link {
   void reset_stats() noexcept;
 
  private:
-  friend void detail::link_deliver(Link& link, PacketHandle h);
-  friend void detail::link_deliver_burst(Link& link, const PacketHandle* hs,
+  friend void detail::link_deliver(Link& link, PacketPool& pool,
+                                   PacketHandle h);
+  friend void detail::link_deliver_burst(Link& link, PacketPool& pool,
+                                         const PacketHandle* hs,
                                          std::size_t n);
   friend void detail::link_tx_complete(Link& link);
 
@@ -107,12 +128,20 @@ class Link {
   /// Scheduler fast-path targets: the delivery event hands the pooled
   /// packet to the destination then releases it; the tx-complete event
   /// frees the transmitter and pulls the next packet from the queue.
-  void complete_delivery(PacketHandle h);
+  /// Deliveries take the executing scheduler's pool: for a cut link the
+  /// handle was re-homed into the destination shard's pool, which is not
+  /// the pool this link transmits from.
+  void complete_delivery(PacketPool& pool, PacketHandle h);
   /// Burst form: `n` same-deadline deliveries on this link, in schedule
   /// order, with the next packet's pool slot prefetched while the
   /// current one is being consumed.
-  void complete_delivery_burst(const PacketHandle* hs, std::size_t n);
+  void complete_delivery_burst(PacketPool& pool, const PacketHandle* hs,
+                               std::size_t n);
   void complete_transmission();
+
+  /// Resolve the labeled registry handles in the calling thread's
+  /// current registry (construction, and again on every rebind()).
+  void resolve_telemetry();
 
   /// Replay batched queueing-delay samples, in arrival order, into the
   /// dequeue-side sinks, and push the occupancy gauge if dirty. The mean
@@ -120,13 +149,14 @@ class Link {
   /// deterministic 1-in-kQdelaySampleStride subsample.
   void flush_stats() const;
 
-  Scheduler& sched_;
-  PacketPool& pool_;
+  Scheduler* sched_;
+  PacketPool* pool_;
   Node& dst_;
   util::Rate rate_;
   util::Duration prop_delay_;
   std::unique_ptr<QueueDisc> queue_;
   std::string name_;
+  ShardBoundary* boundary_ = nullptr;
   util::Duration jitter_ = 0;
   util::Rng jitter_rng_{0x717};
 

@@ -4,7 +4,13 @@ namespace phi::sim {
 
 LinkMonitor::LinkMonitor(Scheduler& sched, const Link& link,
                          util::Duration interval, std::size_t window)
-    : sched_(sched), link_(link), interval_(interval), window_(window) {
+    : sched_(&sched), link_(link), interval_(interval), window_(window) {
+  resolve_telemetry();
+  last_bytes_ = link_.bytes_transmitted();
+  arm();
+}
+
+void LinkMonitor::resolve_telemetry() {
   const telemetry::Labels labels{
       {"link", link_.name().empty() ? std::string("unnamed")
                                     : link_.name()}};
@@ -15,17 +21,23 @@ LinkMonitor::LinkMonitor(Scheduler& sched, const Link& link,
   // resolve the whole range.
   util_hist_ = &reg.histogram("sim.monitor.utilization_sample", labels,
                               {1.0 / 64.0, 1.5, 12});
-  last_bytes_ = link_.bytes_transmitted();
+}
+
+void LinkMonitor::rebind(Scheduler& sched) {
+  if (pending_ != 0) sched_->cancel(pending_);
+  pending_ = 0;
+  sched_ = &sched;
+  resolve_telemetry();
   arm();
 }
 
 LinkMonitor::~LinkMonitor() {
   stopped_ = true;
-  if (pending_ != 0) sched_.cancel(pending_);
+  if (pending_ != 0) sched_->cancel(pending_);
 }
 
 void LinkMonitor::arm() {
-  pending_ = sched_.schedule_in(interval_, [this] {
+  pending_ = sched_->schedule_in(interval_, [this] {
     if (stopped_) return;
     sample();
     arm();
@@ -57,7 +69,7 @@ void LinkMonitor::sample() {
   if (auto* t = telemetry::tracer();
       t && t->enabled(telemetry::Category::kLink)) {
     // Chrome "C" counter events render as stacked per-link tracks.
-    const util::Time now = sched_.now();
+    const util::Time now = sched_->now();
     t->counter(telemetry::Category::kLink, "monitor.utilization", now,
                last_util_);
     t->counter(telemetry::Category::kLink, "monitor.occupancy", now, occ);

@@ -67,11 +67,19 @@ class LinkMonitor {
     occ_all_ = {};
   }
 
+  /// Move the sampling cadence onto another scheduler (intra-run
+  /// sharding): the pending tick is cancelled in the old scheduler and
+  /// re-armed one interval from the new scheduler's now(), and the
+  /// telemetry handles are re-resolved in the calling thread's current
+  /// registry. Series/window state carries over untouched.
+  void rebind(Scheduler& sched);
+
  private:
   void sample();
   void arm();
+  void resolve_telemetry();
 
-  Scheduler& sched_;
+  Scheduler* sched_;
   const Link& link_;
   util::Duration interval_;
   std::size_t window_;

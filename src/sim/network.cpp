@@ -25,7 +25,7 @@ Link& Network::add_link(Node& src, Node& dst, util::Rate rate,
                                           std::move(queue), std::move(name)));
   // Route installation is the caller's responsibility; typical use is
   // src.add_route(dst.id(), &link) or a default route.
-  (void)src;
+  link_src_.push_back(src.id());
   return *links_.back();
 }
 

@@ -43,12 +43,17 @@ class Network {
     return links_;
   }
 
+  /// Source node of links()[i] (a Link only knows its destination; the
+  /// shard partitioner needs both endpoints).
+  NodeId link_src(std::size_t i) const { return link_src_.at(i); }
+
   void run_until(util::Time horizon) { sched_.run_until(horizon); }
 
  private:
   Scheduler sched_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
+  std::vector<NodeId> link_src_;  ///< parallel to links_
 };
 
 }  // namespace phi::sim

@@ -1,0 +1,241 @@
+// sharding.hpp — deterministic intra-run parallelism. One scenario's
+// nodes and links are partitioned into per-worker shards, each running
+// its own timing-wheel Scheduler and PacketPool on a dedicated thread;
+// the shards advance in conservative lookahead windows sized by the
+// smallest propagation delay among the links that cross shards (the
+// classic conservative-PDES bound: a packet entering a cut link in
+// window k cannot arrive before window k+1 ends).
+//
+// Cross-shard packets travel by value through fixed-capacity SPSC rings
+// (one per cut link), stamped with their absolute arrival time and a
+// per-source-shard sequence number. At each window barrier the consumer
+// drains its rings, keeps messages not yet due, sorts the due ones by
+// (arrival, src_shard, seq) — a total order independent of thread
+// timing — and re-homes each packet into its own pool via the
+// scheduler's zero-allocation delivery fast path. Same-seed runs
+// therefore reproduce the serial artifacts byte-identically at any
+// shard count (see docs/PARALLELISM.md for the determinism contract and
+// the proof sketch of the window protocol).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "exec/gang.hpp"
+#include "sim/link.hpp"
+#include "sim/monitor.hpp"
+#include "sim/network.hpp"
+#include "sim/packet.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/units.hpp"
+
+namespace phi::sim {
+
+/// One packet crossing a shard boundary. Carried by value: the producer
+/// releases its pool slot immediately and the consumer acquires a slot
+/// in its own pool at injection, so handles never cross pools.
+struct BoundaryMessage {
+  util::Time arrival = 0;   ///< absolute delivery time at the far end
+  /// Sim time the producer started the transmission — the instant a
+  /// serial run would have inserted the delivery event. Primary merge
+  /// key after arrival, and the ordering key the consumer hands to
+  /// schedule_injected_delivery so exact-deadline ties with local
+  /// events dispatch in serial order.
+  util::Time pushed_at = 0;
+  std::uint64_t seq = 0;         ///< per-source-shard monotone counter
+  std::uint32_t src_shard = 0;   ///< tiebreak after (arrival, pushed_at)
+  Link* link = nullptr;          ///< the cut link (delivery context)
+  Packet pkt{};
+};
+static_assert(std::is_trivially_copyable_v<BoundaryMessage>,
+              "boundary messages are relocated with plain copies");
+
+/// Fixed-capacity single-producer single-consumer ring with the same
+/// power-of-two geometry as util::RingDeque, plus acquire/release
+/// cursors so the producer (source shard) and consumer (destination
+/// shard) never share a lock on the fast path.
+class BoundaryRing {
+ public:
+  explicit BoundaryRing(std::size_t capacity);
+
+  BoundaryRing(const BoundaryRing&) = delete;
+  BoundaryRing& operator=(const BoundaryRing&) = delete;
+
+  /// Producer side. False when the ring is full (caller spills).
+  bool try_push(const BoundaryMessage& m) noexcept;
+
+  /// Consumer side. False when the ring is empty.
+  bool try_pop(BoundaryMessage& out) noexcept;
+
+  std::size_t capacity() const noexcept { return buf_.size(); }
+  /// Consumer-side view of how many entries are currently visible.
+  std::size_t visible() const noexcept;
+
+ private:
+  std::vector<BoundaryMessage> buf_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producer cursor
+};
+
+/// One cut link's channel: the SPSC ring plus a mutex-guarded spill for
+/// overflow. The producer must never block (the consumer only drains at
+/// window barriers — and on the last window of a run it may be the same
+/// thread), so a full ring degrades to the spill vector instead of
+/// backpressure. Deterministic merge order is restored by the
+/// consumer's (arrival, src_shard, seq) sort, so the ring/spill split
+/// is invisible to results.
+class BoundaryChannel {
+ public:
+  BoundaryChannel(int src_shard, int dst_shard, std::size_t capacity)
+      : ring_(capacity), src_(src_shard), dst_(dst_shard) {}
+
+  /// Producer thread only.
+  void push(const BoundaryMessage& m);
+
+  /// Consumer thread only: append everything currently visible to
+  /// `out` (called at window barriers).
+  void drain(std::vector<BoundaryMessage>& out);
+
+  int src_shard() const noexcept { return src_; }
+  int dst_shard() const noexcept { return dst_; }
+  std::uint64_t pushed() const noexcept { return pushed_; }
+  std::uint64_t spills() const noexcept { return spill_count_; }
+
+ private:
+  BoundaryRing ring_;
+  std::uint64_t pushed_ = 0;  ///< producer-side; read after the run joins
+  std::mutex spill_mu_;
+  std::vector<BoundaryMessage> spill_;
+  std::uint64_t spill_count_ = 0;  ///< guarded by spill_mu_
+  int src_;
+  int dst_;
+};
+
+/// Producer-side view handed to a cut Link: where to push and how to
+/// stamp. `seq` points at the source shard's single counter so messages
+/// from all of a shard's cut links share one transmission order — the
+/// same order their delivery events would have been scheduled in
+/// serially, which is what makes the merge reproduce serial tie-breaks.
+struct ShardBoundary {
+  BoundaryChannel* channel = nullptr;
+  std::uint64_t* seq = nullptr;
+  std::uint32_t src_shard = 0;
+};
+
+namespace detail {
+/// Called by Link::start_transmission for cut links (out-of-line so
+/// link.cpp needs no knowledge of ring internals).
+void boundary_push(ShardBoundary& b, util::Time pushed_at,
+                   util::Time arrival, Link* link, const Packet& p);
+}  // namespace detail
+
+/// A partition of one Network: node -> shard, which links are cut, and
+/// the conservative lookahead window the cut implies.
+struct ShardPlan {
+  int shards = 1;  ///< effective count (may be clamped below the request)
+  /// Smallest propagation delay among cut links; 0 when nothing is cut
+  /// (disconnected components — each window runs to the horizon).
+  util::Duration window = 0;
+  std::vector<int> node_shard;           ///< NodeId -> shard index
+  std::vector<std::uint8_t> link_cut;    ///< link index -> crosses shards
+  std::size_t cut_links = 0;
+};
+
+/// Auto-partitioner. Groups links into ascending propagation-delay
+/// tiers and union-finds whole tiers into components while the
+/// component count stays >= `shards` — so the links that end up cut are
+/// the highest-latency ones the shard count allows, maximizing the
+/// lookahead window. Components (ordered by smallest NodeId) are then
+/// packed contiguously into shards balanced by node count. Returns a
+/// serial plan (shards == 1) when the request is infeasible: fewer than
+/// `shards` nodes, or every feasible cut crosses a zero-delay link
+/// (zero lookahead admits no parallelism).
+ShardPlan plan_shards(Network& net, int shards);
+
+/// Executes one partitioned run. Construction re-homes every link (and,
+/// via adopt_monitor, every monitor) onto its shard's scheduler with
+/// instruments resolved in per-shard registries; destruction restores
+/// the serial state — links and monitors back on the network's
+/// scheduler, boundaries detached, queued shard-pool handles released —
+/// so the topology outlives the sharded run safely.
+class ShardedRun {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 4096;
+
+  ShardedRun(Network& net, const ShardPlan& plan,
+             std::size_t ring_capacity = kDefaultRingCapacity);
+  ~ShardedRun();
+
+  ShardedRun(const ShardedRun&) = delete;
+  ShardedRun& operator=(const ShardedRun&) = delete;
+
+  int shards() const noexcept { return plan_.shards; }
+  util::Duration window() const noexcept { return plan_.window; }
+  const ShardPlan& plan() const noexcept { return plan_; }
+
+  int shard_of(NodeId n) const { return plan_.node_shard.at(n); }
+  Scheduler& scheduler_of(NodeId n) {
+    return *scheds_[static_cast<std::size_t>(shard_of(n))];
+  }
+  Scheduler& shard_scheduler(int s) {
+    return *scheds_[static_cast<std::size_t>(s)];
+  }
+  telemetry::MetricRegistry& registry_of(int s) {
+    return *regs_[static_cast<std::size_t>(s)];
+  }
+
+  /// Re-home `m` (which samples `link`) onto the link's shard, with its
+  /// instruments in that shard's registry. The destructor rebinds it
+  /// back to the network scheduler.
+  void adopt_monitor(LinkMonitor& m, const Link& link);
+
+  /// Advance every shard to `horizon` in lookahead windows with one
+  /// barrier per window. May be called repeatedly (warmup, then the
+  /// measurement window). Exceptions thrown inside a shard abort the
+  /// remaining work on all shards and are rethrown here.
+  void run_until(util::Time horizon);
+
+  /// Fold the per-shard registries, in shard order, into the calling
+  /// thread's current registry, plus boundary-traffic counters. Call
+  /// once, after the final run_until.
+  void merge_telemetry();
+
+  /// Aggregate events executed across shards (equals the serial run's
+  /// count: every delivery/tx-complete/timer fires exactly once,
+  /// whichever shard it lands on).
+  std::uint64_t executed_events() const;
+  std::uint64_t boundary_messages() const;
+  std::uint64_t boundary_spills() const;
+  std::uint64_t windows_run() const noexcept { return windows_run_; }
+
+ private:
+  void drain_inbound(std::size_t shard, util::Time bound);
+
+  Network& net_;
+  ShardPlan plan_;
+  std::vector<std::unique_ptr<telemetry::MetricRegistry>> regs_;
+  std::vector<std::unique_ptr<Scheduler>> scheds_;
+  std::vector<std::uint64_t> seqs_;  ///< per-shard boundary counters
+  std::vector<std::unique_ptr<BoundaryChannel>> channels_;
+  std::vector<std::unique_ptr<ShardBoundary>> boundaries_;
+  std::vector<std::vector<std::size_t>> inbound_;  ///< shard -> channel idx
+  std::vector<std::vector<BoundaryMessage>> stash_;    ///< per channel
+  std::vector<std::vector<BoundaryMessage>> scratch_;  ///< per shard
+  /// Injection ordering-tick state per shard: intra counter for
+  /// messages sharing an ordering tick, continued across drains.
+  std::vector<std::uint64_t> inj_tick_;
+  std::vector<std::uint32_t> inj_intra_;
+  std::vector<LinkMonitor*> monitors_;
+  exec::Gang gang_;
+  exec::CyclicBarrier barrier_;
+  std::atomic<bool> abort_{false};
+  std::uint64_t windows_run_ = 0;
+};
+
+}  // namespace phi::sim

@@ -64,7 +64,7 @@ class SmallFn {
 
   void reset() noexcept {
     if (ops_ != nullptr) {
-      ops_->destroy(buf_);
+      if (!ops_->trivial) ops_->destroy(buf_);
       ops_ = nullptr;
     }
   }
@@ -74,6 +74,10 @@ class SmallFn {
     void (*invoke)(void* buf);
     void (*move)(void* dst, void* src) noexcept;
     void (*destroy)(void* buf) noexcept;
+    /// Inline and trivially copyable/destructible: relocation is a plain
+    /// buffer copy and reset is a no-op, so the scheduler's slot churn
+    /// (claim, move in, cancel) skips the indirect calls entirely.
+    bool trivial;
   };
 
   template <typename D>
@@ -86,7 +90,9 @@ class SmallFn {
       },
       [](void* buf) noexcept {
         std::launder(reinterpret_cast<D*>(buf))->~D();
-      }};
+      },
+      std::is_trivially_copyable_v<D> &&
+          std::is_trivially_destructible_v<D>};
 
   template <typename D>
   static constexpr Ops heap_ops{
@@ -97,12 +103,19 @@ class SmallFn {
       },
       [](void* buf) noexcept {
         delete *std::launder(reinterpret_cast<D**>(buf));
-      }};
+      },
+      false};
 
   void move_from(SmallFn& o) noexcept {
     ops_ = o.ops_;
     if (ops_ != nullptr) {
-      ops_->move(buf_, o.buf_);
+      if (ops_->trivial) {
+        // Whole-buffer copy: branchless, vectorizes, and correct for any
+        // trivially-copyable capture regardless of its actual size.
+        __builtin_memcpy(buf_, o.buf_, kInlineBytes);
+      } else {
+        ops_->move(buf_, o.buf_);
+      }
       o.ops_ = nullptr;
     }
   }
