@@ -143,6 +143,31 @@ inline long long peak_rss_bytes() {
 }
 
 namespace detail {
+/// Extra run-provenance entries for the _run.json sidecar, keyed by
+/// name; values are raw JSON (object, array, string — caller's choice).
+inline std::vector<std::pair<std::string, std::string>>& run_info() {
+  static std::vector<std::pair<std::string, std::string>> v;
+  return v;
+}
+}  // namespace detail
+
+/// Attach one entry to the `info` object of the _run.json sidecar that
+/// dump_metrics writes. `raw_json_value` is embedded verbatim (so pass
+/// valid JSON: "\"text\"", a number, or an object). Repeated keys:
+/// last call wins. The sidecar is provenance, not a compared artifact,
+/// so run-shape details (e.g. the generated topology) belong here.
+inline void set_run_info(const std::string& key,
+                         const std::string& raw_json_value) {
+  for (auto& kv : detail::run_info()) {
+    if (kv.first == key) {
+      kv.second = raw_json_value;
+      return;
+    }
+  }
+  detail::run_info().emplace_back(key, raw_json_value);
+}
+
+namespace detail {
 /// Static-init anchor: lets dump_metrics report a "total" phase for
 /// benches that never mark explicit phases.
 inline const std::chrono::steady_clock::time_point g_process_start =
@@ -222,7 +247,17 @@ inline void dump_metrics(const std::string& bench_name) {
       std::fprintf(f, "%s\"%s\":%.3f", i > 0 ? "," : "",
                    phases[i].first.c_str(), phases[i].second);
     }
-    std::fprintf(f, "},\"peak_rss_bytes\":%lld}\n", peak_rss_bytes());
+    std::fprintf(f, "},\"peak_rss_bytes\":%lld", peak_rss_bytes());
+    const auto& info = detail::run_info();
+    if (!info.empty()) {
+      std::fprintf(f, ",\"info\":{");
+      for (std::size_t i = 0; i < info.size(); ++i) {
+        std::fprintf(f, "%s\"%s\":%s", i > 0 ? "," : "",
+                     info[i].first.c_str(), info[i].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}\n");
     std::fclose(f);
   }
 }

@@ -1,5 +1,6 @@
 #include "flow/tracegen.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 
@@ -52,6 +53,30 @@ SharingAnalysis analyze_trace(const TraceConfig& cfg) {
 
   out.sampled_sharing = collector.sharing_cdf();
   out.observed_flows = collector.distinct_flows();
+  return out;
+}
+
+std::vector<Session> generate_sessions(const SessionConfig& cfg) {
+  std::vector<Session> out;
+  if (cfg.arrivals_per_s <= 0 || cfg.horizon_s <= 0 || cfg.ranks == 0)
+    return out;
+  util::Rng rng(cfg.seed);
+  const util::ZipfSampler zipf(cfg.ranks, cfg.zipf_s);
+  const double mean_gap_s = 1.0 / cfg.arrivals_per_s;
+  out.reserve(static_cast<std::size_t>(
+      std::min(cfg.arrivals_per_s * cfg.horizon_s * 1.1 + 16.0, 4e7)));
+  double t = 0;
+  while (true) {
+    t += rng.exponential(mean_gap_s);
+    if (t >= cfg.horizon_s) break;
+    if (cfg.max_sessions > 0 && out.size() >= cfg.max_sessions) break;
+    Session s;
+    s.at_s = t;
+    s.rank = static_cast<std::uint32_t>(zipf(rng));
+    s.bytes = static_cast<std::int64_t>(
+        rng.bounded_pareto(cfg.pareto_alpha, cfg.min_bytes, cfg.max_bytes));
+    out.push_back(s);
+  }
   return out;
 }
 

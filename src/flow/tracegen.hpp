@@ -6,7 +6,9 @@
 // pipeline the paper ran then produces the sharing CDF.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "flow/ipfix.hpp"
 #include "util/rng.hpp"
@@ -41,5 +43,33 @@ struct SharingAnalysis {
 
 /// Generate the trace and push it through the IPFIX pipeline.
 SharingAnalysis analyze_trace(const TraceConfig& cfg);
+
+/// One open-loop session: a flow arriving at `at_s` seconds, addressed
+/// to popularity rank `rank` (0 = most popular), transferring `bytes`.
+struct Session {
+  double at_s = 0;
+  std::uint32_t rank = 0;
+  std::int64_t bytes = 0;
+};
+
+/// Open-loop session-trace shape: Poisson arrivals, Zipf rank
+/// popularity, bounded-Pareto sizes — the same three generators the
+/// IPFIX trace uses, packaged for the churn scenario engine.
+struct SessionConfig {
+  double arrivals_per_s = 1000;
+  double horizon_s = 10;        ///< arrivals strictly before this time
+  std::size_t ranks = 16;       ///< Zipf support (e.g. endpoint count)
+  double zipf_s = 1.05;
+  double pareto_alpha = 1.15;
+  double min_bytes = 2920;      ///< two MSS segments
+  double max_bytes = 2e6;
+  std::uint64_t max_sessions = 0;  ///< 0 = horizon-bounded only
+  std::uint64_t seed = 1;          ///< derive via util::derive_seed
+};
+
+/// Generate the session trace. A pure function of the config: equal
+/// seeds produce byte-identical traces (draw order is exponential gap,
+/// Zipf rank, Pareto size per session — pinned by test).
+std::vector<Session> generate_sessions(const SessionConfig& cfg);
 
 }  // namespace phi::flow

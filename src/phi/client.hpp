@@ -19,7 +19,7 @@ class PhiCubicAdvisor : public tcp::ConnectionAdvisor {
   /// `fallback` is used while the server has no recommendation for the
   /// current context (e.g. an empty table): the sender behaves like an
   /// unmodified default-parameter Cubic.
-  PhiCubicAdvisor(ContextServer& server, PathKey path,
+  PhiCubicAdvisor(ContextService& server, PathKey path,
                   std::uint64_t sender_id, std::function<util::Time()> clock,
                   tcp::CubicParams fallback = {})
       : server_(server), path_(path), sender_id_(sender_id),
@@ -84,7 +84,7 @@ class PhiCubicAdvisor : public tcp::ConnectionAdvisor {
   const tcp::CubicParams& last_params() const noexcept { return last_params_; }
 
  private:
-  ContextServer& server_;
+  ContextService& server_;
   PathKey path_;
   std::uint64_t sender_id_;
   std::function<util::Time()> clock_;
@@ -102,7 +102,7 @@ class PhiCubicAdvisor : public tcp::ConnectionAdvisor {
 /// completion (see bench/ablation_staleness for the effect).
 class MidStreamReporter {
  public:
-  MidStreamReporter(sim::Scheduler& sched, ContextServer& server,
+  MidStreamReporter(sim::Scheduler& sched, ContextService& server,
                     PathKey path, std::uint64_t sender_id,
                     util::Duration interval = util::seconds(2))
       : sched_(sched), server_(server), path_(path), sender_id_(sender_id),
@@ -175,7 +175,7 @@ class MidStreamReporter {
   }
 
   sim::Scheduler& sched_;
-  ContextServer& server_;
+  ContextService& server_;
   PathKey path_;
   std::uint64_t sender_id_;
   util::Duration interval_;
@@ -193,7 +193,7 @@ class MidStreamReporter {
 /// byte is double counted.
 class MidStreamAdvisor : public tcp::ConnectionAdvisor {
  public:
-  MidStreamAdvisor(sim::Scheduler& sched, ContextServer& server,
+  MidStreamAdvisor(sim::Scheduler& sched, ContextService& server,
                    PathKey path, std::uint64_t sender_id,
                    util::Duration interval = util::seconds(2))
       : server_(server), path_(path), sender_id_(sender_id),
@@ -227,7 +227,7 @@ class MidStreamAdvisor : public tcp::ConnectionAdvisor {
   }
 
  private:
-  ContextServer& server_;
+  ContextService& server_;
   PathKey path_;
   std::uint64_t sender_id_;
   MidStreamReporter reporter_;
@@ -239,7 +239,7 @@ class MidStreamAdvisor : public tcp::ConnectionAdvisor {
 /// server up before recommendations exist.
 class ReportOnlyAdvisor : public tcp::ConnectionAdvisor {
  public:
-  ReportOnlyAdvisor(ContextServer& server, PathKey path,
+  ReportOnlyAdvisor(ContextService& server, PathKey path,
                     std::uint64_t sender_id)
       : server_(server), path_(path), sender_id_(sender_id) {}
 
@@ -260,7 +260,7 @@ class ReportOnlyAdvisor : public tcp::ConnectionAdvisor {
   }
 
  private:
-  ContextServer& server_;
+  ContextService& server_;
   PathKey path_;
   std::uint64_t sender_id_;
   std::uint64_t epoch_ = 0;

@@ -60,7 +60,7 @@ struct ContextServerConfig {
   ContextBucketer bucketer{};
 };
 
-class ContextServer : public ContextSource {
+class ContextServer : public ContextSource, public ContextService {
  public:
   /// `clock` supplies "now" for window expiry; defaults to the timestamp
   /// of the last message processed (fine for simulation use — wire it to

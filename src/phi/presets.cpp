@@ -103,6 +103,25 @@ ScenarioSpec wide_parking_lot() {
   return s;
 }
 
+// Fleet-scale churn presets: no static population at all — every flow is
+// an open-loop arrival. Rates are sized so a default-length run offers
+// ~10^5 sessions (scale duration or churn_per_s up for 10^6).
+ScenarioSpec fat_tree_churn() {
+  ScenarioSpec s;
+  s.topology = sim::FatTreeConfig{};  // k=4: 16 hosts, 4 pods
+  s.duration = util::seconds(30);
+  s.churn.arrivals_per_s = 4000;      // ~120k sessions per run
+  return s;
+}
+
+ScenarioSpec wan_churn() {
+  ScenarioSpec s;
+  s.topology = sim::WanGraphConfig{};  // 6 sites x 3 hosts
+  s.duration = util::seconds(90);
+  s.churn.arrivals_per_s = 1200;       // ~108k sessions per run
+  return s;
+}
+
 const std::vector<Preset>& registry() {
   static const std::vector<Preset> presets = [] {
     std::vector<Preset> v;
@@ -151,14 +170,24 @@ const std::vector<Preset>& registry() {
     v.push_back({"parking-wide",
                  "eight-hop lot, 36 senders: the --shards headline",
                  wide_parking_lot()});
+    v.push_back({"fat-tree-churn",
+                 "k=4 fat tree under open-loop churn (~120k flows/run)",
+                 fat_tree_churn()});
+    v.push_back({"wan-churn",
+                 "6-site WAN graph under open-loop churn (~108k flows/run)",
+                 wan_churn()});
     return v;
   }();
   return presets;
 }
 
 const Preset* find(const std::string& name) {
+  // Accept underscore spellings (fat_tree_churn == fat-tree-churn).
+  std::string norm = name;
+  for (char& c : norm)
+    if (c == '_') c = '-';
   for (const auto& p : registry())
-    if (p.name == name) return &p;
+    if (p.name == norm) return &p;
   return nullptr;
 }
 
@@ -196,6 +225,30 @@ bool parse_bool(const std::string& v, bool* out) {
     return true;
   }
   return false;
+}
+
+// Valid-key listings for the unknown-key error, per topology class.
+constexpr const char* kScenarioKeys =
+    "seed, duration_s, warmup_s, ecn, on_bytes, off_s, start_with_off, "
+    "churn_per_s, churn_zipf, churn_alpha, churn_min_bytes, "
+    "churn_max_bytes, churn_slots, churn_cap";
+constexpr const char* kDumbbellKeys =
+    "pairs, rate_mbps, rtt_ms, queue, jitter_ms, buffer_bdp";
+constexpr const char* kLotKeys =
+    "hops, cross_per_hop, long_flows, hop_rate_mbps, hop_delay_ms, "
+    "buffer_bdp";
+constexpr const char* kFatTreeKeys =
+    "k, host_rate_mbps, fabric_rate_mbps, core_rate_mbps, core_delay_ms, "
+    "buffer_bdp";
+constexpr const char* kWanKeys =
+    "sites, hosts_per_site, chords, wan_seed, min_rate_mbps, "
+    "max_rate_mbps, min_delay_ms, max_delay_ms, buffer_bdp";
+
+bool fail_unknown(std::string* err, const std::string& key,
+                  const char* klass, const char* class_keys) {
+  return fail(err, "unknown override key '" + key + "' for this " + klass +
+                       " preset; valid keys: " + kScenarioKeys + "; " +
+                       class_keys);
 }
 
 }  // namespace
@@ -256,10 +309,61 @@ bool apply_override(ScenarioSpec& spec, const std::string& assignment,
     return true;
   }
 
+  // Open-loop churn plan (scenario-wide; any topology class).
+  if (key == "churn_per_s") {
+    if (!parse_double(val, &d) || d < 0)
+      return fail(err,
+                  "churn_per_s wants arrivals/s >= 0, got '" + val + "'");
+    spec.churn.arrivals_per_s = d;
+    return true;
+  }
+  if (key == "churn_zipf") {
+    if (!parse_double(val, &d) || d <= 0)
+      return fail(err, "churn_zipf wants an exponent > 0, got '" + val + "'");
+    spec.churn.zipf_s = d;
+    return true;
+  }
+  if (key == "churn_alpha") {
+    if (!parse_double(val, &d) || d <= 0)
+      return fail(err,
+                  "churn_alpha wants a tail index > 0, got '" + val + "'");
+    spec.churn.pareto_alpha = d;
+    return true;
+  }
+  if (key == "churn_min_bytes") {
+    if (!parse_double(val, &d) || d <= 0)
+      return fail(err,
+                  "churn_min_bytes wants bytes > 0, got '" + val + "'");
+    spec.churn.min_bytes = d;
+    return true;
+  }
+  if (key == "churn_max_bytes") {
+    if (!parse_double(val, &d) || d <= 0)
+      return fail(err,
+                  "churn_max_bytes wants bytes > 0, got '" + val + "'");
+    spec.churn.max_bytes = d;
+    return true;
+  }
+  if (key == "churn_slots") {
+    if (!parse_size(val, &z) || z == 0)
+      return fail(err,
+                  "churn_slots wants an integer >= 1, got '" + val + "'");
+    spec.churn.slots_per_endpoint = z;
+    return true;
+  }
+  if (key == "churn_cap") {
+    if (!parse_size(val, &z))
+      return fail(err, "churn_cap wants an integer >= 0, got '" + val + "'");
+    spec.churn.max_sessions = z;
+    return true;
+  }
+
   // Population-shape keys change endpoint numbering; refuse them when
   // the preset pins an explicit sender list built for the old shape.
   const bool shape_key = key == "pairs" || key == "hops" ||
-                         key == "cross_per_hop" || key == "long_flows";
+                         key == "cross_per_hop" || key == "long_flows" ||
+                         key == "k" || key == "sites" ||
+                         key == "hosts_per_site";
   if (shape_key && !spec.senders.empty())
     return fail(err, "'" + key +
                          "' would re-shape a preset with a pinned sender "
@@ -308,12 +412,10 @@ bool apply_override(ScenarioSpec& spec, const std::string& assignment,
       dumb->buffer_bdp_multiple = d;
       return true;
     }
-    if (key == "hops" || key == "cross_per_hop" || key == "long_flows" ||
-        key == "hop_rate_mbps" || key == "hop_delay_ms")
-      return fail(err, "'" + key + "' applies to parking-lot presets, and "
-                                   "this preset is a dumbbell");
-  } else {
-    auto& lot = std::get<sim::ParkingLotConfig>(spec.topology);
+    return fail_unknown(err, key, "dumbbell", kDumbbellKeys);
+  }
+  if (auto* lotp = std::get_if<sim::ParkingLotConfig>(&spec.topology)) {
+    auto& lot = *lotp;
     if (key == "hops") {
       if (!parse_size(val, &z) || z == 0)
         return fail(err, "hops wants an integer >= 1, got '" + val + "'");
@@ -351,12 +453,108 @@ bool apply_override(ScenarioSpec& spec, const std::string& assignment,
       lot.buffer_bdp_multiple = d;
       return true;
     }
-    if (key == "pairs" || key == "rate_mbps" || key == "rtt_ms" ||
-        key == "queue" || key == "jitter_ms")
-      return fail(err, "'" + key + "' applies to dumbbell presets, and this "
-                                   "preset is a parking lot");
+    return fail_unknown(err, key, "parking-lot", kLotKeys);
   }
-  return fail(err, "unknown override key '" + key + "'");
+  if (auto* ft = std::get_if<sim::FatTreeConfig>(&spec.topology)) {
+    if (key == "k") {
+      if (!parse_size(val, &z) || z < 2 || z % 2 != 0)
+        return fail(err, "k wants an even integer >= 2, got '" + val + "'");
+      ft->k = z;
+      return true;
+    }
+    if (key == "host_rate_mbps") {
+      if (!parse_double(val, &d) || d <= 0)
+        return fail(err,
+                    "host_rate_mbps wants Mbps > 0, got '" + val + "'");
+      ft->host_rate = d * util::kMbps;
+      return true;
+    }
+    if (key == "fabric_rate_mbps") {
+      if (!parse_double(val, &d) || d <= 0)
+        return fail(err,
+                    "fabric_rate_mbps wants Mbps > 0, got '" + val + "'");
+      ft->fabric_rate = d * util::kMbps;
+      return true;
+    }
+    if (key == "core_rate_mbps") {
+      if (!parse_double(val, &d) || d <= 0)
+        return fail(err,
+                    "core_rate_mbps wants Mbps > 0, got '" + val + "'");
+      ft->core_rate = d * util::kMbps;
+      return true;
+    }
+    if (key == "core_delay_ms") {
+      if (!parse_double(val, &d) || d <= 0)
+        return fail(err, "core_delay_ms wants ms > 0, got '" + val + "'");
+      ft->core_delay = util::milliseconds(d);
+      return true;
+    }
+    if (key == "buffer_bdp") {
+      if (!parse_double(val, &d) || d <= 0)
+        return fail(err, "buffer_bdp wants a multiple > 0, got '" + val + "'");
+      ft->buffer_bdp_multiple = d;
+      return true;
+    }
+    return fail_unknown(err, key, "fat-tree", kFatTreeKeys);
+  }
+  auto& wan = std::get<sim::WanGraphConfig>(spec.topology);
+  if (key == "sites") {
+    if (!parse_size(val, &z) || z < 3)
+      return fail(err, "sites wants an integer >= 3, got '" + val + "'");
+    wan.sites = z;
+    return true;
+  }
+  if (key == "hosts_per_site") {
+    if (!parse_size(val, &z) || z == 0)
+      return fail(err,
+                  "hosts_per_site wants an integer >= 1, got '" + val + "'");
+    wan.hosts_per_site = z;
+    return true;
+  }
+  if (key == "chords") {
+    if (!parse_size(val, &z))
+      return fail(err, "chords wants an integer >= 0, got '" + val + "'");
+    wan.extra_chords = z;
+    return true;
+  }
+  if (key == "wan_seed") {
+    if (!parse_double(val, &d) || d < 0)
+      return fail(err,
+                  "wan_seed wants a non-negative number, got '" + val + "'");
+    wan.seed = static_cast<std::uint64_t>(d);
+    return true;
+  }
+  if (key == "min_rate_mbps") {
+    if (!parse_double(val, &d) || d <= 0)
+      return fail(err, "min_rate_mbps wants Mbps > 0, got '" + val + "'");
+    wan.min_rate = d * util::kMbps;
+    return true;
+  }
+  if (key == "max_rate_mbps") {
+    if (!parse_double(val, &d) || d <= 0)
+      return fail(err, "max_rate_mbps wants Mbps > 0, got '" + val + "'");
+    wan.max_rate = d * util::kMbps;
+    return true;
+  }
+  if (key == "min_delay_ms") {
+    if (!parse_double(val, &d) || d <= 0)
+      return fail(err, "min_delay_ms wants ms > 0, got '" + val + "'");
+    wan.min_delay = util::milliseconds(d);
+    return true;
+  }
+  if (key == "max_delay_ms") {
+    if (!parse_double(val, &d) || d <= 0)
+      return fail(err, "max_delay_ms wants ms > 0, got '" + val + "'");
+    wan.max_delay = util::milliseconds(d);
+    return true;
+  }
+  if (key == "buffer_bdp") {
+    if (!parse_double(val, &d) || d <= 0)
+      return fail(err, "buffer_bdp wants a multiple > 0, got '" + val + "'");
+    wan.buffer_bdp_multiple = d;
+    return true;
+  }
+  return fail_unknown(err, key, "wan-graph", kWanKeys);
 }
 
 }  // namespace phi::core::presets

@@ -28,6 +28,12 @@ ScenarioSpec hotcold_parking_lot();
 /// reporting group.
 ScenarioSpec probe_parking_lot(std::size_t hops = 2, std::size_t probes = 3);
 
+/// Fleet-scale churn presets: a k=4 fat tree (~120k open-loop flows per
+/// 30 s run) and a 6-site heterogeneous WAN graph (~108k flows per 90 s
+/// run). No static population — every flow arrives, transfers, retires.
+ScenarioSpec fat_tree_churn();
+ScenarioSpec wan_churn();
+
 struct Preset {
   std::string name;
   std::string summary;
@@ -37,17 +43,25 @@ struct Preset {
 /// All named presets, covering both topology classes.
 const std::vector<Preset>& registry();
 
-/// Preset by name; nullptr when unknown.
+/// Preset by name (underscores normalize to dashes, so fat_tree_churn
+/// finds fat-tree-churn); nullptr when unknown.
 const Preset* find(const std::string& name);
 
-/// Apply one `key=value` override to a spec. Keys: seed, duration_s,
-/// warmup_s, ecn, on_bytes, off_s, start_with_off and, per topology,
+/// Apply one `key=value` override to a spec. Scenario-wide keys: seed,
+/// duration_s, warmup_s, ecn, on_bytes, off_s, start_with_off, plus the
+/// churn plan (churn_per_s, churn_zipf, churn_alpha, churn_min_bytes,
+/// churn_max_bytes, churn_slots, churn_cap). Per topology class:
 /// pairs / rate_mbps / rtt_ms / queue / jitter_ms / buffer_bdp
-/// (dumbbell) or hops / cross_per_hop / long_flows / hop_rate_mbps /
-/// hop_delay_ms / buffer_bdp (parking lot). Returns false with a
-/// message in `err` on unknown keys, malformed values, keys for the
-/// other topology class, or population-shape changes to a preset that
-/// pins an explicit sender list.
+/// (dumbbell); hops / cross_per_hop / long_flows / hop_rate_mbps /
+/// hop_delay_ms / buffer_bdp (parking lot); k / host_rate_mbps /
+/// fabric_rate_mbps / core_rate_mbps / core_delay_ms / buffer_bdp
+/// (fat tree); sites / hosts_per_site / chords / wan_seed /
+/// min_rate_mbps / max_rate_mbps / min_delay_ms / max_delay_ms /
+/// buffer_bdp (wan graph). Returns false with a message in `err` —
+/// listing the valid keys for the preset's class — on unknown keys,
+/// malformed values, keys for another topology class, or
+/// population-shape changes to a preset that pins an explicit sender
+/// list.
 bool apply_override(ScenarioSpec& spec, const std::string& assignment,
                     std::string* err);
 

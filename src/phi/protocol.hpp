@@ -102,4 +102,16 @@ struct Report {
   }
 };
 
+/// Anything a Phi client can talk the lookup/report protocol to: the
+/// root ContextServer itself, or a per-region AggregatorServer that
+/// batches traffic up an aggregation tree (see phi/aggregation.hpp).
+/// Client-side advisors hold a ContextService&, so the same advisor
+/// works against either — or against a whole tree.
+class ContextService {
+ public:
+  virtual ~ContextService() = default;
+  virtual LookupReply lookup(const LookupRequest& req) = 0;
+  virtual void report(const Report& r) = 0;
+};
+
 }  // namespace phi::core

@@ -1,9 +1,11 @@
 #include "phi/scenario.hpp"
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <stdexcept>
 
+#include "flow/tracegen.hpp"
 #include "sim/sharding.hpp"
 #include "tcp/sender.hpp"
 #include "tcp/sink.hpp"
@@ -197,10 +199,13 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioSpec& spec,
   }
 
   // Effective population: an explicit sender list, or the canonical one
-  // on/off sender per endpoint (the paper's setup).
+  // on/off sender per endpoint (the paper's setup). A churn plan
+  // replaces the default population — all default traffic then comes
+  // from dynamically launched sessions — but explicit sender lists still
+  // attach alongside churn (e.g. long-running background bulk flows).
   std::vector<SenderSpec> defaults;
   const std::vector<SenderSpec>* sspecs = &spec.senders;
-  if (spec.senders.empty()) {
+  if (spec.senders.empty() && !spec.churn.enabled()) {
     defaults.resize(t.endpoint_count());
     for (std::size_t i = 0; i < defaults.size(); ++i)
       defaults[i].endpoint = i;
@@ -268,6 +273,87 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioSpec& spec,
     }
   }
 
+  // Open-loop churn: pregenerate the whole session trace on the main
+  // thread from a derived seed stream (the seeder above never sees these
+  // draws), bucket sessions onto per-endpoint sender slots round-robin,
+  // and build one sender/sink pair per slot that has work. Every slot's
+  // events run on the scheduler owning its transmit node, and results
+  // land in per-session array elements, so sharded churn stays
+  // deterministic and race-free.
+  std::vector<util::Time> churn_arrivals;
+  std::vector<double> churn_fct, churn_wait;
+  std::vector<std::unique_ptr<ChurnSlot>> churn_slots;
+  std::vector<std::unique_ptr<tcp::TcpSender>> churn_senders;
+  std::vector<std::unique_ptr<tcp::TcpSink>> churn_sinks;
+  std::vector<std::size_t> churn_slot_endpoint;
+  std::vector<std::unique_ptr<tcp::ConnectionAdvisor>> churn_advisors;
+  if (spec.churn.enabled()) {
+    flow::SessionConfig scfg;
+    scfg.arrivals_per_s = spec.churn.arrivals_per_s;
+    scfg.horizon_s = util::to_seconds(spec.warmup + spec.duration);
+    scfg.ranks = t.endpoint_count();
+    scfg.zipf_s = spec.churn.zipf_s;
+    scfg.pareto_alpha = spec.churn.pareto_alpha;
+    scfg.min_bytes = spec.churn.min_bytes;
+    scfg.max_bytes = spec.churn.max_bytes;
+    scfg.max_sessions = spec.churn.max_sessions;
+    scfg.seed = util::derive_seed(spec.seed, kChurnStream);
+    const std::vector<flow::Session> trace = flow::generate_sessions(scfg);
+
+    const std::size_t eps = t.endpoint_count();
+    const std::size_t spe =
+        std::max<std::size_t>(1, spec.churn.slots_per_endpoint);
+    churn_arrivals.resize(trace.size());
+    churn_fct.assign(trace.size(), -1.0);
+    churn_wait.assign(trace.size(), -1.0);
+    std::vector<std::vector<ChurnSlot::Entry>> per_slot(eps * spe);
+    std::vector<std::size_t> rr(eps, 0);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const flow::Session& s = trace[i];
+      const std::size_t ep = s.rank % eps;
+      ChurnSlot::Entry e;
+      e.at = util::from_seconds(s.at_s);
+      e.segments = std::max<std::int64_t>(
+          1, (s.bytes + sim::kDefaultMss - 1) / sim::kDefaultMss);
+      e.index = i;
+      churn_arrivals[i] = e.at;
+      per_slot[ep * spe + (rr[ep]++ % spe)].push_back(e);
+    }
+    sim::FlowId next_flow = kChurnFlowBase;
+    for (std::size_t slot = 0; slot < per_slot.size(); ++slot) {
+      if (per_slot[slot].empty()) continue;
+      const std::size_t ep_idx = slot / spe;
+      const sim::Topology::Endpoint ep = t.endpoint(ep_idx);
+      const sim::FlowId flow = next_flow++;
+      sim::Scheduler& tx_sched =
+          srun ? srun->scheduler_of(ep.tx->id()) : t.scheduler();
+      sim::Scheduler& rx_sched =
+          srun ? srun->scheduler_of(ep.rx->id()) : t.scheduler();
+      {
+        std::optional<telemetry::ScopedRegistry> scope;
+        if (srun)
+          scope.emplace(srun->registry_of(srun->shard_of(ep.tx->id())));
+        churn_senders.push_back(std::make_unique<tcp::TcpSender>(
+            tx_sched, *ep.tx, ep.rx->id(), flow,
+            policy(n + churn_slots.size())));
+        if (spec.ecn) churn_senders.back()->set_ecn(true);
+      }
+      {
+        std::optional<telemetry::ScopedRegistry> scope;
+        if (srun)
+          scope.emplace(srun->registry_of(srun->shard_of(ep.rx->id())));
+        churn_sinks.push_back(
+            std::make_unique<tcp::TcpSink>(rx_sched, *ep.rx, flow));
+      }
+      auto cs = std::make_unique<ChurnSlot>();
+      for (const ChurnSlot::Entry& e : per_slot[slot]) cs->add(e);
+      cs->bind(tx_sched, *churn_senders.back(), churn_fct.data(),
+               churn_wait.data(), spec.warmup);
+      churn_slot_endpoint.push_back(ep_idx);
+      churn_slots.push_back(std::move(cs));
+    }
+  }
+
   std::unique_ptr<TimeSeriesProbe> probe;
   if (capture && spec.telemetry.timeseries_dt > 0) {
     probe = std::make_unique<TimeSeriesProbe>(t, senders,
@@ -283,6 +369,8 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioSpec& spec,
   live.spec = &spec;
   for (auto& s : senders) live.senders.push_back(s.get());
   for (auto& s : sinks) live.sinks.push_back(s.get());
+  for (auto& s : churn_senders) live.churn_senders.push_back(s.get());
+  live.churn_endpoints = churn_slot_endpoint;
   live.active_count = [&senders] {
     double c = 0;
     for (const auto& s : senders)
@@ -315,6 +403,14 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioSpec& spec,
           apps[i]->set_advisor(advisors.back().get());
       }
     }
+    if (live.churn_advisor) {
+      churn_advisors.reserve(churn_slots.size());
+      for (std::size_t slot = 0; slot < churn_slots.size(); ++slot) {
+        churn_advisors.push_back(live.churn_advisor(slot));
+        if (churn_advisors.back())
+          churn_slots[slot]->set_advisor(churn_advisors.back().get());
+      }
+    }
   }
 
   for (std::size_t i = 0; i < n; ++i) {
@@ -327,6 +423,7 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioSpec& spec,
           [acc](const tcp::ConnStats& s) { acc->absorb(s); });
     }
   }
+  for (auto& cs : churn_slots) cs->start();
 
   const auto run_to = [&](util::Time h) {
     if (srun) {
@@ -430,6 +527,28 @@ ScenarioMetrics run_scenario_with_setup(const ScenarioSpec& spec,
       g.pkts += a_pkts;
       g.live_bits += sm.live_bits;
       if (sm.has_srtt) g.srtt.add(sm.srtt_s);
+    }
+  }
+
+  // Fold measured churn sessions into the headline aggregates: each
+  // completed session counts as one connection whose "on time" is its
+  // flow-completion time (arrival to last ACK, slot wait included).
+  if (spec.churn.enabled()) {
+    m.churn = aggregate_churn(churn_slots, churn_arrivals, churn_fct,
+                              churn_wait, spec.warmup, dur_s);
+    for (const auto& cs : churn_slots) {
+      bits += cs->measured_bits();
+      on_time += cs->measured_fct_sum_s();
+      m.connections += static_cast<std::int64_t>(cs->measured_completed());
+      m.timeouts += cs->measured_timeouts();
+      rtt.merge(cs->measured_rtt());
+      if (cs->measured_rtt().count() > 0) {
+        const double mn = cs->measured_rtt().min();
+        if (!have_min || mn < min_rtt) {
+          min_rtt = mn;
+          have_min = true;
+        }
+      }
     }
   }
   m.throughput_bps = on_time > 0 ? bits / on_time : 0.0;

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "phi/churn.hpp"
 #include "phi/fault_injection.hpp"
 #include "phi/metrics.hpp"
 #include "sim/topology.hpp"
@@ -117,10 +118,16 @@ struct ScenarioSpec {
   TelemetrySpec telemetry;
   /// Intra-run sharding plan; default = serial.
   ShardSpec sharding;
+  /// Open-loop flow churn; default = disabled. When enabled and
+  /// `senders` is empty, the engine attaches no default static
+  /// population — all traffic comes from churn sessions.
+  ChurnSpec churn;
 
-  /// Number of senders the engine will attach.
+  /// Number of static senders the engine will attach (churn slots are
+  /// created on top, per the churn plan).
   std::size_t sender_count() const noexcept {
-    return senders.empty() ? sim::endpoint_count(topology) : senders.size();
+    if (!senders.empty()) return senders.size();
+    return churn.enabled() ? 0 : sim::endpoint_count(topology);
   }
 };
 
@@ -227,6 +234,10 @@ struct ScenarioMetrics {
   std::vector<GroupMetrics> groups;
   std::vector<SenderMetrics> per_sender;  ///< sender-list order
   std::vector<PathMetrics> paths;         ///< Topology path order
+  /// Open-loop churn results; `churn.enabled` is false unless the spec
+  /// asked for churn. Measured churn sessions also fold into the
+  /// headline aggregates (connections, throughput, RTT, timeouts).
+  ChurnMetrics churn;
   /// Telemetry captured during the run; null unless the spec's
   /// TelemetrySpec enabled something.
   std::shared_ptr<RunCapture> capture;
@@ -267,6 +278,16 @@ struct LiveScenario {
   const ScenarioSpec* spec = nullptr;
   std::vector<tcp::TcpSender*> senders;
   std::vector<tcp::TcpSink*> sinks;
+  /// Active churn slots' senders (slot order) and the topology endpoint
+  /// each one occupies; empty when the spec has no churn.
+  std::vector<tcp::TcpSender*> churn_senders;
+  std::vector<std::size_t> churn_endpoints;
+  /// Set by the setup hook to give churn slots per-slot advisors (e.g.
+  /// PhiCubicAdvisor against a region aggregator); the engine invokes it
+  /// once per active slot after the hook returns and keeps the advisors
+  /// alive for the run.
+  std::function<std::unique_ptr<tcp::ConnectionAdvisor>(std::size_t slot)>
+      churn_advisor;
   /// Number of senders whose connection is currently active ("on").
   std::function<double()> active_count;
   /// When the spec carries a fault plan, builds (once) and returns the

@@ -86,8 +86,33 @@ std::unique_ptr<Topology> make_topology(const TopologySpec& spec) {
         using T = std::decay_t<decltype(cfg)>;
         if constexpr (std::is_same_v<T, DumbbellConfig>) {
           return std::make_unique<Dumbbell>(cfg);
-        } else {
+        } else if constexpr (std::is_same_v<T, ParkingLotConfig>) {
           return std::make_unique<ParkingLot>(cfg);
+        } else if constexpr (std::is_same_v<T, FatTreeConfig>) {
+          return std::make_unique<GraphTopology>(fat_tree_graph(cfg));
+        } else {
+          return std::make_unique<GraphTopology>(wan_graph(cfg));
+        }
+      },
+      spec);
+}
+
+TopologyShape topology_shape(const TopologySpec& spec) {
+  return std::visit(
+      [](const auto& cfg) -> TopologyShape {
+        using T = std::decay_t<decltype(cfg)>;
+        if constexpr (std::is_same_v<T, DumbbellConfig>) {
+          return TopologyShape{"dumbbell", 2 + 2 * cfg.pairs,
+                               2 + 4 * cfg.pairs, cfg.pairs, 1};
+        } else if constexpr (std::is_same_v<T, ParkingLotConfig>) {
+          const std::size_t eps =
+              cfg.hops * cfg.cross_per_hop + cfg.long_flows;
+          return TopologyShape{"parking-lot", cfg.hops + 1 + 2 * eps,
+                               2 * cfg.hops + 4 * eps, eps, cfg.hops};
+        } else if constexpr (std::is_same_v<T, FatTreeConfig>) {
+          return graph_shape(fat_tree_graph(cfg));
+        } else {
+          return graph_shape(wan_graph(cfg));
         }
       },
       spec);
@@ -99,8 +124,12 @@ std::size_t endpoint_count(const TopologySpec& spec) noexcept {
         using T = std::decay_t<decltype(cfg)>;
         if constexpr (std::is_same_v<T, DumbbellConfig>) {
           return cfg.pairs;
-        } else {
+        } else if constexpr (std::is_same_v<T, ParkingLotConfig>) {
           return cfg.hops * cfg.cross_per_hop + cfg.long_flows;
+        } else if constexpr (std::is_same_v<T, FatTreeConfig>) {
+          return cfg.k * cfg.k * cfg.k / 4;  // k pods x (k/2)^2 hosts
+        } else {
+          return cfg.sites * cfg.hosts_per_site;
         }
       },
       spec);
@@ -112,16 +141,26 @@ std::size_t path_count(const TopologySpec& spec) noexcept {
         using T = std::decay_t<decltype(cfg)>;
         if constexpr (std::is_same_v<T, DumbbellConfig>) {
           return 1;
-        } else {
+        } else if constexpr (std::is_same_v<T, ParkingLotConfig>) {
           return cfg.hops;
+        } else if constexpr (std::is_same_v<T, FatTreeConfig>) {
+          // Both directions of every agg<->core link: k pods x k/2 aggs
+          // x k/2 cores each.
+          return 2 * (cfg.k * cfg.k * cfg.k / 4);
+        } else {
+          // Both directions of ring + chord edges; chords can collide
+          // with the ring (seeded draws), so count the actual spec.
+          return graph_shape(wan_graph(cfg)).paths;
         }
       },
       spec);
 }
 
 const char* topology_class(const TopologySpec& spec) noexcept {
-  return std::holds_alternative<DumbbellConfig>(spec) ? "dumbbell"
-                                                      : "parking-lot";
+  if (std::holds_alternative<DumbbellConfig>(spec)) return "dumbbell";
+  if (std::holds_alternative<ParkingLotConfig>(spec)) return "parking-lot";
+  if (std::holds_alternative<FatTreeConfig>(spec)) return "fat-tree";
+  return "wan";
 }
 
 }  // namespace phi::sim

@@ -12,6 +12,7 @@
 #include <variant>
 #include <vector>
 
+#include "sim/graph_topology.hpp"
 #include "sim/monitor.hpp"
 #include "sim/network.hpp"
 #include "sim/parking_lot.hpp"
@@ -97,9 +98,11 @@ class Dumbbell : public Topology {
   std::unique_ptr<LinkMonitor> monitor_;
 };
 
-/// Declarative topology choice: one variant constructs either canned
-/// topology. Scenario specs carry this instead of a concrete class.
-using TopologySpec = std::variant<DumbbellConfig, ParkingLotConfig>;
+/// Declarative topology choice: one variant constructs any canned or
+/// generated topology. Scenario specs carry this instead of a concrete
+/// class.
+using TopologySpec = std::variant<DumbbellConfig, ParkingLotConfig,
+                                  FatTreeConfig, WanGraphConfig>;
 
 /// Build the topology a spec describes.
 std::unique_ptr<Topology> make_topology(const TopologySpec& spec);
@@ -108,7 +111,13 @@ std::unique_ptr<Topology> make_topology(const TopologySpec& spec);
 std::size_t endpoint_count(const TopologySpec& spec) noexcept;
 std::size_t path_count(const TopologySpec& spec) noexcept;
 
-/// Human-readable topology class: "dumbbell" or "parking-lot".
+/// Human-readable topology class: "dumbbell", "parking-lot", "fat-tree"
+/// or "wan".
 const char* topology_class(const TopologySpec& spec) noexcept;
+
+/// Node/link/endpoint/path counts implied by a spec, without building a
+/// Network (and without registering any telemetry) — what run drivers
+/// record in their provenance sidecars.
+TopologyShape topology_shape(const TopologySpec& spec);
 
 }  // namespace phi::sim

@@ -1,0 +1,167 @@
+// Hierarchical context aggregation (phi/aggregation.hpp): cached lookup
+// serving with measured staleness, interval- and size-triggered batch
+// flushes, verbatim report forwarding (idempotency intact through the
+// tree), aggregator composition, and the lazy-timer quiescence contract
+// the churn retirement test relies on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "phi/aggregation.hpp"
+#include "phi/context_server.hpp"
+#include "sim/event.hpp"
+#include "util/units.hpp"
+
+namespace phi::core {
+namespace {
+
+struct RecordingParent : public ContextService {
+  std::vector<LookupRequest> seen_lookups;
+  std::vector<Report> seen_reports;
+  LookupReply canned{};
+
+  LookupReply lookup(const LookupRequest& req) override {
+    seen_lookups.push_back(req);
+    return canned;
+  }
+  void report(const Report& r) override { seen_reports.push_back(r); }
+};
+
+Report final_report(std::uint64_t sender, std::uint64_t epoch) {
+  Report r;
+  r.path = 3;
+  r.sender_id = sender;
+  r.bytes = 100'000;
+  r.epoch = epoch;
+  return r;
+}
+
+TEST(Aggregation, ColdLookupServesDefaultThenCachesRootReply) {
+  sim::Scheduler sched;
+  RecordingParent root;
+  root.canned.has_recommendation = true;
+  root.canned.state_version = 7;
+  AggregatorConfig cfg;
+  cfg.flush_interval = util::milliseconds(100);
+  cfg.uplink_delay = util::milliseconds(5);
+  AggregatorServer agg(sched, root, cfg);
+
+  LookupRequest req;
+  req.path = 3;
+  req.sender_id = 1;
+  req.epoch = 1;
+  const LookupReply cold = agg.lookup(req);
+  EXPECT_FALSE(cold.has_recommendation);
+  EXPECT_EQ(agg.cold_lookups(), 1u);
+  EXPECT_EQ(agg.staleness().count(), 0u);
+
+  // Flush fires at 100 ms, delivery one uplink later; the root sees the
+  // forwarding time, not the client's.
+  sched.run_until(util::milliseconds(200));
+  ASSERT_EQ(root.seen_lookups.size(), 1u);
+  EXPECT_EQ(root.seen_lookups[0].at, util::milliseconds(105));
+  EXPECT_EQ(root.seen_lookups[0].sender_id, 1u);
+
+  req.at = sched.now();
+  const LookupReply warm = agg.lookup(req);
+  EXPECT_TRUE(warm.has_recommendation);
+  EXPECT_EQ(warm.state_version, 7u);
+  EXPECT_EQ(agg.cold_lookups(), 1u);
+  ASSERT_EQ(agg.staleness().count(), 1u);
+  // Snapshot taken at 105 ms, served at 200 ms -> 95 ms stale.
+  EXPECT_NEAR(agg.staleness().mean(), 0.095, 1e-9);
+}
+
+TEST(Aggregation, BatchMaxForcesAnImmediateFlush) {
+  sim::Scheduler sched;
+  RecordingParent root;
+  AggregatorConfig cfg;
+  cfg.flush_interval = util::seconds(10);  // interval must not matter
+  cfg.batch_max = 3;
+  cfg.uplink_delay = util::milliseconds(2);
+  AggregatorServer agg(sched, root, cfg);
+
+  agg.report(final_report(1, 1));
+  agg.report(final_report(2, 1));
+  EXPECT_EQ(agg.flushes(), 0u);
+  agg.report(final_report(3, 1));
+  EXPECT_EQ(agg.flushes(), 1u);
+
+  sched.run_until(util::milliseconds(3));
+  ASSERT_EQ(root.seen_reports.size(), 3u);
+  EXPECT_EQ(agg.forwarded(), 3u);
+  // The batch drained and the lazy interval timer was cancelled: a
+  // quiescent aggregator keeps nothing on the scheduler.
+  EXPECT_EQ(sched.pending_count(), 0u);
+}
+
+TEST(Aggregation, IntervalFlushForwardsReportsVerbatim) {
+  sim::Scheduler sched;
+  RecordingParent root;
+  AggregatorConfig cfg;
+  cfg.flush_interval = util::milliseconds(50);
+  cfg.uplink_delay = util::milliseconds(4);
+  AggregatorServer agg(sched, root, cfg);
+
+  Report r = final_report(9, 4);
+  r.seq = 2;
+  r.mean_rtt_s = 0.125;
+  agg.report(r);
+  EXPECT_TRUE(root.seen_reports.empty());
+
+  sched.run_until(util::milliseconds(60));
+  ASSERT_EQ(root.seen_reports.size(), 1u);
+  EXPECT_EQ(root.seen_reports[0].sender_id, 9u);
+  EXPECT_EQ(root.seen_reports[0].epoch, 4u);
+  EXPECT_EQ(root.seen_reports[0].seq, 2u);
+  EXPECT_DOUBLE_EQ(root.seen_reports[0].mean_rtt_s, 0.125);
+  EXPECT_EQ(sched.pending_count(), 0u);
+}
+
+TEST(Aggregation, RootIdempotencySurvivesTheTree) {
+  sim::Scheduler sched;
+  ContextServer root(ContextServerConfig{},
+                     [&sched] { return sched.now(); });
+  AggregatorConfig cfg;
+  cfg.flush_interval = util::milliseconds(20);
+  cfg.uplink_delay = util::milliseconds(2);
+  AggregatorServer agg(sched, root, cfg);
+
+  // A client retry duplicates the report; the aggregator forwards both
+  // copies verbatim and the root absorbs exactly one.
+  const Report r = final_report(5, 1);
+  agg.report(r);
+  agg.report(r);
+  sched.run_until(util::milliseconds(30));
+  EXPECT_EQ(agg.forwarded(), 2u);
+  EXPECT_EQ(root.reports(), 1u);  // reports() counts absorbed only
+  EXPECT_EQ(root.duplicate_reports(), 1u);
+}
+
+TEST(Aggregation, AggregatorsCompose) {
+  sim::Scheduler sched;
+  RecordingParent root;
+  AggregatorConfig upper;
+  upper.flush_interval = util::milliseconds(10);
+  upper.uplink_delay = util::milliseconds(1);
+  upper.name = "upper";
+  AggregatorServer mid(sched, root, upper);
+  AggregatorConfig lower = upper;
+  lower.name = "lower";
+  AggregatorServer leaf(sched, mid, lower);
+
+  LookupRequest req;
+  req.path = 1;
+  leaf.lookup(req);
+  leaf.report(final_report(2, 1));
+  // Two flush+uplink rounds move everything leaf -> mid -> root.
+  sched.run_until(util::milliseconds(40));
+  EXPECT_EQ(root.seen_lookups.size(), 1u);
+  EXPECT_EQ(root.seen_reports.size(), 1u);
+  EXPECT_EQ(mid.forwarded(), 2u);
+  EXPECT_EQ(leaf.forwarded(), 2u);
+  EXPECT_EQ(sched.pending_count(), 0u);
+}
+
+}  // namespace
+}  // namespace phi::core

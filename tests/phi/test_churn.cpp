@@ -1,0 +1,143 @@
+// Open-loop flow churn through the scenario engine (phi/churn.hpp):
+// trace-driven dynamic sessions over a generated topology, per-flow FCT
+// accounting, sender retirement after the trace drains, serial-vs-
+// sharded bit-identity, and the churn half of the preset override
+// grammar.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "phi/presets.hpp"
+#include "phi/scenario.hpp"
+#include "sim/topology.hpp"
+#include "tcp/sender.hpp"
+
+namespace phi::core {
+namespace {
+
+ScenarioSpec small_churn_spec() {
+  ScenarioSpec spec;
+  spec.topology = sim::FatTreeConfig{};  // k = 4, 16 endpoints
+  spec.duration = util::seconds(2);
+  spec.warmup = util::from_seconds(0.5);
+  spec.seed = 11;
+  spec.churn.arrivals_per_s = 400;
+  return spec;
+}
+
+PolicyFactory cubic() {
+  return [](std::size_t) { return std::make_unique<tcp::Cubic>(); };
+}
+
+TEST(Churn, OpenLoopRunPopulatesChurnMetrics) {
+  const ScenarioMetrics m = run_scenario(small_churn_spec(), cubic());
+  ASSERT_TRUE(m.churn.enabled);
+  // ~400/s over the 2.5 s horizon (warmup + duration).
+  EXPECT_GT(m.churn.offered, 800u);
+  EXPECT_LT(m.churn.offered, 1200u);
+  EXPECT_GT(m.churn.completed, 0u);
+  EXPECT_LE(m.churn.measured, m.churn.completed);
+  EXPECT_LE(m.churn.completed, m.churn.started);
+  EXPECT_LE(m.churn.started, m.churn.offered);
+  EXPECT_GT(m.churn.fct_p50_s, 0.0);
+  EXPECT_GE(m.churn.fct_p90_s, m.churn.fct_p50_s);
+  EXPECT_GE(m.churn.fct_p99_s, m.churn.fct_p90_s);
+  EXPECT_GT(m.churn.goodput_bps, 0.0);
+}
+
+TEST(Churn, SerialAndShardedRunsAreBitIdentical) {
+  const ScenarioMetrics serial = run_scenario(small_churn_spec(), cubic());
+  ScenarioSpec sharded_spec = small_churn_spec();
+  sharded_spec.sharding.shards = 2;
+  const ScenarioMetrics sharded = run_scenario(sharded_spec, cubic());
+  EXPECT_GT(sharded.shards_used, 1);
+
+  EXPECT_EQ(serial.churn.offered, sharded.churn.offered);
+  EXPECT_EQ(serial.churn.started, sharded.churn.started);
+  EXPECT_EQ(serial.churn.completed, sharded.churn.completed);
+  EXPECT_EQ(serial.churn.measured, sharded.churn.measured);
+  EXPECT_EQ(serial.churn.deferred, sharded.churn.deferred);
+  EXPECT_EQ(serial.churn.retransmits, sharded.churn.retransmits);
+  EXPECT_EQ(serial.churn.timeouts, sharded.churn.timeouts);
+  EXPECT_DOUBLE_EQ(serial.churn.fct_p50_s, sharded.churn.fct_p50_s);
+  EXPECT_DOUBLE_EQ(serial.churn.fct_p90_s, sharded.churn.fct_p90_s);
+  EXPECT_DOUBLE_EQ(serial.churn.fct_p99_s, sharded.churn.fct_p99_s);
+  EXPECT_DOUBLE_EQ(serial.churn.fct_mean_s, sharded.churn.fct_mean_s);
+  EXPECT_DOUBLE_EQ(serial.churn.wait_mean_s, sharded.churn.wait_mean_s);
+  EXPECT_DOUBLE_EQ(serial.churn.goodput_bps, sharded.churn.goodput_bps);
+  EXPECT_DOUBLE_EQ(serial.throughput_bps, sharded.throughput_bps);
+}
+
+TEST(Churn, SendersRetireOnceTheTraceDrains) {
+  // Cap the trace so every session finishes well before the horizon;
+  // at on_complete time every slot sender must be idle again and every
+  // session must have a recorded completion.
+  ScenarioSpec spec = small_churn_spec();
+  spec.warmup = 0;
+  spec.churn.max_sessions = 50;
+
+  std::size_t live_slots = 0;
+  std::size_t busy_at_end = 999;
+  auto setup = [&](LiveScenario& live) -> AdvisorFactory {
+    live_slots = live.churn_senders.size();
+    EXPECT_EQ(live.churn_senders.size(), live.churn_endpoints.size());
+    live.on_complete = [&] {
+      busy_at_end = 0;
+      for (const tcp::TcpSender* s : live.churn_senders) {
+        if (s->busy()) ++busy_at_end;
+      }
+    };
+    return nullptr;
+  };
+  const ScenarioMetrics m = run_scenario_with_setup(spec, cubic(), setup);
+
+  EXPECT_GT(live_slots, 0u);
+  EXPECT_EQ(busy_at_end, 0u);
+  EXPECT_EQ(m.churn.offered, 50u);
+  EXPECT_EQ(m.churn.started, 50u);
+  EXPECT_EQ(m.churn.completed, 50u);
+  EXPECT_EQ(m.churn.measured, 50u);
+}
+
+TEST(Churn, ChurnOverridesApplyAndRejectWithKeyList) {
+  const presets::Preset* p = presets::find("fat_tree_churn");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->name, "fat-tree-churn");
+  EXPECT_EQ(presets::find("no-such-preset"), nullptr);
+
+  ScenarioSpec spec = p->spec;
+  std::string err;
+  ASSERT_TRUE(presets::apply_override(spec, "churn_per_s=250", &err)) << err;
+  EXPECT_DOUBLE_EQ(spec.churn.arrivals_per_s, 250.0);
+  ASSERT_TRUE(presets::apply_override(spec, "churn_cap=1000", &err)) << err;
+  EXPECT_EQ(spec.churn.max_sessions, 1000u);
+
+  EXPECT_FALSE(presets::apply_override(spec, "bogus_knob=1", &err));
+  EXPECT_NE(err.find("valid keys"), std::string::npos);
+  EXPECT_NE(err.find("churn_per_s"), std::string::npos);
+  EXPECT_NE(err.find("k"), std::string::npos);
+
+  // Keys from another topology class name the class in the rejection.
+  const presets::Preset* wan = presets::find("wan-churn");
+  ASSERT_NE(wan, nullptr);
+  ScenarioSpec wspec = wan->spec;
+  EXPECT_FALSE(presets::apply_override(wspec, "k=6", &err));
+  EXPECT_NE(err.find("wan"), std::string::npos);
+}
+
+TEST(Churn, WanChurnPresetRunsAtReducedScale) {
+  const presets::Preset* p = presets::find("wan-churn");
+  ASSERT_NE(p, nullptr);
+  ScenarioSpec spec = p->spec;
+  std::string err;
+  ASSERT_TRUE(presets::apply_override(spec, "duration_s=1", &err)) << err;
+  ASSERT_TRUE(presets::apply_override(spec, "churn_per_s=200", &err)) << err;
+  spec.warmup = 0;
+  const ScenarioMetrics m = run_scenario(spec, cubic());
+  EXPECT_TRUE(m.churn.enabled);
+  EXPECT_GT(m.churn.completed, 0u);
+  EXPECT_GT(m.churn.goodput_bps, 0.0);
+}
+
+}  // namespace
+}  // namespace phi::core

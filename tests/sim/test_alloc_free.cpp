@@ -10,7 +10,14 @@
 #include <cstdlib>
 #include <new>
 
+#include <memory>
+#include <vector>
+
+#include "phi/churn.hpp"
 #include "sim/network.hpp"
+#include "tcp/cc.hpp"
+#include "tcp/sender.hpp"
+#include "tcp/sink.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/units.hpp"
 
@@ -197,6 +204,57 @@ TEST(ZeroAllocDatapath, TimerChurnDoesNotAllocate) {
   EXPECT_EQ(allocs_after - allocs_before, 0u);
   s.run_until(now + util::seconds(1));
   EXPECT_EQ(fired, 1);
+}
+
+TEST(ZeroAllocDatapath, ChurnSteadyStateIsAllocationFree) {
+  // The PR 9 extension: open-loop session churn — a ChurnSlot replaying
+  // preloaded arrivals through a real TCP sender — must stop allocating
+  // once warm. Sessions are preloaded, the done-callback capture fits
+  // std::function's inline buffer, timer closures fit SmallFn, and
+  // per-session results land in caller-owned arrays.
+  Network net;
+  Node& a = net.add_node("tx");
+  Node& b = net.add_node("rx");
+  Link& fwd = net.add_link(a, b, 1.0 * util::kGbps, util::microseconds(50),
+                           1024 * 1024);
+  Link& rev = net.add_link(b, a, 1.0 * util::kGbps, util::microseconds(50),
+                           1024 * 1024);
+  a.add_route(b.id(), &fwd);
+  b.add_route(a.id(), &rev);
+  tcp::TcpSink sink(net.scheduler(), b, /*flow=*/7);
+  tcp::TcpSender sender(net.scheduler(), a, b.id(), /*flow=*/7,
+                        std::make_unique<tcp::Cubic>());
+
+  constexpr std::size_t kSessions = 400;
+  std::vector<double> fct(kSessions, -1.0);
+  std::vector<double> wait(kSessions, -1.0);
+  phi::core::ChurnSlot slot;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    slot.add({static_cast<util::Time>(i) * util::milliseconds(2),
+              /*segments=*/8, i});
+  }
+  slot.bind(net.scheduler(), sender, fct.data(), wait.data(),
+            /*measure_from=*/0);
+  slot.start();
+
+  // Warm-up: the first quarter of the trace grows the packet pool, the
+  // scheduler slabs and the sender's internal buffers to steady state.
+  net.run_until(util::milliseconds(2 * 100));
+  const std::size_t completed_before = slot.completed();
+  ASSERT_GT(completed_before, 0u);
+
+  const std::uint64_t allocs_before =
+      g_allocs.load(std::memory_order_relaxed);
+  net.run_until(static_cast<util::Time>(2 * kSessions) *
+                    util::milliseconds(1) +
+                util::seconds(1));
+  const std::uint64_t allocs_after =
+      g_allocs.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(slot.completed(), kSessions);
+  EXPECT_GT(slot.completed(), completed_before);
+  EXPECT_EQ(allocs_after - allocs_before, 0u);
+  for (std::size_t i = 0; i < kSessions; ++i) EXPECT_GE(fct[i], 0.0);
 }
 
 }  // namespace

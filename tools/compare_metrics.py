@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Allow-additions comparison for metrics artifacts.
+
+Usage: compare_metrics.py BASE HEAD
+
+Every metric the BASE artifact emitted must appear in HEAD with an
+identical value; HEAD may add new metrics (a change that introduces new
+telemetry is fine, drift in existing values is not). Works on both the
+`*_metrics.json` registry dump and the `*_metrics.prom` text form, picked
+by file extension. Exits nonzero listing the offending metrics.
+"""
+import json
+import sys
+
+
+def load_json(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for kind, entries in doc.items():
+        if not isinstance(entries, list):
+            continue
+        for e in entries:
+            key = (kind, e.get("name", ""),
+                   tuple(sorted(e.get("labels", {}).items())))
+            val = {k: v for k, v in e.items() if k not in ("name", "labels")}
+            out[key] = json.dumps(val, sort_keys=True)
+    return out
+
+
+def load_prom(path):
+    out = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            series, _, value = line.rpartition(" ")
+            out.setdefault(series, []).append(value)
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    base_path, head_path = sys.argv[1], sys.argv[2]
+    loader = load_prom if base_path.endswith(".prom") else load_json
+    base, head = loader(base_path), loader(head_path)
+    bad = []
+    for key, val in sorted(base.items()):
+        if key not in head:
+            bad.append(f"missing in head: {key} = {val}")
+        elif head[key] != val:
+            bad.append(f"value drift: {key}: base {val} != head {head[key]}")
+    if bad:
+        print(f"{head_path} diverges from {base_path}:")
+        for b in bad:
+            print(f"  {b}")
+        sys.exit(1)
+    extra = len(head) - len(base)
+    print(f"{head_path}: {len(base)} base metrics match"
+          + (f", {extra} new in head" if extra else ""))
+
+
+if __name__ == "__main__":
+    main()

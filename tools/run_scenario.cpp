@@ -44,9 +44,15 @@ int list_presets() {
       "\nrun one with: run_scenario <preset> [key=value ...] [--runs N]\n"
       "overrides: seed duration_s warmup_s ecn on_bytes off_s "
       "start_with_off\n"
+      "  churn: churn_per_s churn_zipf churn_alpha churn_min_bytes "
+      "churn_max_bytes churn_slots churn_cap\n"
       "  dumbbell: pairs rate_mbps rtt_ms queue jitter_ms buffer_bdp\n"
       "  parking lot: hops cross_per_hop long_flows hop_rate_mbps "
-      "hop_delay_ms buffer_bdp\n");
+      "hop_delay_ms buffer_bdp\n"
+      "  fat tree: k host_rate_mbps fabric_rate_mbps core_rate_mbps "
+      "core_delay_ms buffer_bdp\n"
+      "  wan graph: sites hosts_per_site chords wan_seed min_rate_mbps "
+      "max_rate_mbps min_delay_ms max_delay_ms buffer_bdp\n");
   return 0;
 }
 
@@ -75,14 +81,20 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "--list") == 0) return list_presets();
 
-  const std::string name = argv[1];
-  const core::presets::Preset* preset = core::presets::find(name);
+  const core::presets::Preset* preset = core::presets::find(argv[1]);
   if (preset == nullptr) {
-    std::fprintf(stderr,
-                 "unknown preset '%s'; run_scenario --list shows them\n",
-                 name.c_str());
+    std::string valid;
+    for (const auto& p : core::presets::registry()) {
+      if (!valid.empty()) valid += ", ";
+      valid += p.name;
+    }
+    std::fprintf(stderr, "unknown preset '%s'; valid presets: %s\n",
+                 argv[1], valid.c_str());
     return 2;
   }
+  // Artifacts use the canonical (dash) spelling even when the preset was
+  // named with underscores, so golden filenames stay stable.
+  const std::string name = preset->name;
 
   core::ScenarioSpec spec = preset->spec;
   int runs = bench::scale_from_env() == bench::Scale::kFull ? 4 : 2;
@@ -140,6 +152,16 @@ int main(int argc, char** argv) {
   std::printf("topology %s, %zu senders, %zu path(s), %d repetition(s)\n",
               sim::topology_class(spec.topology), spec.sender_count(),
               sim::path_count(spec.topology), runs);
+  const sim::TopologyShape shape = sim::topology_shape(spec.topology);
+  std::printf("shape: %zu node(s), %zu link(s), %zu endpoint(s), "
+              "%zu monitored path(s)\n",
+              shape.nodes, shape.links, shape.endpoints, shape.paths);
+  if (spec.churn.enabled())
+    std::printf("churn: %.0f arrivals/s, zipf %.2f, pareto %.2f, "
+                "%g..%g bytes, %zu slot(s)/endpoint\n",
+                spec.churn.arrivals_per_s, spec.churn.zipf_s,
+                spec.churn.pareto_alpha, spec.churn.min_bytes,
+                spec.churn.max_bytes, spec.churn.slots_per_endpoint);
   if (spec.sharding.shards > 1)
     std::printf("sharding: %d shard(s) requested (deterministic: artifacts "
                 "are byte-identical to a serial run)\n",
@@ -201,6 +223,27 @@ int main(int argc, char** argv) {
     }
     g.print_and_dump();
   }
+  // Per-rep churn breakdown when the preset drives open-loop arrivals.
+  if (!all.empty() && all.front().churn.enabled) {
+    bench::ResultTable c("run_scenario_" + name + "_churn.csv",
+                         {"rep", "offered", "completed", "measured",
+                          "deferred", "fct_p50_ms", "fct_p90_ms",
+                          "fct_p99_ms", "fct_mean_ms", "wait_mean_ms",
+                          "goodput_bps"});
+    for (std::size_t r = 0; r < all.size(); ++r) {
+      const auto& ch = all[r].churn;
+      c.row({std::to_string(r), std::to_string(ch.offered),
+             std::to_string(ch.completed), std::to_string(ch.measured),
+             std::to_string(ch.deferred),
+             util::TextTable::num(ch.fct_p50_s * 1e3, 2),
+             util::TextTable::num(ch.fct_p90_s * 1e3, 2),
+             util::TextTable::num(ch.fct_p99_s * 1e3, 2),
+             util::TextTable::num(ch.fct_mean_s * 1e3, 2),
+             util::TextTable::num(ch.wait_mean_s * 1e3, 2),
+             util::TextTable::num(ch.goodput_bps, 0)});
+    }
+    c.print_and_dump();
+  }
   // Observability artifacts (opt-in; nothing is written without the
   // flags, so default artifacts stay byte-identical). Repetition 0's
   // capture is exported — it is the same object for any PHI_BENCH_JOBS.
@@ -230,6 +273,27 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("  (%d runs in %.1f s)\n", runs, timer.seconds());
+  // Topology shape: gauges in the metrics dump (identical for every
+  // jobs/shards value — it is a pure function of the spec) and the full
+  // record in the provenance sidecar.
+  {
+    auto& reg = telemetry::registry();
+    reg.gauge("scenario.topology.nodes")
+        .set(static_cast<double>(shape.nodes));
+    reg.gauge("scenario.topology.links")
+        .set(static_cast<double>(shape.links));
+    reg.gauge("scenario.topology.endpoints")
+        .set(static_cast<double>(shape.endpoints));
+    reg.gauge("scenario.topology.paths")
+        .set(static_cast<double>(shape.paths));
+    char topo_json[192];
+    std::snprintf(topo_json, sizeof topo_json,
+                  "{\"class\":\"%s\",\"nodes\":%zu,\"links\":%zu,"
+                  "\"endpoints\":%zu,\"paths\":%zu}",
+                  shape.klass, shape.nodes, shape.links, shape.endpoints,
+                  shape.paths);
+    bench::set_run_info("topology", topo_json);
+  }
   bench::dump_metrics("run_scenario_" + name);
   return 0;
 }
