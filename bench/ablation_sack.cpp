@@ -105,6 +105,21 @@ int main() {
                                 : 0;
   }
   std::printf("\n%s", t.str().c_str());
+  // Receive-side view across all cases, from the tcp.sink.* counters:
+  // how much of the retransmission traffic was spurious by the time it
+  // reached the receiver. (Reads 0 in PHI_TELEMETRY_OFF builds.)
+  {
+    const auto received =
+        telemetry::registry().counter("tcp.sink.packets_received").value();
+    const auto dups =
+        telemetry::registry().counter("tcp.sink.duplicates").value();
+    std::printf("\nsink duplicate rate: %.4f (%llu of %llu delivered)\n",
+                received > 0 ? static_cast<double>(dups) /
+                                   static_cast<double>(received)
+                             : 0.0,
+                static_cast<unsigned long long>(dups),
+                static_cast<unsigned long long>(received));
+  }
   std::printf("\ntuned/default P_l gain: NewReno x%.2f, SACK x%.2f —\n"
               "smarter recovery does not substitute for knowing the network\n"
               "weather before the first packet.   (%.1f s)\n",

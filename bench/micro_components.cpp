@@ -261,6 +261,130 @@ void BM_TcpSenderAckClock(benchmark::State& state) {
 }
 BENCHMARK(BM_TcpSenderAckClock);
 
+// A window policy with the congestion dynamics removed: the scoreboard
+// benches hold the in-flight window at a realistic fleet-path size so
+// items/sec isolates loss-recovery bookkeeping, not Cubic's sawtooth.
+class FixedWindowCc final : public tcp::CongestionControl {
+ public:
+  explicit FixedWindowCc(double w) : w_(w) {}
+  void reset(util::Time) override {}
+  void on_ack(std::int64_t, double, util::Time) override {}
+  void on_loss_event(util::Time, std::int64_t) override {}
+  void on_timeout(util::Time, std::int64_t) override {}
+  double window() const override { return w_; }
+  double ssthresh() const override { return w_; }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  double w_;
+};
+
+// The lossy counterpart of BM_TcpSenderAckClock: SACK is on and the ACK
+// stream replays a recurring loss episode — every 8th segment of a
+// ~512-segment in-flight window is "lost", the rest arrive and are
+// SACKed in rotating 3-block dup-ACKs (RFC 2018 style), then a
+// cumulative ACK closes the episode. Each dup-ACK drives absorb_sack +
+// the try_send_sack loop (sack_pipe / next_hole per released segment),
+// which is exactly the per-ACK scoreboard cost that dominates
+// loss-recovery-heavy fleet runs.
+void BM_TcpSenderSackRecovery(benchmark::State& state) {
+  sim::Scheduler sched;
+  sim::Node node(0, "sackclock");
+  tcp::TcpSender sender(sched, node, /*dst=*/1, /*flow=*/1,
+                        std::make_unique<FixedWindowCc>(600));
+  sender.set_sack(true);
+  sender.start_connection(std::numeric_limits<std::int64_t>::max() / 2,
+                          [](const tcp::ConnStats&) {});
+  sim::Packet ack;
+  ack.flow = 1;
+  ack.conn = 1;
+  ack.is_ack = true;
+  std::int64_t una = 0;
+  // Rotating cursor over the episode's SACKed runs; persists across
+  // episodes so successive dup-ACKs report successive runs, like a real
+  // sink walking through the arrival sequence.
+  std::int64_t run_cursor = 0;
+  const auto feed = [&](std::int64_t cum, int blocks,
+                        std::int64_t lo, std::int64_t hi) {
+    sched.run_until(sched.now() + util::microseconds(100));
+    ack.ack = cum;
+    ack.echo = sched.now() > util::milliseconds(100)
+                   ? sched.now() - util::milliseconds(100)
+                   : 0;
+    ack.sack_count = 0;
+    for (int b = 0; b < blocks; ++b) {
+      // Runs of 7 arrived segments between lost every-8th holes.
+      const std::int64_t base =
+          lo + ((run_cursor + b) % ((hi - lo) / 8)) * 8;
+      ack.sack[ack.sack_count++] = {base + 1, base + 8};
+    }
+    if (blocks > 0) ++run_cursor;
+    sender.on_packet(ack);
+  };
+  for (auto _ : state) {
+    const std::int64_t inflight = sender.segments_in_flight();
+    if (inflight < 512) {
+      // Refill the fixed window with clean cumulative ACKs (each releases
+      // a burst of new data) until the next episode is worth staging.
+      feed(++una, 0, 0, 0);
+      continue;
+    }
+    // Loss episode over [una, una+span): every 8th segment lost.
+    const std::int64_t span = (inflight / 8) * 8;
+    feed(una, 3, una, una + span);
+    if (run_cursor % (span / 8) == 0) {
+      // Holes retransmitted and delivered: a cumulative ACK closes the
+      // episode and the next one stages on fresh data.
+      una += span;
+      feed(una, 0, 0, 0);
+    }
+  }
+  benchmark::DoNotOptimize(node.no_route_drops());
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("acks/sec");
+}
+BENCHMARK(BM_TcpSenderSackRecovery);
+
+// Sink-side scoreboard cost: deliver a window with every 8th segment
+// missing, then fill the holes. Every arrival makes the sink rebuild its
+// out-of-order view and emit an ACK carrying up to 3 SACK blocks, so
+// items/sec measures the per-packet cost of SACK-block generation with a
+// scoreboard full of holes.
+void BM_TcpSinkSackAcks(benchmark::State& state) {
+  sim::Scheduler sched;
+  sim::Node node(0, "sinksack");
+  tcp::TcpSink sink(sched, node, /*flow=*/1);
+  sink.set_sack(true);
+  sim::Packet p;
+  p.src = 1;
+  p.dst = 0;
+  p.flow = 1;
+  p.conn = 1;
+  constexpr std::int64_t kWindow = 512;
+  std::int64_t base = 0;
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    // First pass: holes at every 8th seq -> 64 runs on the scoreboard.
+    for (std::int64_t s = base; s < base + kWindow; ++s) {
+      if ((s - base) % 8 == 0) continue;
+      p.seq = s;
+      sink.on_packet(p);
+      ++delivered;
+    }
+    // Second pass: fill the holes (each fill collapses a run).
+    for (std::int64_t s = base; s < base + kWindow; s += 8) {
+      p.seq = s;
+      sink.on_packet(p);
+      ++delivered;
+    }
+    base += kWindow;
+  }
+  benchmark::DoNotOptimize(sink.acks_sent());
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  state.SetLabel("packets/sec");
+}
+BENCHMARK(BM_TcpSinkSackAcks);
+
 void BM_CubicOnAck(benchmark::State& state) {
   tcp::Cubic cc;
   cc.reset(0);

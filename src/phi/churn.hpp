@@ -66,7 +66,7 @@ struct ChurnSpec {
 /// caller-owned arrays indexed by global session number (distinct
 /// elements per slot — no cross-thread sharing). Steady-state operation
 /// is allocation-free: sessions are preloaded, the done-callback capture
-/// fits std::function's inline buffer, and timer closures fit SmallFn.
+/// fits DoneCallback's inline buffer, and timer closures fit SmallFn.
 class ChurnSlot {
  public:
   struct Entry {

@@ -1,0 +1,303 @@
+#include "tcp/scoreboard.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace phi::tcp {
+
+// ---------------------------------------------------------------------------
+// SackScoreboard
+
+std::int64_t SackScoreboard::add_sacked(std::int64_t s, std::int64_t e) {
+  // Find the span of runs that overlap or touch [s, e): a run ending
+  // exactly at s (or starting exactly at e) merges with it.
+  std::size_t i = 0;
+  while (i < sacked_.size() && sacked_[i].end < s) ++i;
+  std::size_t j = i;
+  std::int64_t already = 0;
+  std::int64_t ns = s, ne = e;
+  while (j < sacked_.size() && sacked_[j].start <= e) {
+    already += std::max<std::int64_t>(
+        0, std::min(sacked_[j].end, e) - std::max(sacked_[j].start, s));
+    ns = std::min(ns, sacked_[j].start);
+    ne = std::max(ne, sacked_[j].end);
+    ++j;
+  }
+  if (i == j) {
+    sacked_.insert(i, {s, e});
+  } else {
+    sacked_[i] = {ns, ne};
+    sacked_.erase(i + 1, j);
+  }
+  return (e - s) - already;
+}
+
+std::int64_t SackScoreboard::erase_rexmit(std::int64_t s, std::int64_t e) {
+  std::int64_t removed = 0;
+  std::size_t i = 0;
+  while (i < rexmit_.size() && rexmit_[i].end <= s) ++i;
+  while (i < rexmit_.size() && rexmit_[i].start < e) {
+    RexmitRun& r = rexmit_[i];
+    const std::int64_t lo = std::max(r.start, s);
+    const std::int64_t hi = std::min(r.end, e);
+    removed += hi - lo;
+    if (r.start < lo && hi < r.end) {
+      // Carve a hole out of the middle of the run.
+      const RexmitRun tail{hi, r.end, r.at};
+      r.end = lo;
+      rexmit_.insert(i + 1, tail);
+      break;  // [s, e) ends inside this run
+    }
+    if (r.start < lo) {
+      r.end = lo;
+      ++i;
+    } else if (hi < r.end) {
+      r.start = hi;
+      break;
+    } else {
+      rexmit_.erase(i, i + 1);  // swallowed whole; i now names the next run
+    }
+  }
+  return removed;
+}
+
+void SackScoreboard::absorb(std::int64_t block_start,
+                            std::int64_t block_end) {
+  const std::int64_t s = std::max(block_start, una_);
+  // Everything at or above `edge` is virgin territory: nothing there is
+  // sacked or retransmitted yet, so a block reaching past it first turns
+  // the stretch [edge, block-start) into plain-lost holes.
+  const std::int64_t edge = std::max(high_sack_, una_);
+  if (block_end > edge)
+    lost_plain_ += std::min(std::max(s, edge), block_end) - edge;
+  if (s < block_end) {
+    const std::int64_t added = add_sacked(s, block_end);
+    const std::int64_t added_above =
+        block_end > edge ? block_end - std::max(s, edge) : 0;
+    const std::int64_t rex_removed = erase_rexmit(s, block_end);
+    // Newly sacked sequences below the old edge were previously either
+    // retransmitted holes or plain-lost; both stop being lost.
+    lost_plain_ -= (added - added_above) - rex_removed;
+    sacked_count_ += added;
+    rexmit_count_ -= rex_removed;
+  }
+  // Unconditional, with the *unclamped* end: a stale block can raise
+  // high_sack_ to a value at or below una_, where it is inert (the old
+  // per-block max had the same quirk and goldens depend on it).
+  high_sack_ = std::max(high_sack_, block_end);
+}
+
+void SackScoreboard::advance(std::int64_t new_una) {
+  if (new_una <= una_) return;
+  if (high_sack_ > una_) {
+    const std::int64_t hi = std::min(new_una, high_sack_);
+    // Trim both lists below new_una. All runs live below high_sack_, so
+    // every trimmed sequence falls inside the tracked region [una_, hi).
+    std::int64_t sacked_removed = 0;
+    std::size_t i = 0;
+    while (i < sacked_.size() && sacked_[i].end <= new_una) {
+      sacked_removed += sacked_[i].end - sacked_[i].start;
+      ++i;
+    }
+    sacked_.erase(0, i);
+    if (!sacked_.empty() && sacked_[0].start < new_una) {
+      sacked_removed += new_una - sacked_[0].start;
+      sacked_[0].start = new_una;
+    }
+    std::int64_t rexmit_removed = 0;
+    i = 0;
+    while (i < rexmit_.size() && rexmit_[i].end <= new_una) {
+      rexmit_removed += rexmit_[i].end - rexmit_[i].start;
+      ++i;
+    }
+    rexmit_.erase(0, i);
+    if (!rexmit_.empty() && rexmit_[0].start < new_una) {
+      rexmit_removed += new_una - rexmit_[0].start;
+      rexmit_[0].start = new_una;
+    }
+    sacked_count_ -= sacked_removed;
+    rexmit_count_ -= rexmit_removed;
+    lost_plain_ -= (hi - una_) - sacked_removed - rexmit_removed;
+  }
+  una_ = new_una;
+}
+
+void SackScoreboard::mark_rexmit(std::int64_t seq, util::Time t) {
+  std::size_t i = 0;
+  while (i < rexmit_.size() && rexmit_[i].end <= seq) ++i;
+  if (i < rexmit_.size() && rexmit_[i].start <= seq) {
+    // Already covered: a stale hole being rescued. Re-time just this
+    // sequence, splitting the run if needed; counts are unchanged.
+    const RexmitRun r = rexmit_[i];
+    if (r.start == seq && r.end == seq + 1) {
+      rexmit_[i].at = t;
+    } else if (r.start == seq) {
+      rexmit_[i].start = seq + 1;
+      rexmit_.insert(i, {seq, seq + 1, t});
+    } else if (r.end == seq + 1) {
+      rexmit_[i].end = seq;
+      rexmit_.insert(i + 1, {seq, seq + 1, t});
+    } else {
+      rexmit_[i].end = seq;
+      rexmit_.insert(i + 1, {seq, seq + 1, t});
+      rexmit_.insert(i + 2, {seq + 1, r.end, r.at});
+    }
+  } else {
+    // A plain-lost hole gains retransmission cover. Bursts retransmit
+    // adjacent holes at the same timestamp, so extend a matching
+    // neighbour instead of fragmenting the list.
+    const bool prev_joins =
+        i > 0 && rexmit_[i - 1].end == seq && rexmit_[i - 1].at == t;
+    const bool next_joins = i < rexmit_.size() &&
+                            rexmit_[i].start == seq + 1 &&
+                            rexmit_[i].at == t;
+    if (prev_joins && next_joins) {
+      rexmit_[i - 1].end = rexmit_[i].end;
+      rexmit_.erase(i, i + 1);
+    } else if (prev_joins) {
+      rexmit_[i - 1].end = seq + 1;
+    } else if (next_joins) {
+      rexmit_[i].start = seq;
+    } else {
+      rexmit_.insert(i, {seq, seq + 1, t});
+    }
+    ++rexmit_count_;
+    --lost_plain_;
+  }
+  min_rexmit_at_ = std::min(min_rexmit_at_, t);
+}
+
+void SackScoreboard::clear_rexmits() {
+  lost_plain_ += rexmit_count_;
+  rexmit_count_ = 0;
+  rexmit_.clear();
+  min_rexmit_at_ = std::numeric_limits<util::Time>::max();
+}
+
+void SackScoreboard::clear(std::int64_t una) {
+  sacked_.clear();
+  rexmit_.clear();
+  una_ = una;
+  high_sack_ = -1;
+  sacked_count_ = 0;
+  rexmit_count_ = 0;
+  lost_plain_ = 0;
+  min_rexmit_at_ = std::numeric_limits<util::Time>::max();
+}
+
+std::int64_t SackScoreboard::next_hole(util::Time now,
+                                       util::Duration rescue_after) const {
+  if (high_sack_ <= una_) return -1;
+  // Walk the gaps between sacked runs in tandem with the rexmit runs
+  // (both sorted; rexmit runs never overlap sacked runs, so each lies
+  // wholly inside one gap).
+  std::size_t ri = 0;
+  std::int64_t pos = una_;
+  std::size_t si = 0;
+  for (;;) {
+    const std::int64_t gap_end =
+        si < sacked_.size() ? sacked_[si].start : high_sack_;
+    while (pos < gap_end) {
+      while (ri < rexmit_.size() && rexmit_[ri].end <= pos) ++ri;
+      if (ri < rexmit_.size() && rexmit_[ri].start <= pos) {
+        if (now > rexmit_[ri].at + rescue_after) return pos;  // stale
+        pos = rexmit_[ri].end;  // fresh cover: skip the whole run
+      } else {
+        return pos;  // never retransmitted
+      }
+    }
+    if (si >= sacked_.size()) return -1;
+    pos = sacked_[si].end;
+    ++si;
+  }
+}
+
+std::int64_t SackScoreboard::deemed_lost(std::int64_t limit, util::Time now,
+                                         util::Duration rescue_after) const {
+  const std::int64_t hi = std::min(high_sack_, limit);
+  if (hi <= una_) return 0;
+  if (hi == high_sack_) {
+    // Whole tracked region — the common case (the sender rarely sees
+    // SACKs above snd_nxt). lost_plain_ is exact; only staleness needs
+    // the rexmit runs, and usually not even those.
+    std::int64_t stale = 0;
+    if (rexmit_count_ > 0 && now > min_rexmit_at_ + rescue_after) {
+      for (const RexmitRun& r : rexmit_)
+        if (now > r.at + rescue_after) stale += r.end - r.start;
+    }
+    return lost_plain_ + stale;
+  }
+  // Clipped below high_sack_ (post-RTO stragglers): count within
+  // [una_, hi) from the runs directly.
+  std::int64_t sacked_below = 0;
+  for (const SackedRun& r : sacked_) {
+    if (r.start >= hi) break;
+    sacked_below += std::min(r.end, hi) - r.start;
+  }
+  std::int64_t fresh = 0;
+  for (const RexmitRun& r : rexmit_) {
+    if (r.start >= hi) break;
+    if (now <= r.at + rescue_after) fresh += std::min(r.end, hi) - r.start;
+  }
+  return (hi - una_) - sacked_below - fresh;
+}
+
+std::int64_t SackScoreboard::pipe(std::int64_t nxt, util::Time now,
+                                  util::Duration rescue_after) const {
+  const std::int64_t p =
+      (nxt - una_) - sacked_count_ - deemed_lost(nxt, now, rescue_after);
+  return std::max<std::int64_t>(p, 0);
+}
+
+// ---------------------------------------------------------------------------
+// RecvRunList
+
+void RecvRunList::insert(std::int64_t seq) {
+  std::size_t i = 0;
+  while (i < runs_.size() && runs_[i].end < seq) ++i;
+  if (i == runs_.size()) {
+    runs_.push_back({seq, seq + 1});
+    return;
+  }
+  Run& r = runs_[i];
+  if (r.start <= seq && seq < r.end) return;  // duplicate of held data
+  if (r.end == seq) {
+    r.end = seq + 1;
+    if (i + 1 < runs_.size() && runs_[i + 1].start == seq + 1) {
+      r.end = runs_[i + 1].end;
+      runs_.erase(i + 1, i + 2);
+    }
+  } else if (r.start == seq + 1) {
+    r.start = seq;
+  } else {
+    runs_.insert(i, {seq, seq + 1});
+  }
+}
+
+std::int64_t RecvRunList::absorb_in_order(std::int64_t expected) {
+  if (!runs_.empty() && runs_[0].start == expected) {
+    const std::int64_t e = runs_[0].end;
+    runs_.erase(0, 1);
+    return e;
+  }
+  return expected;
+}
+
+void RecvRunList::emit_sack_blocks(sim::Packet& ack,
+                                   std::int64_t trigger_seq) const {
+  if (runs_.empty()) return;
+  std::size_t first = 0;
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    if (trigger_seq >= runs_[i].start && trigger_seq < runs_[i].end) {
+      first = i;
+      break;
+    }
+  }
+  const std::size_t n = std::min<std::size_t>(runs_.size(), 3);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Run& r = runs_[(first + k) % runs_.size()];
+    ack.sack[ack.sack_count++] = {r.start, r.end};
+  }
+}
+
+}  // namespace phi::tcp

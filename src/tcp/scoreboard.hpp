@@ -1,0 +1,159 @@
+// scoreboard.hpp — interval run-list loss-recovery state for both ends of
+// a connection.
+//
+// The sender's SACK scoreboard used to be a std::set<int64> of individual
+// sacked sequence numbers plus a std::map<int64, Time> of retransmission
+// times. Under fleet-churn loss episodes every ACK walked those per
+// sequence (`sack_pipe()` alone was an O(W·log W) scan per
+// try_send_sack iteration), and every insert allocated a red-black node.
+// SACK state is runs by construction — the sink acknowledges contiguous
+// ranges — so both ends now keep sorted, disjoint, merged-on-contact
+// {start, end) intervals in inline storage, and the pipe estimate is
+// maintained incrementally as counters instead of recomputed by scans.
+//
+// Equivalence contract: every query reproduces the old per-sequence
+// implementation bit-for-bit (tests/tcp/test_scoreboard.cpp fuzzes the two
+// against each other), which is what keeps all golden artifacts
+// byte-identical across the swap.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/packet.hpp"
+#include "util/inline_vec.hpp"
+#include "util/units.hpp"
+
+namespace phi::tcp {
+
+/// Sender-side scoreboard over [una, high_sack): which segments the sink
+/// has selectively acknowledged, which holes we have retransmitted (and
+/// when), and — incrementally — how many segments are deemed lost.
+///
+/// Invariants, kept by construction:
+///  - `sacked_` runs are sorted, disjoint, non-adjacent, all within
+///    [una_, high_sack_).
+///  - `rexmit_` runs are sorted, disjoint, within [una_, high_sack_), and
+///    never overlap a sacked run: when a retransmitted hole gets SACKed
+///    its rexmit record is dropped (the old map kept stale entries, but
+///    no query ever consulted the rexmit state of a sacked sequence, so
+///    the observable behaviour is identical).
+///  - `lost_plain_` counts sequences in [una_, high_sack_) covered by
+///    neither list: holes never retransmitted, unconditionally lost.
+/// Time-dependent loss (a retransmission outstanding longer than the
+/// rescue threshold is deemed lost again) cannot be a plain counter; it
+/// is answered lazily from the rexmit runs, with a "youngest possible
+/// retransmission" fast path that makes the common no-stale case O(1).
+class SackScoreboard {
+ public:
+  struct SackedRun {
+    std::int64_t start;
+    std::int64_t end;  ///< exclusive
+  };
+  struct RexmitRun {
+    std::int64_t start;
+    std::int64_t end;  ///< exclusive
+    util::Time at;     ///< transmission time shared by the whole run
+  };
+
+  /// Absorb one SACK block (clamped to the current cumulative ACK).
+  /// `block_end` raises high_sack() unconditionally, exactly like the
+  /// old per-block `high_sack_ = max(high_sack_, b.end)`.
+  void absorb(std::int64_t block_start, std::int64_t block_end);
+
+  /// Cumulative ACK advanced: drop state below `new_una`.
+  void advance(std::int64_t new_una);
+
+  /// A hole chosen by next_hole() was (re)transmitted at `t`.
+  void mark_rexmit(std::int64_t seq, util::Time t);
+
+  /// Forget retransmission history (recovery entry and full-ACK exit —
+  /// the old `rexmitted_.clear()`). SACK coverage is preserved.
+  void clear_rexmits();
+
+  /// Full reset to a fresh window starting at `una` (connection start,
+  /// RTO go-back-N).
+  void clear(std::int64_t una);
+
+  /// Lowest sequence in [una, high_sack) that is neither SACKed nor
+  /// covered by a fresh retransmission; -1 when there is none. A
+  /// retransmission older than `rescue_after` no longer counts as cover
+  /// (RACK-style time-based rescue).
+  std::int64_t next_hole(util::Time now, util::Duration rescue_after) const;
+
+  /// Segments presumed in flight: (nxt - una) minus SACKed segments
+  /// minus deemed-lost holes below min(high_sack, nxt). Clamped at 0.
+  std::int64_t pipe(std::int64_t nxt, util::Time now,
+                    util::Duration rescue_after) const;
+
+  std::int64_t sacked_count() const noexcept { return sacked_count_; }
+  std::int64_t high_sack() const noexcept { return high_sack_; }
+  std::int64_t una() const noexcept { return una_; }
+
+  /// True once any run list has spilled past its inline capacity — the
+  /// alloc test asserts this stays false in steady state.
+  bool spilled() const noexcept {
+    return sacked_.spilled() || rexmit_.spilled();
+  }
+
+ private:
+  /// Deemed-lost holes in [una_, min(high_sack_, limit)).
+  std::int64_t deemed_lost(std::int64_t limit, util::Time now,
+                           util::Duration rescue_after) const;
+  /// Insert [s, e) into sacked_, merging; returns newly covered count.
+  std::int64_t add_sacked(std::int64_t s, std::int64_t e);
+  /// Remove rexmit cover within [s, e); returns sequences removed.
+  std::int64_t erase_rexmit(std::int64_t s, std::int64_t e);
+
+  // Loss episodes touch a handful of contiguous ranges; 8 inline runs
+  // cover everything the fleet presets produce without spilling.
+  util::InlineVec<SackedRun, 8> sacked_;
+  util::InlineVec<RexmitRun, 8> rexmit_;
+  std::int64_t una_ = 0;
+  std::int64_t high_sack_ = -1;  ///< highest SACKed seq + 1; -1 = none
+  std::int64_t sacked_count_ = 0;
+  std::int64_t rexmit_count_ = 0;
+  std::int64_t lost_plain_ = 0;
+  /// Lower bound on every live retransmission time (monotone clock, so
+  /// simply the first since the last clear). While `now` is within the
+  /// rescue window of this bound nothing can be stale — the O(1) fast
+  /// path for pipe().
+  util::Time min_rexmit_at_ = std::numeric_limits<util::Time>::max();
+};
+
+/// Sink-side reassembly state: the contiguous ranges of out-of-order data
+/// held above the cumulative ACK. Replaces the std::set<int64> whose
+/// every-ACK full walk rebuilt the SACK blocks into a fresh std::vector.
+class RecvRunList {
+ public:
+  struct Run {
+    std::int64_t start;
+    std::int64_t end;  ///< exclusive
+  };
+
+  /// Record an out-of-order arrival. Duplicate of held data is a silent
+  /// no-op (matching std::set::insert).
+  void insert(std::int64_t seq);
+
+  /// If the first run starts at `expected`, consume it and return its
+  /// end (the new expected); otherwise return `expected` unchanged.
+  std::int64_t absorb_in_order(std::int64_t expected);
+
+  /// Write up to 3 SACK blocks into `ack`, rotating so the first block
+  /// is the run containing `trigger_seq` (RFC 2018: most recent first;
+  /// successive ACKs rotate through all ranges so the sender's
+  /// scoreboard converges even with more than 3 holes).
+  void emit_sack_blocks(sim::Packet& ack, std::int64_t trigger_seq) const;
+
+  bool empty() const noexcept { return runs_.empty(); }
+  void clear() noexcept { runs_.clear(); }
+  std::size_t run_count() const noexcept { return runs_.size(); }
+  bool spilled() const noexcept { return runs_.spilled(); }
+
+ private:
+  // Reordering windows hold few distinct gaps; heavy loss creates more,
+  // so give the sink a little extra inline headroom.
+  util::InlineVec<Run, 12> runs_;
+};
+
+}  // namespace phi::tcp

@@ -76,9 +76,7 @@ void TcpSender::start_connection(std::int64_t segments, DoneCallback done) {
   recover_mark_ = -1;
   partial_acks_in_recovery_ = 0;
   ecn_cut_point_ = -1;
-  sacked_.clear();
-  rexmitted_.clear();
-  high_sack_ = -1;
+  sb_.clear(0);
   next_send_time_ = sched_.now();
 
   cc_->reset(sched_.now());
@@ -98,53 +96,28 @@ void TcpSender::start_connection(std::int64_t segments, DoneCallback done) {
 }
 
 void TcpSender::absorb_sack(const sim::Packet& p) {
-  for (std::uint8_t i = 0; i < p.sack_count; ++i) {
-    const auto& b = p.sack[i];
-    for (std::int64_t s = std::max(b.start, snd_una_); s < b.end; ++s)
-      sacked_.insert(s);
-    high_sack_ = std::max(high_sack_, b.end);
-  }
+  for (std::uint8_t i = 0; i < p.sack_count; ++i)
+    sb_.absorb(p.sack[i].start, p.sack[i].end);
 }
 
-bool TcpSender::rexmit_deemed_lost(std::int64_t seq) const {
-  auto it = rexmitted_.find(seq);
-  if (it == rexmitted_.end()) return true;  // never retransmitted: a hole
-  const util::Duration rescue_after =
-      rtt_.has_sample()
-          ? rtt_.srtt() + rtt_.srtt() / 2
-          : util::seconds(1);
-  return sched_.now() > it->second + rescue_after;
-}
-
-std::int64_t TcpSender::next_hole() const {
-  if (high_sack_ <= snd_una_) return -1;
-  for (std::int64_t s = snd_una_; s < high_sack_; ++s) {
-    if (sacked_.count(s) == 0 && rexmit_deemed_lost(s)) return s;
-  }
-  return -1;
-}
-
-std::int64_t TcpSender::sack_pipe() const {
-  // In flight = sent-but-unaccounted. SACKed segments have left the
-  // network; holes below the highest SACK are presumed lost unless we
-  // already retransmitted them (the retransmission is in flight).
-  std::int64_t pipe = snd_nxt_ - snd_una_ -
-                      static_cast<std::int64_t>(sacked_.size());
-  for (std::int64_t s = snd_una_; s < std::min(high_sack_, snd_nxt_); ++s) {
-    if (sacked_.count(s) == 0 && rexmit_deemed_lost(s)) --pipe;
-  }
-  return std::max<std::int64_t>(pipe, 0);
+util::Duration TcpSender::rescue_after() const {
+  return rtt_.has_sample() ? rtt_.srtt() + rtt_.srtt() / 2
+                           : util::seconds(1);
 }
 
 void TcpSender::try_send_sack() {
   if (!active_) return;
   const util::Time now = sched_.now();
+  const util::Duration rescue = rescue_after();
+  // The window is loop-invariant: nothing inside the loop feeds the
+  // congestion controller.
+  const double wnd = cc_->window();
   // Burst limiter (like Linux's tcp_max_burst): one ACK event may release
   // at most a handful of packets. When SACK coverage collapses the pipe
   // estimate all at once, this keeps the retransmission wave ACK-clocked
   // instead of dumping a whole window into the bottleneck queue.
   int burst_budget = 8;
-  while (static_cast<double>(sack_pipe()) < cc_->window() &&
+  while (static_cast<double>(sb_.pipe(snd_nxt_, now, rescue)) < wnd &&
          burst_budget-- > 0) {
     const util::Duration gap = cc_->min_send_gap(now);
     if (gap > 0 && now < next_send_time_) {
@@ -157,9 +130,10 @@ void TcpSender::try_send_sack() {
       return;
     }
     // Retransmit the lowest outstanding hole first; otherwise new data.
-    const std::int64_t hole = in_recovery_ ? next_hole() : -1;
+    const std::int64_t hole =
+        in_recovery_ ? sb_.next_hole(now, rescue) : -1;
     if (hole >= 0) {
-      rexmitted_[hole] = sched_.now();
+      sb_.mark_rexmit(hole, now);
       send_segment(hole);
     } else if (snd_nxt_ < total_) {
       send_segment(snd_nxt_);
@@ -179,9 +153,9 @@ void TcpSender::try_send() {
     return;
   }
   const util::Time now = sched_.now();
+  const double wnd = cc_->window() + static_cast<double>(inflation_);
   while (snd_nxt_ < total_ &&
-         static_cast<double>(segments_in_flight()) <
-             cc_->window() + static_cast<double>(inflation_)) {
+         static_cast<double>(segments_in_flight()) < wnd) {
     // Pacing (Remy): respect the policy's minimum inter-send gap.
     const util::Duration gap = cc_->min_send_gap(now);
     if (gap > 0 && now < next_send_time_) {
@@ -261,17 +235,13 @@ void TcpSender::on_ack(const sim::Packet& p) {
     snd_nxt_ = std::max(snd_nxt_, snd_una_);
     dupacks_ = 0;
     rtt_.clear_backoff();
-    if (sack_) {
-      sacked_.erase(sacked_.begin(), sacked_.lower_bound(snd_una_));
-      rexmitted_.erase(rexmitted_.begin(),
-                       rexmitted_.lower_bound(snd_una_));
-    }
+    if (sack_) sb_.advance(snd_una_);
     bool rearm = true;
     if (in_recovery_) {
       if (snd_una_ >= recovery_point_) {
         in_recovery_ = false;  // full ACK: recovery complete
         inflation_ = 0;
-        rexmitted_.clear();
+        sb_.clear_rexmits();
       } else if (sack_) {
         // Scoreboard-driven recovery: retransmissions are selected by
         // try_send_sack(); partial ACKs just restart the timer.
@@ -302,11 +272,11 @@ void TcpSender::on_ack(const sim::Packet& p) {
     } else if (sack_) {
       // RFC 6675-style trigger: enough SACKed segments above the
       // cumulative ACK imply a hole was lost.
-      if (static_cast<std::int64_t>(sacked_.size()) >= dupack_threshold_ &&
+      if (sb_.sacked_count() >= dupack_threshold_ &&
           snd_una_ > recover_mark_) {
         in_recovery_ = true;
         recovery_point_ = snd_nxt_;
-        rexmitted_.clear();
+        sb_.clear_rexmits();
         ++stats_.loss_events;
         ctr_loss_events_->add();
         ctr_cwnd_cuts_->add();
@@ -364,9 +334,7 @@ void TcpSender::on_rto() {
   dupacks_ = 0;
   in_recovery_ = false;
   inflation_ = 0;
-  sacked_.clear();
-  rexmitted_.clear();
-  high_sack_ = -1;
+  sb_.clear(snd_una_);
   arm_rto();
   try_send();
 }
@@ -409,7 +377,6 @@ void TcpSender::finish() {
     // Move the callback out first: it commonly starts the next connection,
     // which overwrites done_.
     auto cb = std::move(done_);
-    done_ = nullptr;
     cb(stats_);
   }
 }

@@ -6,9 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
-#include <set>
 #include <memory>
 
 #include "sim/event.hpp"
@@ -16,7 +13,9 @@
 #include "sim/packet.hpp"
 #include "tcp/cc.hpp"
 #include "tcp/rtt.hpp"
+#include "tcp/scoreboard.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/small_fn.hpp"
 #include "util/stats.hpp"
 
 namespace phi::tcp {
@@ -59,7 +58,10 @@ struct ConnStats {
 
 class TcpSender : public sim::Agent {
  public:
-  using DoneCallback = std::function<void(const ConnStats&)>;
+  /// Move-only with inline storage: churn harnesses restart connections
+  /// hundreds of thousands of times per run, and a std::function here
+  /// heap-allocated each restart for any capture over two pointers.
+  using DoneCallback = util::BasicSmallFn<void(const ConnStats&)>;
 
   /// Attaches itself to `local` for `flow`; detaches in the destructor.
   TcpSender(sim::Scheduler& sched, sim::Node& local, sim::NodeId dst,
@@ -137,12 +139,9 @@ class TcpSender : public sim::Agent {
 
   // --- SACK machinery ---
   void absorb_sack(const sim::Packet& p);
-  /// Segments presumed in flight under the scoreboard view.
-  std::int64_t sack_pipe() const;
-  /// Lowest unsacked, un-retransmitted hole below the highest SACK;
-  /// -1 when there is none.
-  std::int64_t next_hole() const;
-  bool rexmit_deemed_lost(std::int64_t seq) const;
+  /// How long a retransmitted hole may stay unacknowledged before it is
+  /// deemed lost again (RACK-style rescue window).
+  util::Duration rescue_after() const;
   void try_send_sack();
 
   sim::Scheduler& sched_;
@@ -161,13 +160,12 @@ class TcpSender : public sim::Agent {
   std::int64_t dupacks_ = 0;
   int dupack_threshold_ = 3;
   bool sack_ = false;
-  std::set<std::int64_t> sacked_;  ///< scoreboard (seqs above snd_una)
-  /// Holes retransmitted this recovery -> transmission time. A hole
-  /// still open 1.5 smoothed RTTs after its retransmission is deemed
-  /// lost again and becomes eligible for another retransmission
-  /// (RACK-style time-based rescue, without full RACK machinery).
-  std::map<std::int64_t, util::Time> rexmitted_;
-  std::int64_t high_sack_ = -1;        ///< highest SACKed seq + 1
+  /// SACK coverage, retransmission history, and the incremental pipe
+  /// estimate, as interval run lists (see scoreboard.hpp). A hole still
+  /// open 1.5 smoothed RTTs after its retransmission is deemed lost
+  /// again and becomes eligible for another retransmission (RACK-style
+  /// time-based rescue, without full RACK machinery).
+  SackScoreboard sb_;
   bool ecn_ = false;
   std::int64_t ecn_cut_point_ = -1;  ///< suppress further cuts until ACKed past
   bool in_recovery_ = false;

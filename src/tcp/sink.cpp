@@ -1,12 +1,16 @@
 #include "tcp/sink.hpp"
 
-#include <vector>
-
 namespace phi::tcp {
 
 TcpSink::TcpSink(sim::Scheduler& sched, sim::Node& local, sim::FlowId flow)
     : sched_(sched), node_(local), flow_(flow) {
   node_.attach(flow_, this);
+  auto& reg = telemetry::registry();
+  ctr_received_ = &reg.counter("tcp.sink.packets_received");
+  ctr_acks_ = &reg.counter("tcp.sink.acks_sent");
+  ctr_duplicates_ = &reg.counter("tcp.sink.duplicates");
+  ctr_out_of_order_ = &reg.counter("tcp.sink.out_of_order");
+  ctr_stale_epoch_ = &reg.counter("tcp.sink.stale_epoch_drops");
 }
 
 TcpSink::~TcpSink() {
@@ -22,7 +26,15 @@ void TcpSink::set_delayed_ack(int every, util::Duration timeout) {
 void TcpSink::on_packet(const sim::Packet& p) {
   if (p.is_ack) return;
   if (p.conn != conn_) {
-    // New connection epoch on this flow: reset receive state.
+    // Epochs only move forward. A straggler from a *previous* connection
+    // (a delayed retransmit overtaking a churn restart on the same flow)
+    // must not rewind conn_/expected_ and corrupt the live transfer —
+    // drop it. Only a genuinely newer epoch resets receive state.
+    if (p.conn < conn_) {
+      ++stale_epoch_drops_;
+      ctr_stale_epoch_->add();
+      return;
+    }
     conn_ = p.conn;
     expected_ = 0;
     out_of_order_.clear();
@@ -34,20 +46,20 @@ void TcpSink::on_packet(const sim::Packet& p) {
     }
   }
   ++received_;
+  ctr_received_->add();
   bool in_order = false;
   if (p.seq == expected_) {
     in_order = true;
     ++expected_;
-    // Absorb any contiguous out-of-order segments.
-    auto it = out_of_order_.begin();
-    while (it != out_of_order_.end() && *it == expected_) {
-      ++expected_;
-      it = out_of_order_.erase(it);
-    }
+    // Absorb any contiguous out-of-order run now adjacent to expected_.
+    expected_ = out_of_order_.absorb_in_order(expected_);
   } else if (p.seq > expected_) {
     out_of_order_.insert(p.seq);
+    ++out_of_order_arrivals_;
+    ctr_out_of_order_->add();
   } else {
     ++duplicates_;  // spurious retransmission
+    ctr_duplicates_->add();
   }
 
   // RFC 5681 §4.2: out-of-order or gap-filling segments are ACKed
@@ -106,35 +118,16 @@ void TcpSink::send_ack(const sim::Packet& data) {
   // sender's once-per-window gate provides the equivalent damping).
   ack.ece = data.ce;
   if (sack_ && !out_of_order_.empty()) {
-    // Build the contiguous ranges above the cumulative ACK, then report
-    // up to 3 starting from the range containing the packet that
-    // triggered this ACK (RFC 2018: most recent first). Because arrivals
-    // walk through the sequence space, successive ACKs rotate through
-    // all ranges and the sender's scoreboard converges even when there
-    // are far more than 3 holes.
-    std::vector<sim::Packet::SackBlock> ranges;
-    std::int64_t run_start = -1, prev = -2;
-    for (const std::int64_t seq : out_of_order_) {
-      if (seq != prev + 1) {
-        if (run_start >= 0) ranges.push_back({run_start, prev + 1});
-        run_start = seq;
-      }
-      prev = seq;
-    }
-    if (run_start >= 0) ranges.push_back({run_start, prev + 1});
-
-    std::size_t first = 0;
-    for (std::size_t i = 0; i < ranges.size(); ++i) {
-      if (data.seq >= ranges[i].start && data.seq < ranges[i].end) {
-        first = i;
-        break;
-      }
-    }
-    const std::size_t n = std::min<std::size_t>(ranges.size(), 3);
-    for (std::size_t k = 0; k < n; ++k)
-      ack.sack[ack.sack_count++] = ranges[(first + k) % ranges.size()];
+    // Report up to 3 held ranges starting from the one containing the
+    // packet that triggered this ACK (RFC 2018: most recent first).
+    // Because arrivals walk through the sequence space, successive ACKs
+    // rotate through all ranges and the sender's scoreboard converges
+    // even when there are far more than 3 holes. The ranges are the run
+    // list itself — no per-ACK rebuild, no allocation.
+    out_of_order_.emit_sack_blocks(ack, data.seq);
   }
   ++acks_sent_;
+  ctr_acks_->add();
   node_.send(ack);
 }
 

@@ -6,11 +6,12 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 
 #include "sim/event.hpp"
 #include "sim/node.hpp"
 #include "sim/packet.hpp"
+#include "tcp/scoreboard.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace phi::tcp {
 
@@ -38,6 +39,12 @@ class TcpSink : public sim::Agent {
   std::uint64_t packets_received() const noexcept { return received_; }
   std::uint64_t duplicates() const noexcept { return duplicates_; }
   std::uint64_t acks_sent() const noexcept { return acks_sent_; }
+  /// Data packets from a connection epoch older than the live one,
+  /// dropped instead of adopted (delayed retransmits overtaking a churn
+  /// restart).
+  std::uint64_t stale_epoch_drops() const noexcept {
+    return stale_epoch_drops_;
+  }
   std::int64_t next_expected() const noexcept { return expected_; }
 
  private:
@@ -49,10 +56,14 @@ class TcpSink : public sim::Agent {
   sim::FlowId flow_;
   std::uint32_t conn_ = 0;
   std::int64_t expected_ = 0;
-  std::set<std::int64_t> out_of_order_;
+  /// Out-of-order data held above expected_, as contiguous runs — the
+  /// ≤3 SACK blocks per ACK come straight off this list.
+  RecvRunList out_of_order_;
   std::uint64_t received_ = 0;
   std::uint64_t duplicates_ = 0;
   std::uint64_t acks_sent_ = 0;
+  std::uint64_t out_of_order_arrivals_ = 0;
+  std::uint64_t stale_epoch_drops_ = 0;
 
   bool sack_ = false;
   int ack_every_ = 1;
@@ -61,6 +72,14 @@ class TcpSink : public sim::Agent {
   bool have_pending_ = false;
   sim::Packet pending_data_{};  ///< most recent data awaiting a delayed ACK
   sim::EventId delack_event_ = 0;
+
+  // Registry handles (aggregated across sinks), resolved at construction
+  // like TcpSender's.
+  telemetry::Counter* ctr_received_;
+  telemetry::Counter* ctr_acks_;
+  telemetry::Counter* ctr_duplicates_;
+  telemetry::Counter* ctr_out_of_order_;
+  telemetry::Counter* ctr_stale_epoch_;
 };
 
 }  // namespace phi::tcp

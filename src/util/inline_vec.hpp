@@ -1,0 +1,103 @@
+// inline_vec.hpp — a tiny vector with inline storage for trivially
+// copyable elements.
+//
+// The TCP loss-recovery scoreboards keep their interval run lists in one
+// of these: a handful of runs covers every realistic loss episode, so the
+// common case lives entirely inside the owning object (no pointer chase,
+// no allocation — not even on the *first* episode, which a
+// std::vector-backed list would pay for before reaching its high-water
+// mark). Past `N` elements it spills to a geometrically grown heap
+// buffer and behaves like a plain vector; clear() keeps whatever
+// capacity was reached, matching the repo's high-water-mark contract.
+//
+// Deliberately minimal: trivially copyable T only (memmove is the whole
+// relocation story), no copy/move of the container, no exceptions beyond
+// operator new's.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+namespace phi::util {
+
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec relocates with memmove");
+  static_assert(N > 0, "inline capacity must be nonzero");
+
+ public:
+  InlineVec() noexcept = default;
+  ~InlineVec() {
+    if (data_ != inline_) delete[] data_;
+  }
+
+  InlineVec(const InlineVec&) = delete;
+  InlineVec& operator=(const InlineVec&) = delete;
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  T& back() noexcept {
+    assert(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return cap_; }
+  bool spilled() const noexcept { return data_ != inline_; }
+
+  void clear() noexcept { size_ = 0; }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow();
+    data_[size_++] = v;
+  }
+
+  /// Insert `v` before index `i`, shifting [i, size) right by one.
+  void insert(std::size_t i, const T& v) {
+    assert(i <= size_);
+    if (size_ == cap_) grow();
+    std::memmove(data_ + i + 1, data_ + i, (size_ - i) * sizeof(T));
+    data_[i] = v;
+    ++size_;
+  }
+
+  /// Erase indices [first, last), shifting the tail left.
+  void erase(std::size_t first, std::size_t last) {
+    assert(first <= last && last <= size_);
+    std::memmove(data_ + first, data_ + last,
+                 (size_ - last) * sizeof(T));
+    size_ -= last - first;
+  }
+
+ private:
+  void grow() {
+    const std::size_t next = cap_ * 2;
+    T* heap = new T[next];
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    if (data_ != inline_) delete[] data_;
+    data_ = heap;
+    cap_ = next;
+  }
+
+  T inline_[N];
+  T* data_ = inline_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace phi::util

@@ -1,12 +1,16 @@
-// small_fn.hpp — a move-only void() callable with small-buffer storage.
+// small_fn.hpp — a move-only callable with small-buffer storage.
 //
 // std::function heap-allocates for any capture larger than two pointers
 // (libstdc++'s inline buffer is 16 bytes), which makes it the dominant
 // allocation on the scheduler hot path: every timer re-arm and packet
-// delivery constructs one. SmallFn stores captures up to kInlineBytes in
-// place — sized for the simulator's worst callbacks (a handful of
+// delivery constructs one. BasicSmallFn stores captures up to kInlineBytes
+// in place — sized for the simulator's worst callbacks (a handful of
 // pointers plus a couple of values) — and falls back to the heap only
 // beyond that, so steady-state event scheduling allocates nothing.
+//
+// `SmallFn` is the scheduler's void() alias; other signatures (e.g. the
+// TCP sender's completion callback taking `const ConnStats&`) instantiate
+// BasicSmallFn directly and get the same inline-storage guarantee.
 #pragma once
 
 #include <cstddef>
@@ -16,21 +20,25 @@
 
 namespace phi::util {
 
-class SmallFn {
- public:
-  /// Inline capacity. 48 bytes holds six pointers or the odd lambda with
-  /// a shared_ptr plus context; bench/micro_components tracks how often
-  /// real workloads fit (they all do today).
-  static constexpr std::size_t kInlineBytes = 48;
+template <typename Sig, std::size_t N = 48>
+class BasicSmallFn;  // only the R(Args...) specialization exists
 
-  SmallFn() noexcept = default;
+template <typename R, typename... Args, std::size_t N>
+class BasicSmallFn<R(Args...), N> {
+ public:
+  /// Inline capacity. The default 48 bytes holds six pointers or the odd
+  /// lambda with a shared_ptr plus context; bench/micro_components tracks
+  /// how often real workloads fit (they all do today).
+  static constexpr std::size_t kInlineBytes = N;
+
+  BasicSmallFn() noexcept = default;
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, SmallFn> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
-                    // std::function at every schedule_* call site
+                !std::is_same_v<std::decay_t<F>, BasicSmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  BasicSmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in
+                         // for std::function at every call site
     using D = std::decay_t<F>;
     if constexpr (sizeof(D) <= kInlineBytes &&
                   alignof(D) <= alignof(std::max_align_t) &&
@@ -43,9 +51,9 @@ class SmallFn {
     }
   }
 
-  SmallFn(SmallFn&& o) noexcept { move_from(o); }
+  BasicSmallFn(BasicSmallFn&& o) noexcept { move_from(o); }
 
-  SmallFn& operator=(SmallFn&& o) noexcept {
+  BasicSmallFn& operator=(BasicSmallFn&& o) noexcept {
     if (this != &o) {
       reset();
       move_from(o);
@@ -53,12 +61,14 @@ class SmallFn {
     return *this;
   }
 
-  SmallFn(const SmallFn&) = delete;
-  SmallFn& operator=(const SmallFn&) = delete;
+  BasicSmallFn(const BasicSmallFn&) = delete;
+  BasicSmallFn& operator=(const BasicSmallFn&) = delete;
 
-  ~SmallFn() { reset(); }
+  ~BasicSmallFn() { reset(); }
 
-  void operator()() { ops_->invoke(buf_); }
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, static_cast<Args&&>(args)...);
+  }
 
   explicit operator bool() const noexcept { return ops_ != nullptr; }
 
@@ -71,7 +81,7 @@ class SmallFn {
 
  private:
   struct Ops {
-    void (*invoke)(void* buf);
+    R (*invoke)(void* buf, Args&&... args);
     void (*move)(void* dst, void* src) noexcept;
     void (*destroy)(void* buf) noexcept;
     /// Inline and trivially copyable/destructible: relocation is a plain
@@ -82,7 +92,10 @@ class SmallFn {
 
   template <typename D>
   static constexpr Ops inline_ops{
-      [](void* buf) { (*std::launder(reinterpret_cast<D*>(buf)))(); },
+      [](void* buf, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<D*>(buf)))(
+            static_cast<Args&&>(args)...);
+      },
       [](void* dst, void* src) noexcept {
         D* s = std::launder(reinterpret_cast<D*>(src));
         ::new (dst) D(std::move(*s));
@@ -96,7 +109,10 @@ class SmallFn {
 
   template <typename D>
   static constexpr Ops heap_ops{
-      [](void* buf) { (**std::launder(reinterpret_cast<D**>(buf)))(); },
+      [](void* buf, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<D**>(buf)))(
+            static_cast<Args&&>(args)...);
+      },
       [](void* dst, void* src) noexcept {
         *reinterpret_cast<D**>(dst) =
             *std::launder(reinterpret_cast<D**>(src));
@@ -106,7 +122,7 @@ class SmallFn {
       },
       false};
 
-  void move_from(SmallFn& o) noexcept {
+  void move_from(BasicSmallFn& o) noexcept {
     ops_ = o.ops_;
     if (ops_ != nullptr) {
       if (ops_->trivial) {
@@ -123,5 +139,8 @@ class SmallFn {
   alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
   const Ops* ops_ = nullptr;
 };
+
+/// The scheduler's callback type — every schedule_* call site stores one.
+using SmallFn = BasicSmallFn<void()>;
 
 }  // namespace phi::util

@@ -210,7 +210,7 @@ TEST(ZeroAllocDatapath, ChurnSteadyStateIsAllocationFree) {
   // The PR 9 extension: open-loop session churn — a ChurnSlot replaying
   // preloaded arrivals through a real TCP sender — must stop allocating
   // once warm. Sessions are preloaded, the done-callback capture fits
-  // std::function's inline buffer, timer closures fit SmallFn, and
+  // DoneCallback's inline buffer, timer closures fit SmallFn, and
   // per-session results land in caller-owned arrays.
   Network net;
   Node& a = net.add_node("tx");
@@ -255,6 +255,74 @@ TEST(ZeroAllocDatapath, ChurnSteadyStateIsAllocationFree) {
   EXPECT_GT(slot.completed(), completed_before);
   EXPECT_EQ(allocs_after - allocs_before, 0u);
   for (std::size_t i = 0; i < kSessions; ++i) EXPECT_GE(fct[i], 0.0);
+}
+
+TEST(ZeroAllocDatapath, SackRecoveryUnderLossDoesNotAllocate) {
+  // The PR 10 extension: loss recovery itself. A shallow bottleneck
+  // queue makes every slow-start overshoot drop a batch of segments, so
+  // each transfer exercises the full SACK path — sink run list building
+  // blocks, sender scoreboard absorbing them, hole retransmissions, and
+  // the incremental pipe estimate — which used to allocate a red-black
+  // node per sacked sequence. Once the interval run lists hit their
+  // high-water marks during warm-up, recovery must never touch the heap.
+  Network net;
+  Node& a = net.add_node("tx");
+  Node& b = net.add_node("rx");
+  // 48KB ≈ 32 segments of queue: deep enough to carry the transfer,
+  // shallow enough that slow start overshoots it every connection.
+  Link& fwd = net.add_link(a, b, 1.0 * util::kGbps, util::microseconds(50),
+                           48 * 1024);
+  Link& rev = net.add_link(b, a, 1.0 * util::kGbps, util::microseconds(50),
+                           1024 * 1024);
+  a.add_route(b.id(), &fwd);
+  b.add_route(a.id(), &rev);
+  tcp::TcpSink sink(net.scheduler(), b, /*flow=*/9);
+  tcp::TcpSender sender(net.scheduler(), a, b.id(), /*flow=*/9,
+                        std::make_unique<tcp::Cubic>());
+  sender.set_sack(true);
+  sink.set_sack(true);
+
+  // Back-to-back lossy transfers chained through the done callback (the
+  // [this] capture fits DoneCallback's inline buffer — that is part of
+  // what is being proved).
+  struct Chain {
+    tcp::TcpSender* sender;
+    int remaining;
+    std::uint64_t retransmits = 0;
+    std::uint64_t loss_events = 0;
+    std::uint64_t timeouts = 0;
+    void start() {
+      sender->start_connection(3000, [this](const tcp::ConnStats& s) {
+        retransmits += s.retransmits;
+        loss_events += s.loss_events;
+        timeouts += s.timeouts;
+        if (--remaining > 0) start();
+      });
+    }
+  } chain{&sender, /*remaining=*/8};
+  chain.start();
+
+  // Warm-up: three full transfers grow every pool, slab, and run list to
+  // its steady-state high-water mark — including whatever the heaviest
+  // recovery episode needs. Step in small increments so the snapshot
+  // lands between transfers, not after the whole chain drained.
+  while (chain.remaining > 5)
+    net.run_until(net.now() + util::milliseconds(5));
+  const std::uint64_t retransmits_before = chain.retransmits;
+  ASSERT_GT(chain.loss_events, 0u) << "workload produced no SACK recovery";
+
+  const std::uint64_t allocs_before =
+      g_allocs.load(std::memory_order_relaxed);
+  while (chain.remaining > 0) net.run_until(net.now() + util::seconds(1));
+  const std::uint64_t allocs_after =
+      g_allocs.load(std::memory_order_relaxed);
+
+  // The measured transfers really recovered from loss via the
+  // scoreboard (selective retransmits, no timeouts)...
+  EXPECT_GT(chain.retransmits, retransmits_before);
+  EXPECT_EQ(chain.timeouts, 0u);
+  // ...without a single heap allocation.
+  EXPECT_EQ(allocs_after - allocs_before, 0u);
 }
 
 }  // namespace

@@ -86,6 +86,68 @@ TEST(SackSink, BlocksDescribeOutOfOrderRanges) {
   peer.detach(1);
 }
 
+TEST(SackSink, OlderEpochStragglerIsDroppedNotAdopted) {
+  // ChurnSlots reuse one flow id for back-to-back connections; a delayed
+  // retransmit from connection N can land after connection N+1 started.
+  // The sink must drop it — adopting it used to rewind conn_/expected_
+  // and corrupt the live transfer's ACK stream.
+  sim::Network net;
+  sim::Node& host = net.add_node("rx");
+  sim::Node& peer = net.add_node("tx");
+  auto [fwd, rev] = net.add_duplex(host, peer, 100.0 * util::kMbps,
+                                   util::milliseconds(1), 1'000'000);
+  host.add_route(peer.id(), fwd);
+  peer.add_route(host.id(), rev);
+
+  struct AckTap : sim::Agent {
+    sim::Packet last;
+    int count = 0;
+    void on_packet(const sim::Packet& p) override {
+      last = p;
+      ++count;
+    }
+  } tap;
+  peer.attach(1, &tap);
+
+  TcpSink sink(net.scheduler(), host, 1);
+  auto deliver = [&](std::uint32_t conn, std::int64_t seq) {
+    sim::Packet p;
+    p.src = peer.id();
+    p.dst = host.id();
+    p.flow = 1;
+    p.conn = conn;
+    p.seq = seq;
+    host.deliver(p);
+    net.run_until(net.now() + util::milliseconds(5));
+  };
+
+  // Live connection: epoch 2 has made progress.
+  deliver(2, 0);
+  deliver(2, 1);
+  EXPECT_EQ(sink.next_expected(), 2);
+
+  // Straggler retransmit from the finished epoch 1: dropped silently —
+  // no state reset, no ACK (a stale-epoch ACK would confuse nobody, but
+  // the reset it used to cause rewound the live connection).
+  const int acks_before = tap.count;
+  deliver(1, 5);
+  EXPECT_EQ(sink.next_expected(), 2);
+  EXPECT_EQ(sink.stale_epoch_drops(), 1u);
+  EXPECT_EQ(tap.count, acks_before);
+
+  // The live epoch continues unharmed...
+  deliver(2, 2);
+  EXPECT_EQ(sink.next_expected(), 3);
+  EXPECT_EQ(tap.last.ack, 3);
+  EXPECT_EQ(tap.last.conn, 2u);
+
+  // ...and a genuinely newer epoch still resets receive state.
+  deliver(3, 0);
+  EXPECT_EQ(sink.next_expected(), 1);
+  EXPECT_EQ(tap.last.conn, 3u);
+  peer.detach(1);
+}
+
 TEST(Sack, CleanPathBehavesNormally) {
   SackHarness h;
   const ConnStats s = h.transfer(500);

@@ -1,0 +1,344 @@
+// The interval scoreboard must be observationally identical to the
+// std::set/std::map implementation it replaced — that equivalence is what
+// lets every golden artifact stay byte-identical across the swap. The
+// fuzz below drives both against seeded random loss/reorder/absorb/
+// advance/retransmit sequences and asserts every query agrees at every
+// step (same spirit as sim/test_event_fuzz.cpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "tcp/scoreboard.hpp"
+
+namespace phi::tcp {
+namespace {
+
+// Verbatim port of the pre-refactor TcpSender scoreboard state and
+// queries (std::set of sacked seqs, std::map of retransmit times).
+struct ReferenceBoard {
+  std::set<std::int64_t> sacked;
+  std::map<std::int64_t, std::int64_t> rexmitted;
+  std::int64_t high_sack = -1;
+  std::int64_t una = 0;
+
+  void absorb(std::int64_t bs, std::int64_t be) {
+    for (std::int64_t s = std::max(bs, una); s < be; ++s) sacked.insert(s);
+    high_sack = std::max(high_sack, be);
+  }
+  void advance(std::int64_t new_una) {
+    if (new_una <= una) return;
+    una = new_una;
+    sacked.erase(sacked.begin(), sacked.lower_bound(una));
+    rexmitted.erase(rexmitted.begin(), rexmitted.lower_bound(una));
+  }
+  void mark_rexmit(std::int64_t seq, std::int64_t t) { rexmitted[seq] = t; }
+  void clear_rexmits() { rexmitted.clear(); }
+  void clear(std::int64_t u) {
+    sacked.clear();
+    rexmitted.clear();
+    high_sack = -1;
+    una = u;
+  }
+  bool deemed_lost(std::int64_t s, std::int64_t now,
+                   std::int64_t rescue) const {
+    auto it = rexmitted.find(s);
+    if (it == rexmitted.end()) return true;
+    return now > it->second + rescue;
+  }
+  std::int64_t next_hole(std::int64_t now, std::int64_t rescue) const {
+    if (high_sack <= una) return -1;
+    for (std::int64_t s = una; s < high_sack; ++s)
+      if (sacked.count(s) == 0 && deemed_lost(s, now, rescue)) return s;
+    return -1;
+  }
+  std::int64_t pipe(std::int64_t nxt, std::int64_t now,
+                    std::int64_t rescue) const {
+    std::int64_t p = nxt - una - static_cast<std::int64_t>(sacked.size());
+    for (std::int64_t s = una; s < std::min(high_sack, nxt); ++s)
+      if (sacked.count(s) == 0 && deemed_lost(s, now, rescue)) --p;
+    return std::max<std::int64_t>(p, 0);
+  }
+};
+
+class ScoreboardFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ScoreboardFuzz, MatchesSetBasedReferenceAtEveryStep) {
+  std::mt19937 rng(GetParam());
+  SackScoreboard sb;
+  ReferenceBoard ref;
+  std::int64_t now = 0;
+  std::int64_t nxt = 0;  // simulated snd_nxt, monotone above una
+
+  auto check = [&](int step) {
+    for (const std::int64_t rescue : {3LL, 40LL, 1'000LL}) {
+      ASSERT_EQ(sb.next_hole(now, rescue), ref.next_hole(now, rescue))
+          << "step " << step << " rescue " << rescue;
+      for (const std::int64_t probe :
+           {ref.una, ref.una + 7, nxt, nxt + 64}) {
+        ASSERT_EQ(sb.pipe(probe, now, rescue), ref.pipe(probe, now, rescue))
+            << "step " << step << " rescue " << rescue << " nxt " << probe;
+      }
+    }
+    ASSERT_EQ(sb.sacked_count(),
+              static_cast<std::int64_t>(ref.sacked.size()));
+    ASSERT_EQ(sb.high_sack(), ref.high_sack);
+    ASSERT_EQ(sb.una(), ref.una);
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    now += std::uniform_int_distribution<std::int64_t>(0, 12)(rng);
+    const int op = std::uniform_int_distribution<int>(0, 99)(rng);
+    if (op < 45) {
+      // Absorb 1-3 SACK blocks above the cumulative ACK, like one ACK's
+      // worth from the sink (blocks may overlap existing coverage,
+      // extend high_sack, or duplicate each other).
+      const int blocks = std::uniform_int_distribution<int>(1, 3)(rng);
+      for (int b = 0; b < blocks; ++b) {
+        const std::int64_t start =
+            ref.una +
+            std::uniform_int_distribution<std::int64_t>(0, 180)(rng);
+        const std::int64_t len =
+            std::uniform_int_distribution<std::int64_t>(1, 24)(rng);
+        nxt = std::max(nxt, start + len);
+        sb.absorb(start, start + len);
+        ref.absorb(start, start + len);
+      }
+    } else if (op < 65) {
+      // Cumulative advance (sometimes past high_sack entirely).
+      const std::int64_t new_una =
+          ref.una + std::uniform_int_distribution<std::int64_t>(1, 60)(rng);
+      nxt = std::max(nxt, new_una);
+      sb.advance(new_una);
+      ref.advance(new_una);
+    } else if (op < 85) {
+      // Retransmit the current next hole, exactly like try_send_sack.
+      const std::int64_t rescue = 40;
+      const std::int64_t hole = ref.next_hole(now, rescue);
+      if (hole >= 0) {
+        sb.mark_rexmit(hole, now);
+        ref.mark_rexmit(hole, now);
+      }
+    } else if (op < 92) {
+      sb.clear_rexmits();
+      ref.clear_rexmits();
+    } else if (op < 95) {
+      // RTO-style full reset at the current cumulative ACK.
+      sb.clear(ref.una);
+      ref.clear(ref.una);
+      nxt = std::max(nxt, ref.una);
+    }  // else: pure time advance (ages retransmissions toward rescue)
+    check(step);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoreboardFuzz,
+                         ::testing::Values(1u, 7u, 21u, 99u, 1337u));
+
+// Reference for the sink side: the old std::set of out-of-order seqs and
+// the per-ACK block builder from TcpSink::send_ack.
+struct ReferenceSink {
+  std::set<std::int64_t> held;
+  std::int64_t expected = 0;
+
+  void deliver(std::int64_t seq) {
+    if (seq == expected) {
+      ++expected;
+      auto it = held.begin();
+      while (it != held.end() && *it == expected) {
+        ++expected;
+        it = held.erase(it);
+      }
+    } else if (seq > expected) {
+      held.insert(seq);
+    }
+  }
+  std::vector<sim::Packet::SackBlock> blocks(std::int64_t trigger) const {
+    std::vector<sim::Packet::SackBlock> ranges;
+    std::int64_t run_start = -1, prev = -2;
+    for (const std::int64_t seq : held) {
+      if (seq != prev + 1) {
+        if (run_start >= 0) ranges.push_back({run_start, prev + 1});
+        run_start = seq;
+      }
+      prev = seq;
+    }
+    if (run_start >= 0) ranges.push_back({run_start, prev + 1});
+    std::size_t first = 0;
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      if (trigger >= ranges[i].start && trigger < ranges[i].end) {
+        first = i;
+        break;
+      }
+    }
+    std::vector<sim::Packet::SackBlock> out;
+    const std::size_t n = std::min<std::size_t>(ranges.size(), 3);
+    for (std::size_t k = 0; k < n; ++k)
+      out.push_back(ranges[(first + k) % ranges.size()]);
+    return out;
+  }
+};
+
+class RecvRunListFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RecvRunListFuzz, EmitsIdenticalSackBlocks) {
+  std::mt19937 rng(GetParam());
+  RecvRunList runs;
+  ReferenceSink ref;
+
+  for (int step = 0; step < 4000; ++step) {
+    // Mostly out-of-order/duplicate arrivals; occasionally the expected
+    // segment, which cascades held runs back in order.
+    std::int64_t seq;
+    if (std::uniform_int_distribution<int>(0, 4)(rng) == 0) {
+      seq = ref.expected;
+    } else {
+      seq = ref.expected +
+            std::uniform_int_distribution<std::int64_t>(0, 90)(rng);
+    }
+    const std::int64_t before_expected = ref.expected;
+    ref.deliver(seq);
+    if (seq == before_expected) {
+      runs.absorb_in_order(before_expected + 1);
+    } else if (seq > before_expected) {
+      runs.insert(seq);
+    }
+    ASSERT_EQ(runs.empty(), ref.held.empty()) << "step " << step;
+
+    // The triggering packet of a real ACK is the one just delivered.
+    sim::Packet ack;
+    runs.emit_sack_blocks(ack, seq);
+    const auto want = ref.blocks(seq);
+    ASSERT_EQ(static_cast<std::size_t>(ack.sack_count), want.size())
+        << "step " << step << " seq " << seq;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(ack.sack[i].start, want[i].start) << "step " << step;
+      ASSERT_EQ(ack.sack[i].end, want[i].end) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecvRunListFuzz,
+                         ::testing::Values(2u, 11u, 42u, 1234u));
+
+// --- Directed unit tests for the invariants the fuzz exercises blindly.
+
+TEST(SackScoreboard, TracksRunsAndHoles) {
+  SackScoreboard sb;
+  sb.absorb(2, 5);   // runs: [2,5), holes 0,1 below
+  sb.absorb(8, 10);  // + [8,10), holes 5..7
+  EXPECT_EQ(sb.high_sack(), 10);
+  EXPECT_EQ(sb.sacked_count(), 5);
+  EXPECT_EQ(sb.next_hole(0, 100), 0);
+  // pipe with nxt=10: 10 in window, 5 sacked, 5 plain holes -> 0.
+  EXPECT_EQ(sb.pipe(10, 0, 100), 0);
+  sb.absorb(0, 2);  // merges into [0,5)
+  EXPECT_EQ(sb.next_hole(0, 100), 5);
+  sb.advance(5);
+  EXPECT_EQ(sb.sacked_count(), 2);
+  EXPECT_EQ(sb.next_hole(0, 100), 5);
+}
+
+TEST(SackScoreboard, FreshRexmitCoversHoleUntilStale) {
+  SackScoreboard sb;
+  sb.absorb(3, 6);
+  EXPECT_EQ(sb.next_hole(100, 50), 0);
+  sb.mark_rexmit(0, 100);
+  sb.mark_rexmit(1, 100);
+  sb.mark_rexmit(2, 100);
+  // All holes freshly retransmitted: none eligible, pipe counts them as
+  // in flight (nxt=6: 6 - 3 sacked - 0 lost = 3).
+  EXPECT_EQ(sb.next_hole(120, 50), -1);
+  EXPECT_EQ(sb.pipe(6, 120, 50), 3);
+  // Past the rescue window they are lost again.
+  EXPECT_EQ(sb.next_hole(151, 50), 0);
+  EXPECT_EQ(sb.pipe(6, 151, 50), 0);
+  // Re-marking one hole splits the (now stale) run around it.
+  sb.mark_rexmit(1, 151);
+  EXPECT_EQ(sb.next_hole(151, 50), 0);
+  sb.mark_rexmit(0, 151);
+  EXPECT_EQ(sb.next_hole(151, 50), 2);
+}
+
+TEST(SackScoreboard, SackedHoleDropsRexmitCover) {
+  SackScoreboard sb;
+  sb.absorb(5, 8);
+  sb.mark_rexmit(0, 10);
+  sb.mark_rexmit(1, 10);
+  sb.absorb(0, 2);  // the retransmitted holes arrive and get SACKed
+  EXPECT_EQ(sb.sacked_count(), 5);
+  EXPECT_EQ(sb.next_hole(11, 100), 2);
+  // nxt=8: 8 in window - 5 sacked - 3 plain-lost (2,3,4) = 0.
+  EXPECT_EQ(sb.pipe(8, 11, 100), 0);
+}
+
+TEST(SackScoreboard, PipeClipsAtSndNxtBelowHighSack) {
+  // Post-RTO quirk: high_sack can exceed snd_nxt; the lost-hole walk is
+  // clipped at snd_nxt while the sacked subtraction is not.
+  SackScoreboard sb;
+  sb.absorb(10, 14);
+  EXPECT_EQ(sb.high_sack(), 14);
+  // nxt=6 < high_sack: base 6 - 4 sacked = 2, minus holes in [0,6) = 6
+  // -> clamped to 0.
+  EXPECT_EQ(sb.pipe(6, 0, 100), 0);
+}
+
+TEST(SackScoreboard, StaleBlockRaisesHighSackInertly) {
+  SackScoreboard sb;
+  sb.absorb(0, 4);
+  sb.advance(6);  // una beyond all coverage
+  EXPECT_EQ(sb.sacked_count(), 0);
+  EXPECT_EQ(sb.high_sack(), 4);
+  // A straggler block entirely below una: nothing sacked, but high_sack
+  // still takes the per-block max (the old absorb's exact behaviour).
+  sb.absorb(4, 5);
+  EXPECT_EQ(sb.high_sack(), 5);
+  EXPECT_EQ(sb.sacked_count(), 0);
+  EXPECT_EQ(sb.next_hole(0, 100), -1);  // high_sack <= una
+  EXPECT_EQ(sb.pipe(8, 0, 100), 2);
+}
+
+TEST(SackScoreboard, ClearRexmitsRestoresPlainLoss) {
+  SackScoreboard sb;
+  sb.absorb(4, 6);
+  sb.mark_rexmit(0, 5);
+  sb.mark_rexmit(1, 5);
+  // 6 in window - 2 sacked - 2 plain-lost (2,3); fresh rexmits 0,1 count
+  // as in flight.
+  EXPECT_EQ(sb.pipe(6, 6, 100), 2);
+  sb.clear_rexmits();
+  // All four holes below high_sack are plain-lost again.
+  EXPECT_EQ(sb.pipe(6, 6, 100), 0);
+  EXPECT_EQ(sb.next_hole(6, 100), 0);
+}
+
+TEST(RecvRunList, MergesAndRotates) {
+  RecvRunList rl;
+  rl.insert(2);
+  rl.insert(3);
+  rl.insert(6);
+  rl.insert(6);  // duplicate of held data: no-op
+  EXPECT_EQ(rl.run_count(), 2u);
+  sim::Packet ack;
+  rl.emit_sack_blocks(ack, 6);
+  ASSERT_EQ(ack.sack_count, 2);
+  EXPECT_EQ(ack.sack[0].start, 6);
+  EXPECT_EQ(ack.sack[0].end, 7);
+  EXPECT_EQ(ack.sack[1].start, 2);
+  EXPECT_EQ(ack.sack[1].end, 4);
+  rl.insert(4);  // extends [2,4) to [2,5)
+  EXPECT_EQ(rl.run_count(), 2u);
+  rl.insert(5);  // bridges [2,5) and [6,7)
+  EXPECT_EQ(rl.run_count(), 1u);
+  EXPECT_EQ(rl.absorb_in_order(2), 7);
+  EXPECT_TRUE(rl.empty());
+}
+
+}  // namespace
+}  // namespace phi::tcp

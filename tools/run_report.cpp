@@ -206,6 +206,21 @@ int main(int argc, char** argv) {
      << "| mean RTT | " << metrics.mean_rtt_s * 1e3 << " ms |\n"
      << "| connections | " << metrics.connections << " |\n"
      << "| timeouts | " << metrics.timeouts << " |\n";
+  {
+    // Receive-side health from the tcp.sink.* counters: the fraction of
+    // delivered data packets the sink had already seen (spurious
+    // retransmissions reaching the receiver). Stub counters read 0 in
+    // PHI_TELEMETRY_OFF builds and the row reports 0.
+    const auto received =
+        telemetry::registry().counter("tcp.sink.packets_received").value();
+    const auto dups =
+        telemetry::registry().counter("tcp.sink.duplicates").value();
+    const double dup_rate =
+        received > 0 ? static_cast<double>(dups) /
+                           static_cast<double>(received)
+                     : 0.0;
+    md << "| sink duplicate rate | " << dup_rate << " |\n";
+  }
   if (server) {
     md << "| context lookups | " << server->lookups() << " |\n"
        << "| context reports | " << server->reports() << " |\n"
